@@ -1,0 +1,43 @@
+//! The paper's four baselines under the shared evaluation harness.
+//!
+//! Section V-A2 of the paper compares GraphHD against:
+//!
+//! - two graph kernels — **1-WL** (Weisfeiler–Lehman subtree) and
+//!   **WL-OA** (optimal assignment) — trained with C-SVMs whose penalty is
+//!   selected from {10⁻³, …, 10³} and whose WL iteration count is selected
+//!   from {0, …, 5} "as part of the training process";
+//! - two graph neural networks — **GIN-ε** and **GIN-ε-JK** — fixed at one
+//!   layer with 32 units, Adam (lr 0.01) and a plateau schedule.
+//!
+//! [`WlSvmClassifier`] and [`GinBaseline`] wrap those pipelines in the
+//! [`GraphClassifier`](datasets::harness::GraphClassifier) trait so that
+//! the CV driver measures all five methods under identical splits and
+//! timing points.
+//!
+//! # Examples
+//!
+//! ```
+//! use baselines::{GinBaseline, WlSvmClassifier, WlSvmConfig};
+//! use datasets::harness::{evaluate_cv, CvProtocol};
+//! use datasets::surrogate;
+//!
+//! let dataset = surrogate::generate_surrogate_sized(
+//!     surrogate::spec_by_name("MUTAG").expect("known"),
+//!     7,
+//!     40,
+//! );
+//! let protocol = CvProtocol { folds: 4, repetitions: 1, seed: 5 };
+//! let mut wl = WlSvmClassifier::new(WlSvmConfig::fast_subtree());
+//! let report = evaluate_cv(&mut wl, &dataset, &protocol)?;
+//! assert_eq!(report.method, "1-WL");
+//! let mut gin = GinBaseline::quick(false);
+//! let report = evaluate_cv(&mut gin, &dataset, &protocol)?;
+//! assert_eq!(report.method, "GIN-e");
+//! # Ok::<(), datasets::SplitError>(())
+//! ```
+
+mod gin;
+mod wlsvm;
+
+pub use gin::GinBaseline;
+pub use wlsvm::{WlSvmClassifier, WlSvmConfig};

@@ -1,0 +1,29 @@
+//! Micro-benchmarks for GraphHD's encoding path (paper Section IV cost):
+//! PageRank and full graph encoding versus graph size on the Fig. 4
+//! Erdős–Rényi workload (p = 0.05).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphcore::{generate, pagerank, PageRankConfig};
+use graphhd::{GraphEncoder, GraphHdConfig};
+use prng::Xoshiro256PlusPlus;
+use std::hint::black_box;
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding");
+    let encoder = GraphEncoder::new(GraphHdConfig::default()).expect("valid config");
+    let pr_config = PageRankConfig::default();
+    for &n in &[50usize, 200, 800] {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(n as u64);
+        let graph = generate::erdos_renyi(n, 0.05, &mut rng).expect("valid p");
+        group.bench_with_input(BenchmarkId::new("pagerank10", n), &n, |bencher, _| {
+            bencher.iter(|| pagerank(black_box(&graph), &pr_config));
+        });
+        group.bench_with_input(BenchmarkId::new("encode", n), &n, |bencher, _| {
+            bencher.iter(|| encoder.encode(black_box(&graph)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion counterpart of Fig. 3 (right): per-graph inference time per
+//! method, measured on trained models.
+
+use baselines::{GinBaseline, WlSvmClassifier, WlSvmConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::harness::GraphClassifier;
+use datasets::{surrogate, StratifiedKFold};
+use graphhd::GraphHdClassifier;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_inference(c: &mut Criterion) {
+    let spec = surrogate::spec_by_name("MUTAG").expect("known dataset");
+    let dataset = surrogate::generate_surrogate_sized(spec, 11, 60);
+    let folds = StratifiedKFold::new(3, 1)
+        .split(dataset.labels())
+        .expect("splittable");
+    let train = folds[0].train.clone();
+    let test = folds[0].test.clone();
+
+    let mut graphhd = GraphHdClassifier::default();
+    graphhd.fit(&dataset, &train);
+    let mut wl = WlSvmClassifier::new(WlSvmConfig::fast_subtree());
+    wl.fit(&dataset, &train);
+    let mut oa = WlSvmClassifier::new(WlSvmConfig::fast_assignment());
+    oa.fit(&dataset, &train);
+    let mut gin = GinBaseline::quick(false);
+    gin.fit(&dataset, &train);
+    let mut gin_jk = GinBaseline::quick(true);
+    gin_jk.fit(&dataset, &train);
+
+    let mut group = c.benchmark_group("fig3_inference_time");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    let entries: Vec<(&str, &dyn GraphClassifier)> = vec![
+        ("GraphHD", &graphhd),
+        ("1-WL", &wl),
+        ("WL-OA", &oa),
+        ("GIN-e", &gin),
+        ("GIN-e-JK", &gin_jk),
+    ];
+    for (name, clf) in entries {
+        group.bench_function(name, |bencher| {
+            bencher.iter(|| clf.predict(black_box(&dataset), black_box(&test)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

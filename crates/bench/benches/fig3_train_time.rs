@@ -1,0 +1,59 @@
+//! Criterion counterpart of Fig. 3 (middle): one fold of training per
+//! method on a benchmark-sized surrogate. The experiment binary `fig3`
+//! produces the full table; this bench gives statistically tight timings
+//! for the per-method comparison on one dataset.
+
+use baselines::{GinBaseline, WlSvmClassifier, WlSvmConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::harness::GraphClassifier;
+use datasets::{surrogate, StratifiedKFold};
+use graphhd::GraphHdClassifier;
+use std::time::Duration;
+
+fn bench_training(c: &mut Criterion) {
+    let spec = surrogate::spec_by_name("MUTAG").expect("known dataset");
+    let dataset = surrogate::generate_surrogate_sized(spec, 11, 60);
+    let folds = StratifiedKFold::new(3, 1)
+        .split(dataset.labels())
+        .expect("splittable");
+    let train = folds[0].train.clone();
+
+    let mut group = c.benchmark_group("fig3_train_time");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+
+    group.bench_function("GraphHD", |bencher| {
+        bencher.iter(|| {
+            let mut clf = GraphHdClassifier::default();
+            clf.fit(&dataset, &train);
+        });
+    });
+    group.bench_function("1-WL", |bencher| {
+        bencher.iter(|| {
+            let mut clf = WlSvmClassifier::new(WlSvmConfig::fast_subtree());
+            clf.fit(&dataset, &train);
+        });
+    });
+    group.bench_function("WL-OA", |bencher| {
+        bencher.iter(|| {
+            let mut clf = WlSvmClassifier::new(WlSvmConfig::fast_assignment());
+            clf.fit(&dataset, &train);
+        });
+    });
+    group.bench_function("GIN-e", |bencher| {
+        bencher.iter(|| {
+            let mut clf = GinBaseline::quick(false);
+            clf.fit(&dataset, &train);
+        });
+    });
+    group.bench_function("GIN-e-JK", |bencher| {
+        bencher.iter(|| {
+            let mut clf = GinBaseline::quick(true);
+            clf.fit(&dataset, &train);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

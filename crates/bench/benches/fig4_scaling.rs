@@ -1,0 +1,54 @@
+//! Criterion counterpart of Fig. 4: training time versus graph size on
+//! the Erdős–Rényi scaling workload for the paper's three methods
+//! (GraphHD, GIN-ε, WL-OA). The `fig4_scaling` binary sweeps the full
+//! size range; this bench pins tight measurements at two sizes.
+
+use baselines::{GinBaseline, WlSvmClassifier, WlSvmConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::harness::GraphClassifier;
+use datasets::{surrogate, StratifiedKFold};
+use graphhd::GraphHdClassifier;
+use std::time::Duration;
+use tinynn::gin::GinConfig;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+
+    for &n in &[50usize, 200] {
+        let dataset =
+            surrogate::scaling_dataset(n, 40, 9).expect("valid scaling parameters");
+        let folds = StratifiedKFold::new(4, 1)
+            .split(dataset.labels())
+            .expect("splittable");
+        let train = folds[0].train.clone();
+
+        group.bench_with_input(BenchmarkId::new("GraphHD", n), &n, |bencher, _| {
+            bencher.iter(|| {
+                let mut clf = GraphHdClassifier::default();
+                clf.fit(&dataset, &train);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("GIN-e", n), &n, |bencher, _| {
+            bencher.iter(|| {
+                let mut clf = GinBaseline::new(GinConfig {
+                    epochs: 10,
+                    batch_size: 16,
+                    ..GinConfig::default()
+                });
+                clf.fit(&dataset, &train);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("WL-OA", n), &n, |bencher, _| {
+            bencher.iter(|| {
+                let mut clf = WlSvmClassifier::new(WlSvmConfig::fast_assignment());
+                clf.fit(&dataset, &train);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

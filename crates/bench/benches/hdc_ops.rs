@@ -1,0 +1,45 @@
+//! Micro-benchmarks for the HDC substrate (paper Section III efficiency
+//! claims): bind, bundle, similarity and permutation throughput versus
+//! hypervector dimensionality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hdvec::{bundle, Hypervector, ItemMemory, TieBreak};
+use std::hint::black_box;
+
+fn bench_hdc_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hdc_ops");
+    for &dim in &[1_024usize, 10_000, 65_536] {
+        let memory = ItemMemory::new(dim, 7).expect("valid dimension");
+        let a = memory.hypervector(0);
+        let b = memory.hypervector(1);
+        let sixteen: Vec<Hypervector> = (0..16).map(|i| memory.hypervector(i)).collect();
+
+        group.bench_with_input(BenchmarkId::new("bind", dim), &dim, |bencher, _| {
+            bencher.iter(|| black_box(&a).bind(black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("cosine", dim), &dim, |bencher, _| {
+            bencher.iter(|| black_box(&a).cosine(black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("permute", dim), &dim, |bencher, _| {
+            bencher.iter(|| black_box(&a).permute(black_box(13)));
+        });
+        group.bench_with_input(BenchmarkId::new("bundle16", dim), &dim, |bencher, _| {
+            bencher.iter(|| bundle(black_box(&sixteen), TieBreak::default()));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("item_memory_generate", dim),
+            &dim,
+            |bencher, _| {
+                let mut index = 0u64;
+                bencher.iter(|| {
+                    index = index.wrapping_add(1);
+                    memory.hypervector(black_box(index))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hdc_ops);
+criterion_main!(benches);

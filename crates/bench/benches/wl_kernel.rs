@@ -1,0 +1,32 @@
+//! Micro-benchmarks for the kernel baselines: WL refinement and Gram
+//! matrix computation on a benchmark-sized surrogate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::surrogate;
+use std::hint::black_box;
+use wlkernels::{compute_gram, wl_features, KernelKind};
+
+fn bench_wl(c: &mut Criterion) {
+    let spec = surrogate::spec_by_name("MUTAG").expect("known dataset");
+    let dataset = surrogate::generate_surrogate_sized(spec, 11, 60);
+    let graphs = dataset.graphs().to_vec();
+    let features = wl_features(&graphs, 3);
+
+    let mut group = c.benchmark_group("wl_kernel");
+    group.sample_size(20);
+    group.bench_function("refine_h3_60graphs", |bencher| {
+        bencher.iter(|| wl_features(black_box(&graphs), 3));
+    });
+    group.bench_function("gram_subtree_60", |bencher| {
+        bencher.iter(|| compute_gram(black_box(&features.maps), KernelKind::Subtree));
+    });
+    group.bench_function("gram_assignment_60", |bencher| {
+        bencher.iter(|| {
+            compute_gram(black_box(&features.maps), KernelKind::OptimalAssignment)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wl);
+criterion_main!(benches);

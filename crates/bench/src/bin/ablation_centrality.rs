@@ -1,0 +1,60 @@
+//! Ablation A1 — how much does the choice of vertex identifier matter?
+//! The paper proposes PageRank ranks (Section IV-C); this experiment
+//! swaps in degree-centrality ranks and raw vertex ids (the strawman the
+//! paper argues against) on every benchmark surrogate.
+//!
+//! Run: `cargo run -p bench --release --bin ablation_centrality [--quick]`
+
+use datasets::harness::evaluate_cv;
+use graphhd::{CentralityKind, GraphHdClassifier, GraphHdConfig};
+
+fn main() {
+    let options = bench::Options::parse(std::env::args());
+    let protocol = options.effort.protocol(options.seed);
+    let datasets = options.load_datasets();
+
+    let mut rows = Vec::new();
+    for dataset in &datasets {
+        eprintln!("== {} ==", dataset.name());
+        for kind in [
+            CentralityKind::PageRank,
+            CentralityKind::Degree,
+            CentralityKind::VertexId,
+        ] {
+            let config = GraphHdConfig {
+                centrality: kind,
+                ..GraphHdConfig::with_seed(options.seed)
+            };
+            let mut clf = GraphHdClassifier::new(config);
+            let report =
+                evaluate_cv(&mut clf, dataset, &protocol).expect("protocol fits datasets");
+            let accuracy = report.accuracy();
+            eprintln!(
+                "  {:<10} acc {:.3} ± {:.3}  train {}s",
+                kind.name(),
+                accuracy.mean,
+                accuracy.std_dev,
+                bench::fmt_seconds(report.train_seconds().mean)
+            );
+            rows.push(vec![
+                dataset.name().to_string(),
+                kind.name().to_string(),
+                format!("{:.4}", accuracy.mean),
+                format!("{:.4}", accuracy.std_dev),
+                bench::fmt_seconds(report.train_seconds().mean),
+            ]);
+        }
+    }
+    bench::emit_results(
+        &options,
+        "ablation_centrality",
+        &[
+            "dataset",
+            "centrality",
+            "accuracy_mean",
+            "accuracy_std",
+            "train_seconds_per_fold",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,58 @@
+//! Ablation A2 — accuracy and training time versus hypervector
+//! dimensionality. The paper fixes d = 10,000 (Section V); this sweep
+//! shows where accuracy saturates and what each dimension costs.
+//!
+//! Run: `cargo run -p bench --release --bin ablation_dim [--quick]`
+
+use datasets::harness::evaluate_cv;
+use graphhd::{GraphHdClassifier, GraphHdConfig};
+
+fn main() {
+    let options = bench::Options::parse(std::env::args());
+    let protocol = options.effort.protocol(options.seed);
+    let dims: &[usize] = match options.effort {
+        bench::Effort::Quick => &[256, 2048, 10_000],
+        _ => &[256, 1024, 4096, 10_000, 16_384],
+    };
+    let datasets = options.load_datasets();
+
+    let mut rows = Vec::new();
+    for dataset in &datasets {
+        eprintln!("== {} ==", dataset.name());
+        for &dim in dims {
+            let config = GraphHdConfig {
+                dim,
+                ..GraphHdConfig::with_seed(options.seed)
+            };
+            let mut clf = GraphHdClassifier::new(config);
+            let report =
+                evaluate_cv(&mut clf, dataset, &protocol).expect("protocol fits datasets");
+            let accuracy = report.accuracy();
+            eprintln!(
+                "  d = {dim:<6} acc {:.3} ± {:.3}  train {}s",
+                accuracy.mean,
+                accuracy.std_dev,
+                bench::fmt_seconds(report.train_seconds().mean)
+            );
+            rows.push(vec![
+                dataset.name().to_string(),
+                format!("{dim}"),
+                format!("{:.4}", accuracy.mean),
+                format!("{:.4}", accuracy.std_dev),
+                bench::fmt_seconds(report.train_seconds().mean),
+            ]);
+        }
+    }
+    bench::emit_results(
+        &options,
+        "ablation_dim",
+        &[
+            "dataset",
+            "dim",
+            "accuracy_mean",
+            "accuracy_std",
+            "train_seconds_per_fold",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,110 @@
+//! Experiment A4 — the paper's future-work directions (Section VII),
+//! measured: does retraining close the accuracy gap, and do multiple
+//! class-vectors per class help?
+//!
+//! Run: `cargo run -p bench --release --bin extensions [--quick]`
+
+use datasets::harness::{evaluate_cv, GraphClassifier};
+use datasets::{GraphDataset, StratifiedKFold};
+use graphcore::Graph;
+use graphhd::prototypes::{MultiPrototypeModel, PrototypeConfig};
+use graphhd::{GraphHdClassifier, GraphHdConfig};
+
+fn main() {
+    let options = bench::Options::parse(std::env::args());
+    let protocol = options.effort.protocol(options.seed);
+    let datasets = options.load_datasets();
+
+    let mut rows = Vec::new();
+    for dataset in &datasets {
+        eprintln!("== {} ==", dataset.name());
+
+        // Baseline and retraining variants under the full CV protocol.
+        let variants: Vec<(String, Box<dyn GraphClassifier>)> = vec![
+            (
+                "baseline".into(),
+                Box::new(GraphHdClassifier::new(GraphHdConfig::with_seed(options.seed))),
+            ),
+            (
+                "retrain-5".into(),
+                Box::new(
+                    GraphHdClassifier::new(GraphHdConfig::with_seed(options.seed))
+                        .with_retraining(5),
+                ),
+            ),
+            (
+                "retrain-20".into(),
+                Box::new(
+                    GraphHdClassifier::new(GraphHdConfig::with_seed(options.seed))
+                        .with_retraining(20),
+                ),
+            ),
+        ];
+        for (label, mut clf) in variants {
+            let report =
+                evaluate_cv(clf.as_mut(), dataset, &protocol).expect("protocol fits");
+            let accuracy = report.accuracy();
+            eprintln!(
+                "  {label:<12} acc {:.3} ± {:.3}  train {}s",
+                accuracy.mean,
+                accuracy.std_dev,
+                bench::fmt_seconds(report.train_seconds().mean)
+            );
+            rows.push(vec![
+                dataset.name().to_string(),
+                label,
+                format!("{:.4}", accuracy.mean),
+                format!("{:.4}", accuracy.std_dev),
+                bench::fmt_seconds(report.train_seconds().mean),
+            ]);
+        }
+
+        // Multi-prototype variant (single split: the prototype model does
+        // not implement the trait because its fit is online/order-aware).
+        let accuracy = multi_prototype_accuracy(dataset, options.seed);
+        eprintln!("  prototypes-4 acc {accuracy:.3} (single 80/20 split)");
+        rows.push(vec![
+            dataset.name().to_string(),
+            "prototypes-4".into(),
+            format!("{accuracy:.4}"),
+            String::from("-"),
+            String::from("-"),
+        ]);
+    }
+    bench::emit_results(
+        &options,
+        "extensions",
+        &[
+            "dataset",
+            "variant",
+            "accuracy_mean",
+            "accuracy_std",
+            "train_seconds_per_fold",
+        ],
+        &rows,
+    );
+}
+
+fn multi_prototype_accuracy(dataset: &GraphDataset, seed: u64) -> f64 {
+    let folds = StratifiedKFold::new(5, seed)
+        .split(dataset.labels())
+        .expect("datasets are large enough");
+    let fold = &folds[0];
+    let train_graphs: Vec<&Graph> = fold.train.iter().map(|&i| dataset.graph(i)).collect();
+    let train_labels: Vec<u32> = fold.train.iter().map(|&i| dataset.label(i)).collect();
+    let config = PrototypeConfig {
+        base: GraphHdConfig::with_seed(seed),
+        ..PrototypeConfig::default()
+    };
+    let model =
+        MultiPrototypeModel::fit(config, &train_graphs, &train_labels, dataset.num_classes())
+            .expect("validated by the dataset");
+    let test_graphs: Vec<&Graph> = fold.test.iter().map(|&i| dataset.graph(i)).collect();
+    let predictions = model.predict_all(&test_graphs);
+    let hits = predictions
+        .iter()
+        .zip(fold.test.iter().map(|&i| dataset.label(i)))
+        .filter(|(p, l)| **p == *l)
+        .count();
+    hits as f64 / fold.test.len().max(1) as f64
+}

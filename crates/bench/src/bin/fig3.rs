@@ -1,0 +1,119 @@
+//! Experiments E2–E4 — regenerates all three panels of Figure 3 from one
+//! cross-validation run per (method, dataset):
+//!
+//! - left panel: accuracy (± std over folds),
+//! - middle panel: training time of one fold, in seconds,
+//! - right panel: inference time per graph, in seconds.
+//!
+//! Run: `cargo run -p bench --release --bin fig3 [--quick|--full]
+//!       [--datasets MUTAG,PTC_FM]`
+
+use datasets::harness::evaluate_cv;
+
+fn main() {
+    let options = bench::Options::parse(std::env::args());
+    let protocol = options.effort.protocol(options.seed);
+    let datasets = options.load_datasets();
+
+    let mut accuracy_rows = Vec::new();
+    let mut train_rows = Vec::new();
+    let mut infer_rows = Vec::new();
+
+    for dataset in &datasets {
+        eprintln!(
+            "== {} ({} graphs, {} classes) ==",
+            dataset.name(),
+            dataset.len(),
+            dataset.num_classes()
+        );
+        let mut roster = bench::method_roster(options.effort, options.seed);
+        for method in roster.iter_mut() {
+            let report = evaluate_cv(method.as_mut(), dataset, &protocol)
+                .expect("datasets are large enough for the protocol");
+            let accuracy = report.accuracy();
+            let train = report.train_seconds();
+            let infer = report.infer_seconds_per_graph();
+            eprintln!(
+                "  {:<10} acc {:.3} ± {:.3}   train {}s/fold   infer {}s/graph",
+                report.method,
+                accuracy.mean,
+                accuracy.std_dev,
+                bench::fmt_seconds(train.mean),
+                bench::fmt_seconds(infer.mean),
+            );
+            accuracy_rows.push(vec![
+                dataset.name().to_string(),
+                report.method.clone(),
+                format!("{:.4}", accuracy.mean),
+                format!("{:.4}", accuracy.std_dev),
+            ]);
+            train_rows.push(vec![
+                dataset.name().to_string(),
+                report.method.clone(),
+                bench::fmt_seconds(train.mean),
+            ]);
+            infer_rows.push(vec![
+                dataset.name().to_string(),
+                report.method.clone(),
+                format!("{:.3e}", infer.mean),
+            ]);
+        }
+    }
+
+    println!("\nFigure 3 (left): accuracy");
+    bench::emit_results(
+        &options,
+        "fig3_accuracy",
+        &["dataset", "method", "accuracy_mean", "accuracy_std"],
+        &accuracy_rows,
+    );
+    println!("\nFigure 3 (middle): training time per fold [s]");
+    bench::emit_results(
+        &options,
+        "fig3_train_time",
+        &["dataset", "method", "train_seconds_per_fold"],
+        &train_rows,
+    );
+    println!("\nFigure 3 (right): inference time per graph [s]");
+    bench::emit_results(
+        &options,
+        "fig3_inference_time",
+        &["dataset", "method", "infer_seconds_per_graph"],
+        &infer_rows,
+    );
+
+    // Headline ratios the paper calls out in the abstract: training and
+    // inference speedups of GraphHD over the baseline average.
+    summarize_speedups(&train_rows, "training");
+    summarize_speedups_infer(&infer_rows);
+}
+
+fn summarize_speedups(rows: &[Vec<String>], what: &str) {
+    let mut ratios = Vec::new();
+    let datasets: std::collections::BTreeSet<&str> =
+        rows.iter().map(|r| r[0].as_str()).collect();
+    for dataset in datasets {
+        let value = |method: &str| -> Option<f64> {
+            rows.iter()
+                .find(|r| r[0] == dataset && r[1] == method)
+                .and_then(|r| r[2].parse().ok())
+        };
+        if let Some(hd) = value("GraphHD") {
+            for method in ["1-WL", "WL-OA", "GIN-e", "GIN-e-JK"] {
+                if let Some(other) = value(method) {
+                    if hd > 0.0 {
+                        ratios.push(other / hd);
+                    }
+                }
+            }
+        }
+    }
+    if !ratios.is_empty() {
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        println!("GraphHD mean {what} speedup over baselines: {mean:.1}x");
+    }
+}
+
+fn summarize_speedups_infer(rows: &[Vec<String>]) {
+    summarize_speedups(rows, "inference");
+}

@@ -1,0 +1,103 @@
+//! Experiment E5 — regenerates Figure 4 (scaling profile): training time
+//! of one fold versus graph size on synthetic Erdős–Rényi datasets
+//! (100 graphs, 2 balanced classes, edge probability 0.05), for GraphHD,
+//! GIN-ε and WL-OA, exactly the three methods of the paper's Section V-B.
+//!
+//! Run: `cargo run -p bench --release --bin fig4_scaling [--quick|--full]`
+
+use baselines::{GinBaseline, WlSvmClassifier, WlSvmConfig};
+use datasets::harness::{evaluate_cv, CvProtocol, GraphClassifier};
+use datasets::surrogate;
+use graphhd::GraphHdClassifier;
+use tinynn::gin::GinConfig;
+use wlkernels::KernelKind;
+
+fn main() {
+    let options = bench::Options::parse(std::env::args());
+    // The paper sweeps up to 980 vertices; the quick tier stops at 260.
+    let sizes: &[usize] = match options.effort {
+        bench::Effort::Quick => &[20, 100, 260],
+        bench::Effort::Standard => &[20, 100, 260, 500],
+        bench::Effort::Full => &[20, 100, 260, 500, 740, 980],
+    };
+    let num_graphs = 100;
+    // Fig. 4 reports one fold of training time: a handful of folds gives
+    // a stable mean; the full tier keeps the paper's 10.
+    let protocol = CvProtocol {
+        folds: match options.effort {
+            bench::Effort::Full => 10,
+            _ => 3,
+        },
+        repetitions: 1,
+        seed: options.seed,
+    };
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let dataset = surrogate::scaling_dataset(n, num_graphs, options.seed)
+            .expect("valid scaling parameters");
+        eprintln!(
+            "== n = {n} (avg edges {:.1}) ==",
+            dataset.stats().avg_edges
+        );
+        let mut methods: Vec<Box<dyn GraphClassifier>> = vec![
+            Box::new(GraphHdClassifier::default()),
+            Box::new(GinBaseline::new(GinConfig {
+                epochs: match options.effort {
+                    bench::Effort::Full => 100,
+                    _ => 30,
+                },
+                batch_size: 32,
+                seed: options.seed,
+                ..GinConfig::default()
+            })),
+            Box::new(WlSvmClassifier::new(match options.effort {
+                // The kernel grid IS the kernel training cost; keep the
+                // paper's grid except in quick smoke runs.
+                bench::Effort::Quick => WlSvmConfig::fast(KernelKind::OptimalAssignment),
+                _ => WlSvmConfig::paper(KernelKind::OptimalAssignment),
+            })),
+        ];
+        for method in methods.iter_mut() {
+            let report = evaluate_cv(method.as_mut(), &dataset, &protocol)
+                .expect("100 graphs split fine");
+            let train = report.train_seconds();
+            eprintln!(
+                "  {:<8} train {}s/fold (acc {:.2})",
+                report.method,
+                bench::fmt_seconds(train.mean),
+                report.accuracy().mean,
+            );
+            rows.push(vec![
+                format!("{n}"),
+                report.method.clone(),
+                bench::fmt_seconds(train.mean),
+            ]);
+        }
+    }
+
+    println!("\nFigure 4: training time per fold vs graph size [s]");
+    bench::emit_results(
+        &options,
+        "fig4_scaling",
+        &["vertices", "method", "train_seconds_per_fold"],
+        &rows,
+    );
+
+    // The paper's headline at n = 980: GraphHD 6.2x faster than GIN-e and
+    // 15.0x faster than WL-OA. Report ours at the largest measured size.
+    let largest = sizes.last().expect("non-empty sweep").to_string();
+    let value = |method: &str| -> Option<f64> {
+        rows.iter()
+            .find(|r| r[0] == largest && r[1] == method)
+            .and_then(|r| r[2].parse().ok())
+    };
+    if let (Some(hd), Some(gin), Some(oa)) = (value("GraphHD"), value("GIN-e"), value("WL-OA"))
+    {
+        println!(
+            "at n = {largest}: GraphHD is {:.1}x faster than GIN-e, {:.1}x faster than WL-OA",
+            gin / hd,
+            oa / hd
+        );
+    }
+}

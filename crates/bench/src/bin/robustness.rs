@@ -1,0 +1,68 @@
+//! Experiment A3 — the HDC robustness claim: accuracy as a growing
+//! fraction of class-vector (and query) bits is flipped. The paper cites
+//! robustness to faulty components as a core HDC advantage (Sections
+//! I–II); this experiment quantifies it for GraphHD.
+//!
+//! Run: `cargo run -p bench --release --bin robustness [--quick]`
+
+use datasets::StratifiedKFold;
+use graphcore::Graph;
+use graphhd::{noise, GraphHdConfig, GraphHdModel};
+
+fn main() {
+    let options = bench::Options::parse(std::env::args());
+    let rates = [0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.45];
+    let datasets = options.load_datasets();
+
+    let mut rows = Vec::new();
+    for dataset in &datasets {
+        // One stratified 80/20 split per dataset (noise is swept on the
+        // same trained model, isolating the fault-injection variable).
+        let folds = StratifiedKFold::new(5, options.seed)
+            .split(dataset.labels())
+            .expect("datasets are large enough");
+        let fold = &folds[0];
+        let train_graphs: Vec<&Graph> =
+            fold.train.iter().map(|&i| dataset.graph(i)).collect();
+        let train_labels: Vec<u32> = fold.train.iter().map(|&i| dataset.label(i)).collect();
+        let test_graphs: Vec<&Graph> = fold.test.iter().map(|&i| dataset.graph(i)).collect();
+        let test_labels: Vec<u32> = fold.test.iter().map(|&i| dataset.label(i)).collect();
+
+        let model = GraphHdModel::fit(
+            GraphHdConfig::with_seed(options.seed),
+            &train_graphs,
+            &train_labels,
+            dataset.num_classes(),
+        )
+        .expect("validated by the dataset");
+
+        eprintln!("== {} ==", dataset.name());
+        for (rate, model_noise_acc, query_noise_acc) in
+            noise::noise_sweep(&model, &test_graphs, &test_labels, &rates, options.seed)
+        {
+            eprintln!(
+                "  flip {:>4.0}%: class-vector noise acc {:.3}, query noise acc {:.3}",
+                rate * 100.0,
+                model_noise_acc,
+                query_noise_acc
+            );
+            rows.push(vec![
+                dataset.name().to_string(),
+                format!("{rate:.2}"),
+                format!("{model_noise_acc:.4}"),
+                format!("{query_noise_acc:.4}"),
+            ]);
+        }
+    }
+    bench::emit_results(
+        &options,
+        "robustness",
+        &[
+            "dataset",
+            "flip_rate",
+            "accuracy_model_noise",
+            "accuracy_query_noise",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,53 @@
+//! Experiment E1 — regenerates Table I ("Statistics of graph datasets"):
+//! graph count, class count, average vertices and average edges for the
+//! six benchmark surrogates, next to the published values.
+//!
+//! Run: `cargo run -p bench --release --bin table1 [--quick|--full]`
+
+use datasets::surrogate;
+
+fn main() {
+    let options = bench::Options::parse(std::env::args());
+    let mut rows = Vec::new();
+    for spec in &surrogate::TU_SPECS {
+        if !options.datasets.is_empty()
+            && !options
+                .datasets
+                .iter()
+                .any(|d| d.eq_ignore_ascii_case(spec.name))
+        {
+            continue;
+        }
+        let size = options
+            .effort
+            .max_graphs()
+            .map_or(spec.num_graphs, |cap| cap.min(spec.num_graphs));
+        let dataset = surrogate::generate_surrogate_sized(spec, options.seed, size);
+        let stats = dataset.stats();
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{}", stats.graphs),
+            format!("{}", stats.classes),
+            format!("{:.2}", stats.avg_vertices),
+            format!("{:.2}", stats.avg_edges),
+            format!("{}", spec.num_graphs),
+            format!("{:.2}", spec.avg_vertices),
+            format!("{:.2}", spec.avg_edges),
+        ]);
+    }
+    bench::emit_results(
+        &options,
+        "table1",
+        &[
+            "dataset",
+            "graphs",
+            "classes",
+            "avg_vertices",
+            "avg_edges",
+            "paper_graphs",
+            "paper_avg_vertices",
+            "paper_avg_edges",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,272 @@
+//! Shared infrastructure for the experiment binaries.
+//!
+//! Every binary regenerating a table or figure of the paper uses the same
+//! effort tiers, dataset loading, method roster and result writing, so
+//! that "who wins, by roughly what factor" comparisons are made under one
+//! protocol. See `DESIGN.md` (per-experiment index) for the mapping from
+//! paper artifact to binary.
+
+use baselines::{GinBaseline, WlSvmClassifier, WlSvmConfig};
+use datasets::harness::{CvProtocol, GraphClassifier};
+use datasets::{surrogate, GraphDataset};
+use graphhd::{GraphHdClassifier, GraphHdConfig};
+use std::path::PathBuf;
+use tinynn::gin::GinConfig;
+use wlkernels::KernelKind;
+
+/// How much compute an experiment run should spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Seconds-scale smoke run: tiny datasets, reduced grids, 3 folds.
+    Quick,
+    /// Minutes-scale default: subsampled datasets, reduced grids,
+    /// 10 folds — enough to reproduce every qualitative shape.
+    Standard,
+    /// The paper's full protocol: full-size surrogates, full grids,
+    /// 10 folds × 3 repetitions. Hours-scale on a laptop (the kernel
+    /// baselines dominate, exactly as the paper reports).
+    Full,
+}
+
+impl Effort {
+    /// Cap on the number of graphs sampled per dataset.
+    #[must_use]
+    pub fn max_graphs(&self) -> Option<usize> {
+        match self {
+            Effort::Quick => Some(60),
+            Effort::Standard => Some(160),
+            Effort::Full => None,
+        }
+    }
+
+    /// The CV protocol for this tier.
+    #[must_use]
+    pub fn protocol(&self, seed: u64) -> CvProtocol {
+        match self {
+            Effort::Quick => CvProtocol {
+                folds: 3,
+                repetitions: 1,
+                seed,
+            },
+            Effort::Standard => CvProtocol {
+                folds: 10,
+                repetitions: 1,
+                seed,
+            },
+            Effort::Full => CvProtocol {
+                folds: 10,
+                repetitions: 3,
+                seed,
+            },
+        }
+    }
+}
+
+/// Command-line options shared by all experiment binaries.
+///
+/// Flags: `--quick`, `--full` (default is standard), `--seed N`,
+/// `--out DIR`, `--datasets A,B,C`.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Effort tier.
+    pub effort: Effort,
+    /// Base seed for dataset generation and CV shuffling.
+    pub seed: u64,
+    /// Output directory for CSV files.
+    pub out_dir: PathBuf,
+    /// Restrict to these dataset names (Table I names), if non-empty.
+    pub datasets: Vec<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            effort: Effort::Standard,
+            seed: 2022,
+            out_dir: PathBuf::from("results"),
+            datasets: Vec::new(),
+        }
+    }
+}
+
+impl Options {
+    /// Parses `std::env::args`-style arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    #[must_use]
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut options = Self::default();
+        let mut iter = args.into_iter().skip(1);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--quick" => options.effort = Effort::Quick,
+                "--full" => options.effort = Effort::Full,
+                "--seed" => {
+                    let value = iter.next().expect("--seed needs a value");
+                    options.seed = value.parse().expect("--seed needs an integer");
+                }
+                "--out" => {
+                    options.out_dir =
+                        PathBuf::from(iter.next().expect("--out needs a directory"));
+                }
+                "--datasets" => {
+                    let value = iter.next().expect("--datasets needs a list");
+                    options.datasets =
+                        value.split(',').map(|s| s.trim().to_string()).collect();
+                }
+                other => panic!(
+                    "unknown argument {other}; known: --quick --full --seed N --out DIR --datasets A,B"
+                ),
+            }
+        }
+        options
+    }
+
+    /// Loads the Table I surrogates selected by the options, sized by the
+    /// effort tier.
+    #[must_use]
+    pub fn load_datasets(&self) -> Vec<GraphDataset> {
+        surrogate::TU_SPECS
+            .iter()
+            .filter(|spec| {
+                self.datasets.is_empty()
+                    || self
+                        .datasets
+                        .iter()
+                        .any(|d| d.eq_ignore_ascii_case(spec.name))
+            })
+            .map(|spec| {
+                let size = self
+                    .effort
+                    .max_graphs()
+                    .map_or(spec.num_graphs, |cap| cap.min(spec.num_graphs));
+                surrogate::generate_surrogate_sized(spec, self.seed, size)
+            })
+            .collect()
+    }
+}
+
+/// Builds the paper's five methods (GraphHD + four baselines), tuned to
+/// the effort tier.
+#[must_use]
+pub fn method_roster(effort: Effort, seed: u64) -> Vec<Box<dyn GraphClassifier>> {
+    let graphhd = GraphHdClassifier::new(GraphHdConfig::with_seed(seed));
+    let (wl_subtree, wl_assignment) = match effort {
+        Effort::Full => (
+            WlSvmConfig::paper(KernelKind::Subtree),
+            WlSvmConfig::paper(KernelKind::OptimalAssignment),
+        ),
+        _ => (
+            WlSvmConfig::fast(KernelKind::Subtree),
+            WlSvmConfig::fast(KernelKind::OptimalAssignment),
+        ),
+    };
+    let gin_config = |jumping: bool| match effort {
+        Effort::Quick => GinConfig {
+            epochs: 30,
+            batch_size: 16,
+            jumping_knowledge: jumping,
+            seed,
+            ..GinConfig::default()
+        },
+        Effort::Standard => GinConfig {
+            epochs: 30,
+            batch_size: 32,
+            jumping_knowledge: jumping,
+            seed,
+            ..GinConfig::default()
+        },
+        Effort::Full => GinConfig {
+            jumping_knowledge: jumping,
+            seed,
+            ..GinConfig::default()
+        },
+    };
+    vec![
+        Box::new(graphhd),
+        Box::new(WlSvmClassifier::new(wl_subtree)),
+        Box::new(WlSvmClassifier::new(wl_assignment)),
+        Box::new(GinBaseline::new(gin_config(false))),
+        Box::new(GinBaseline::new(gin_config(true))),
+    ]
+}
+
+/// Prints a rendered table to stdout and writes the matching CSV to
+/// `<out_dir>/<name>.csv`.
+///
+/// # Panics
+///
+/// Panics if the output directory cannot be created or written.
+pub fn emit_results(options: &Options, name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("{}", datasets::table::render_table(headers, rows));
+    std::fs::create_dir_all(&options.out_dir).expect("create results directory");
+    let path = options.out_dir.join(format!("{name}.csv"));
+    std::fs::write(&path, datasets::table::render_csv(headers, rows))
+        .expect("write results csv");
+    println!("wrote {}", path.display());
+}
+
+/// Formats seconds with enough precision for the log-scale comparisons.
+#[must_use]
+pub fn fmt_seconds(seconds: f64) -> String {
+    if seconds < 1e-4 {
+        format!("{:.2e}", seconds)
+    } else if seconds < 1.0 {
+        format!("{seconds:.4}")
+    } else {
+        format!("{seconds:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        std::iter::once("bin".to_string())
+            .chain(list.iter().map(|s| (*s).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        let o = Options::parse(args(&[]));
+        assert_eq!(o.effort, Effort::Standard);
+        let o = Options::parse(args(&["--quick", "--seed", "7", "--datasets", "MUTAG,dd"]));
+        assert_eq!(o.effort, Effort::Quick);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.datasets, vec!["MUTAG", "dd"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn parse_rejects_unknown() {
+        let _ = Options::parse(args(&["--bogus"]));
+    }
+
+    #[test]
+    fn dataset_filter_and_sizing() {
+        let mut o = Options::parse(args(&["--quick", "--datasets", "mutag"]));
+        o.seed = 1;
+        let loaded = o.load_datasets();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].name(), "MUTAG");
+        assert_eq!(loaded[0].len(), 60);
+    }
+
+    #[test]
+    fn roster_has_five_methods_in_paper_order() {
+        let roster = method_roster(Effort::Quick, 1);
+        let names: Vec<&str> = roster.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["GraphHD", "1-WL", "WL-OA", "GIN-e", "GIN-e-JK"]);
+    }
+
+    #[test]
+    fn seconds_formatting_covers_scales() {
+        assert_eq!(fmt_seconds(2.5), "2.50");
+        assert_eq!(fmt_seconds(0.1234), "0.1234");
+        assert!(fmt_seconds(5e-6).contains('e'));
+    }
+}

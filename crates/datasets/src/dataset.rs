@@ -1,0 +1,326 @@
+//! Labeled graph collections and their summary statistics.
+
+use graphcore::Graph;
+
+/// An immutable graph classification dataset: graphs plus dense class
+/// labels in `0..num_classes`.
+///
+/// # Examples
+///
+/// ```
+/// use datasets::GraphDataset;
+/// use graphcore::Graph;
+///
+/// let graphs = vec![Graph::empty(3), Graph::empty(4)];
+/// let ds = GraphDataset::new("toy", graphs, vec![0, 1], 2)?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.label(1), 1);
+/// # Ok::<(), datasets::DatasetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphDataset {
+    name: String,
+    graphs: Vec<Graph>,
+    labels: Vec<u32>,
+    num_classes: usize,
+}
+
+impl GraphDataset {
+    /// Creates a dataset, validating label consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] if the label vector length differs from the
+    /// graph count, a label is `>= num_classes`, or `num_classes == 0`.
+    pub fn new(
+        name: impl Into<String>,
+        graphs: Vec<Graph>,
+        labels: Vec<u32>,
+        num_classes: usize,
+    ) -> Result<Self, DatasetError> {
+        if num_classes == 0 {
+            return Err(DatasetError::ZeroClasses);
+        }
+        if graphs.len() != labels.len() {
+            return Err(DatasetError::LengthMismatch {
+                graphs: graphs.len(),
+                labels: labels.len(),
+            });
+        }
+        if let Some((index, &label)) = labels
+            .iter()
+            .enumerate()
+            .find(|(_, &l)| l as usize >= num_classes)
+        {
+            return Err(DatasetError::LabelOutOfRange {
+                index,
+                label,
+                num_classes,
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            graphs,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Builds a dataset from parsed TUDataset files.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError`] on internal inconsistency (which would
+    /// indicate a bug in the parser).
+    pub fn from_tu(name: impl Into<String>, data: graphcore::io::TuData) -> Result<Self, DatasetError> {
+        let classes = data.num_classes();
+        Self::new(name, data.graphs, data.labels, classes.max(1))
+    }
+
+    /// Dataset name (e.g. `"MUTAG"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of graphs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Whether the dataset has no graphs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The graph at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn graph(&self, index: usize) -> &Graph {
+        &self.graphs[index]
+    }
+
+    /// The label of the graph at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn label(&self, index: usize) -> u32 {
+        self.labels[index]
+    }
+
+    /// All graphs, aligned with [`labels`](Self::labels).
+    #[must_use]
+    pub fn graphs(&self) -> &[Graph] {
+        &self.graphs
+    }
+
+    /// All labels, aligned with [`graphs`](Self::graphs).
+    #[must_use]
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Number of graphs per class.
+    #[must_use]
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l as usize] += 1;
+        }
+        counts
+    }
+
+    /// A new dataset containing only the graphs at `indices` (cloned), in
+    /// the given order. Useful for quick-mode subsampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[must_use]
+    pub fn subset(&self, indices: &[usize], name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            graphs: indices.iter().map(|&i| self.graphs[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Computes the summary statistics reported in the paper's Table I.
+    #[must_use]
+    pub fn stats(&self) -> DatasetStats {
+        let n = self.graphs.len().max(1) as f64;
+        let total_vertices: usize = self.graphs.iter().map(Graph::vertex_count).sum();
+        let total_edges: usize = self.graphs.iter().map(Graph::edge_count).sum();
+        DatasetStats {
+            name: self.name.clone(),
+            graphs: self.graphs.len(),
+            classes: self.num_classes,
+            avg_vertices: total_vertices as f64 / n,
+            avg_edges: total_edges as f64 / n,
+            max_vertices: self
+                .graphs
+                .iter()
+                .map(Graph::vertex_count)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// The Table I columns for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Number of graphs.
+    pub graphs: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Mean vertex count.
+    pub avg_vertices: f64,
+    /// Mean edge count.
+    pub avg_edges: f64,
+    /// Maximum vertex count (drives the basis-hypervector range GraphHD
+    /// needs).
+    pub max_vertices: usize,
+}
+
+impl core::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}: {} graphs, {} classes, avg |V| {:.2}, avg |E| {:.2}",
+            self.name, self.graphs, self.classes, self.avg_vertices, self.avg_edges
+        )
+    }
+}
+
+/// Errors produced when constructing a [`GraphDataset`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// `num_classes` was zero.
+    ZeroClasses,
+    /// The graph and label vectors had different lengths.
+    LengthMismatch {
+        /// Number of graphs supplied.
+        graphs: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// A label was out of range.
+    LabelOutOfRange {
+        /// Index of the offending sample.
+        index: usize,
+        /// The label value.
+        label: u32,
+        /// The declared number of classes.
+        num_classes: usize,
+    },
+}
+
+impl core::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DatasetError::ZeroClasses => write!(f, "a dataset needs at least one class"),
+            DatasetError::LengthMismatch { graphs, labels } => {
+                write!(f, "{graphs} graphs but {labels} labels")
+            }
+            DatasetError::LabelOutOfRange {
+                index,
+                label,
+                num_classes,
+            } => write!(
+                f,
+                "label {label} at index {index} out of range for {num_classes} classes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::generate;
+
+    fn toy(n_graphs: usize) -> GraphDataset {
+        let graphs: Vec<Graph> = (0..n_graphs).map(|i| generate::path(3 + i)).collect();
+        let labels: Vec<u32> = (0..n_graphs as u32).map(|i| i % 2).collect();
+        GraphDataset::new("toy", graphs, labels, 2).expect("valid dataset")
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            GraphDataset::new("x", vec![], vec![], 0),
+            Err(DatasetError::ZeroClasses)
+        ));
+        assert!(matches!(
+            GraphDataset::new("x", vec![Graph::empty(1)], vec![], 1),
+            Err(DatasetError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            GraphDataset::new("x", vec![Graph::empty(1)], vec![3], 2),
+            Err(DatasetError::LabelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn accessors_work() {
+        let ds = toy(4);
+        assert_eq!(ds.len(), 4);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.name(), "toy");
+        assert_eq!(ds.num_classes(), 2);
+        assert_eq!(ds.label(3), 1);
+        assert_eq!(ds.graph(0).vertex_count(), 3);
+        assert_eq!(ds.class_counts(), vec![2, 2]);
+    }
+
+    #[test]
+    fn stats_match_table_columns() {
+        let ds = toy(2); // paths with 3 and 4 vertices: 2 and 3 edges
+        let stats = ds.stats();
+        assert_eq!(stats.graphs, 2);
+        assert_eq!(stats.classes, 2);
+        assert!((stats.avg_vertices - 3.5).abs() < 1e-12);
+        assert!((stats.avg_edges - 2.5).abs() < 1e-12);
+        assert_eq!(stats.max_vertices, 4);
+        assert!(stats.to_string().contains("toy"));
+    }
+
+    #[test]
+    fn subset_keeps_alignment() {
+        let ds = toy(6);
+        let sub = ds.subset(&[5, 0, 3], "sub");
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.label(0), ds.label(5));
+        assert_eq!(sub.graph(1), ds.graph(0));
+        assert_eq!(sub.num_classes(), 2);
+    }
+
+    #[test]
+    fn from_tu_wires_through() {
+        let data = graphcore::io::parse_tudataset("1, 2\n2, 1\n", "1\n1\n2\n", "5\n8\n")
+            .expect("valid files");
+        let ds = GraphDataset::from_tu("TU", data).expect("valid dataset");
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.num_classes(), 2);
+    }
+}

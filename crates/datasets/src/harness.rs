@@ -1,0 +1,263 @@
+//! The shared classifier interface and the timed cross-validation
+//! evaluator behind every Fig. 3 / Fig. 4 number.
+//!
+//! GraphHD and all four baselines implement [`GraphClassifier`]; the
+//! [`evaluate_cv`] driver then measures them under *identical* splits and
+//! timing points, which is what makes the training/inference comparisons
+//! of the paper's evaluation apples-to-apples.
+
+use crate::metrics::{accuracy, Summary};
+use crate::{GraphDataset, SplitError, StratifiedKFold};
+use std::time::Instant;
+
+/// A graph classification method under the paper's protocol.
+///
+/// `fit` trains **from scratch** — implementations must discard any state
+/// from a previous call, because the CV driver reuses one instance across
+/// folds.
+pub trait GraphClassifier {
+    /// Human-readable method name (used in tables, e.g. `"GraphHD"`).
+    fn name(&self) -> &str;
+
+    /// Trains on the samples of `dataset` selected by `train`.
+    fn fit(&mut self, dataset: &GraphDataset, train: &[usize]);
+
+    /// Predicts class labels for the samples selected by `indices`.
+    /// Called only after `fit`.
+    fn predict(&self, dataset: &GraphDataset, indices: &[usize]) -> Vec<u32>;
+}
+
+/// Measurements from one cross-validation fold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FoldOutcome {
+    /// Test accuracy on the held-out fold.
+    pub accuracy: f64,
+    /// Wall-clock seconds spent in `fit` (the paper's "training time ...
+    /// wall-time for one fold").
+    pub train_seconds: f64,
+    /// Wall-clock seconds spent predicting the whole test fold.
+    pub infer_seconds: f64,
+    /// Number of test graphs (to normalise inference time per graph).
+    pub test_size: usize,
+}
+
+/// All fold measurements for one (method, dataset) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvReport {
+    /// Method name.
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Per-fold measurements, over all repetitions.
+    pub folds: Vec<FoldOutcome>,
+}
+
+impl CvReport {
+    /// Mean ± std of fold accuracies.
+    #[must_use]
+    pub fn accuracy(&self) -> Summary {
+        Summary::of(&self.folds.iter().map(|f| f.accuracy).collect::<Vec<_>>())
+    }
+
+    /// Mean seconds of one fold of training (Fig. 3 middle).
+    #[must_use]
+    pub fn train_seconds(&self) -> Summary {
+        Summary::of(
+            &self
+                .folds
+                .iter()
+                .map(|f| f.train_seconds)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Mean inference seconds *per graph* (Fig. 3 right).
+    #[must_use]
+    pub fn infer_seconds_per_graph(&self) -> Summary {
+        Summary::of(
+            &self
+                .folds
+                .iter()
+                .map(|f| {
+                    if f.test_size == 0 {
+                        0.0
+                    } else {
+                        f.infer_seconds / f.test_size as f64
+                    }
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// Protocol parameters: k-fold CV repeated `repetitions` times.
+///
+/// The paper uses 10 folds and 3 repetitions (Section V-A); experiment
+/// binaries scale these down in `--quick` mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CvProtocol {
+    /// Number of folds.
+    pub folds: usize,
+    /// Number of repetitions with different shuffle seeds.
+    pub repetitions: usize,
+    /// Base seed; repetition `r` shuffles with `seed + r`.
+    pub seed: u64,
+}
+
+impl Default for CvProtocol {
+    fn default() -> Self {
+        Self {
+            folds: 10,
+            repetitions: 3,
+            seed: 0x9_D47,
+        }
+    }
+}
+
+/// Runs the paper's repeated stratified CV protocol for one classifier on
+/// one dataset, timing training and inference per fold.
+///
+/// # Errors
+///
+/// Returns [`SplitError`] if the dataset cannot be split into the
+/// requested number of folds.
+pub fn evaluate_cv(
+    classifier: &mut dyn GraphClassifier,
+    dataset: &GraphDataset,
+    protocol: &CvProtocol,
+) -> Result<CvReport, SplitError> {
+    let mut outcomes = Vec::with_capacity(protocol.folds * protocol.repetitions);
+    for rep in 0..protocol.repetitions {
+        let splitter = StratifiedKFold::new(protocol.folds, protocol.seed + rep as u64);
+        for fold in splitter.split(dataset.labels())? {
+            let started = Instant::now();
+            classifier.fit(dataset, &fold.train);
+            let train_seconds = started.elapsed().as_secs_f64();
+
+            let started = Instant::now();
+            let predicted = classifier.predict(dataset, &fold.test);
+            let infer_seconds = started.elapsed().as_secs_f64();
+
+            let truth: Vec<u32> = fold.test.iter().map(|&i| dataset.label(i)).collect();
+            outcomes.push(FoldOutcome {
+                accuracy: accuracy(&truth, &predicted),
+                train_seconds,
+                infer_seconds,
+                test_size: fold.test.len(),
+            });
+        }
+    }
+    Ok(CvReport {
+        method: classifier.name().to_string(),
+        dataset: dataset.name().to_string(),
+        folds: outcomes,
+    })
+}
+
+/// A trivial majority-class classifier: the chance-level floor every real
+/// method must beat, and a harness self-test fixture.
+#[derive(Debug, Clone, Default)]
+pub struct MajorityClassifier {
+    majority: u32,
+}
+
+impl GraphClassifier for MajorityClassifier {
+    fn name(&self) -> &str {
+        "Majority"
+    }
+
+    fn fit(&mut self, dataset: &GraphDataset, train: &[usize]) {
+        let mut counts = vec![0usize; dataset.num_classes()];
+        for &i in train {
+            counts[dataset.label(i) as usize] += 1;
+        }
+        self.majority = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(c, _)| c as u32)
+            .unwrap_or(0);
+    }
+
+    fn predict(&self, _dataset: &GraphDataset, indices: &[usize]) -> Vec<u32> {
+        vec![self.majority; indices.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::generate;
+
+    fn toy_dataset(n: usize) -> GraphDataset {
+        let graphs: Vec<graphcore::Graph> =
+            (0..n).map(|i| generate::path(3 + (i % 4))).collect();
+        // Two classes, 2:1 imbalance.
+        let labels: Vec<u32> = (0..n as u32).map(|i| u32::from(i % 3 == 0)).collect();
+        GraphDataset::new("toy", graphs, labels, 2).expect("valid dataset")
+    }
+
+    #[test]
+    fn majority_classifier_learns_the_mode() {
+        let ds = toy_dataset(30);
+        let mut clf = MajorityClassifier::default();
+        let all: Vec<usize> = (0..ds.len()).collect();
+        clf.fit(&ds, &all);
+        assert_eq!(clf.predict(&ds, &[0, 1, 2]), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn evaluate_cv_produces_expected_fold_count() {
+        let ds = toy_dataset(40);
+        let mut clf = MajorityClassifier::default();
+        let protocol = CvProtocol {
+            folds: 4,
+            repetitions: 2,
+            seed: 1,
+        };
+        let report = evaluate_cv(&mut clf, &ds, &protocol).expect("splittable");
+        assert_eq!(report.folds.len(), 8);
+        assert_eq!(report.method, "Majority");
+        assert_eq!(report.dataset, "toy");
+        // Majority accuracy should be near the majority fraction (2/3).
+        let acc = report.accuracy().mean;
+        assert!((acc - 2.0 / 3.0).abs() < 0.15, "accuracy {acc}");
+        // Timings are measured and non-negative.
+        assert!(report.train_seconds().mean >= 0.0);
+        assert!(report.infer_seconds_per_graph().mean >= 0.0);
+    }
+
+    #[test]
+    fn evaluate_cv_propagates_split_errors() {
+        let ds = toy_dataset(3);
+        let mut clf = MajorityClassifier::default();
+        let protocol = CvProtocol {
+            folds: 10,
+            repetitions: 1,
+            seed: 1,
+        };
+        assert!(evaluate_cv(&mut clf, &ds, &protocol).is_err());
+    }
+
+    #[test]
+    fn default_protocol_matches_paper() {
+        let p = CvProtocol::default();
+        assert_eq!(p.folds, 10);
+        assert_eq!(p.repetitions, 3);
+    }
+
+    #[test]
+    fn report_summaries_handle_empty_test_folds() {
+        let report = CvReport {
+            method: "m".into(),
+            dataset: "d".into(),
+            folds: vec![FoldOutcome {
+                accuracy: 1.0,
+                train_seconds: 0.5,
+                infer_seconds: 0.0,
+                test_size: 0,
+            }],
+        };
+        assert_eq!(report.infer_seconds_per_graph().mean, 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Benchmark datasets and evaluation protocol for the GraphHD reproduction.
+//!
+//! This crate is the shared experimental substrate of the suite:
+//!
+//! - [`GraphDataset`] — an immutable labeled graph collection with
+//!   [`DatasetStats`] matching the columns of the paper's Table I.
+//! - [`surrogate`] — synthetic stand-ins for the six TUDataset benchmarks
+//!   (the evaluation machine has no network access; see `DESIGN.md` for the
+//!   substitution rationale) plus the Erdős–Rényi scaling datasets of the
+//!   paper's Fig. 4.
+//! - [`StratifiedKFold`] — the 10-fold cross-validation splitter of the
+//!   paper's protocol (Section V-A).
+//! - [`metrics`] — accuracy, confusion matrices and mean/std summaries.
+//! - [`harness`] — the [`GraphClassifier`](harness::GraphClassifier) trait
+//!   that GraphHD and every baseline implement, and the timed CV evaluator
+//!   that regenerates Fig. 3's accuracy/training-time/inference-time data.
+//! - [`table`] — plain-text/CSV rendering used by the experiment binaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use datasets::surrogate;
+//!
+//! let mutag = surrogate::by_name("MUTAG", 42).expect("known dataset");
+//! let stats = mutag.stats();
+//! assert_eq!(stats.graphs, 188);
+//! assert_eq!(stats.classes, 2);
+//! ```
+
+mod cv;
+mod dataset;
+pub mod harness;
+pub mod metrics;
+pub mod surrogate;
+pub mod table;
+
+pub use cv::{Fold, SplitError, StratifiedKFold};
+pub use dataset::{DatasetError, DatasetStats, GraphDataset};

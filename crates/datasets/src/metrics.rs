@@ -1,0 +1,254 @@
+//! Classification metrics and simple statistical summaries.
+
+/// Fraction of positions where `truth` and `predicted` agree.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths. Returns 0.0 for empty
+/// inputs.
+///
+/// # Examples
+///
+/// ```
+/// let acc = datasets::metrics::accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]);
+/// assert!((acc - 0.75).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn accuracy(truth: &[u32], predicted: &[u32]) -> f64 {
+    assert_eq!(
+        truth.len(),
+        predicted.len(),
+        "truth and prediction lengths differ"
+    );
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let hits = truth
+        .iter()
+        .zip(predicted)
+        .filter(|(t, p)| t == p)
+        .count();
+    hits as f64 / truth.len() as f64
+}
+
+/// A confusion matrix over `num_classes` classes.
+///
+/// # Examples
+///
+/// ```
+/// use datasets::metrics::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(2);
+/// cm.record_all(&[0, 0, 1, 1], &[0, 1, 1, 1]);
+/// assert_eq!(cm.count(0, 1), 1);
+/// assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    num_classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes == 0`.
+    #[must_use]
+    pub fn new(num_classes: usize) -> Self {
+        assert!(num_classes > 0, "confusion matrix needs at least one class");
+        Self {
+            num_classes,
+            counts: vec![0; num_classes * num_classes],
+        }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Records one (truth, predicted) pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, truth: u32, predicted: u32) {
+        assert!(
+            (truth as usize) < self.num_classes && (predicted as usize) < self.num_classes,
+            "label out of range for {} classes",
+            self.num_classes
+        );
+        self.counts[truth as usize * self.num_classes + predicted as usize] += 1;
+    }
+
+    /// Records aligned slices of truths and predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or a label is out of range.
+    pub fn record_all(&mut self, truth: &[u32], predicted: &[u32]) {
+        assert_eq!(truth.len(), predicted.len(), "lengths differ");
+        for (&t, &p) in truth.iter().zip(predicted) {
+            self.record(t, p);
+        }
+    }
+
+    /// Count of samples with true class `truth` predicted as `predicted`.
+    #[must_use]
+    pub fn count(&self, truth: u32, predicted: u32) -> usize {
+        self.counts[truth as usize * self.num_classes + predicted as usize]
+    }
+
+    /// Total recorded samples.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy; 0.0 when empty.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.num_classes)
+            .map(|c| self.counts[c * self.num_classes + c])
+            .sum();
+        diag as f64 / total as f64
+    }
+
+    /// Per-class recall; `None` for classes with no true samples.
+    #[must_use]
+    pub fn per_class_recall(&self) -> Vec<Option<f64>> {
+        (0..self.num_classes)
+            .map(|c| {
+                let row: usize = (0..self.num_classes)
+                    .map(|p| self.counts[c * self.num_classes + p])
+                    .sum();
+                if row == 0 {
+                    None
+                } else {
+                    Some(self.counts[c * self.num_classes + c] as f64 / row as f64)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Mean and sample standard deviation of a set of measurements — the
+/// "accuracy ± std over folds" summary the paper's figures report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator); 0 for n < 2.
+    pub std_dev: f64,
+    /// Number of samples summarised.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Summarises a slice of measurements. Returns zeros for empty input.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        let count = samples.len();
+        if count == 0 {
+            return Self {
+                mean: 0.0,
+                std_dev: 0.0,
+                count: 0,
+            };
+        }
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let std_dev = if count < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                / (count as f64 - 1.0);
+            var.sqrt()
+        };
+        Self {
+            mean,
+            std_dev,
+            count,
+        }
+    }
+}
+
+impl core::fmt::Display for Summary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.std_dev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(accuracy(&[1, 2], &[2, 1]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn accuracy_length_mismatch_panics() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record_all(&[0, 1, 2, 2, 1], &[0, 1, 2, 0, 2]);
+        assert_eq!(cm.total(), 5);
+        assert_eq!(cm.count(2, 0), 1);
+        assert_eq!(cm.count(1, 2), 1);
+        assert!((cm.accuracy() - 0.6).abs() < 1e-12);
+        let recall = cm.per_class_recall();
+        assert_eq!(recall[0], Some(1.0));
+        assert_eq!(recall[1], Some(0.5));
+        assert_eq!(recall[2], Some(0.5));
+    }
+
+    #[test]
+    fn confusion_matrix_empty_class_recall_is_none() {
+        let cm = ConfusionMatrix::new(2);
+        assert_eq!(cm.per_class_recall(), vec![None, None]);
+        assert_eq!(cm.accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn confusion_matrix_rejects_bad_labels() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+
+    #[test]
+    fn summary_moments() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn summary_degenerate_inputs() {
+        assert_eq!(Summary::of(&[]).count, 0);
+        let one = Summary::of(&[7.0]);
+        assert_eq!(one.mean, 7.0);
+        assert_eq!(one.std_dev, 0.0);
+    }
+
+    #[test]
+    fn summary_displays() {
+        let s = Summary::of(&[1.0, 1.0]);
+        assert!(s.to_string().contains('±'));
+    }
+}

@@ -1,0 +1,125 @@
+//! Minimal text-table and CSV rendering for the experiment binaries.
+
+/// Renders an aligned plain-text table. The first row printed is the
+/// header, followed by a separator and the data rows.
+///
+/// # Examples
+///
+/// ```
+/// let text = datasets::table::render_table(
+///     &["dataset", "accuracy"],
+///     &[vec!["MUTAG".to_string(), "0.85".to_string()]],
+/// );
+/// assert!(text.contains("MUTAG"));
+/// assert!(text.lines().count() >= 3);
+/// ```
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate().take(columns) {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            for _ in cell.len()..widths[i] {
+                line.push(' ');
+            }
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders rows as RFC-4180-ish CSV (quotes only when needed).
+#[must_use]
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let escape = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(
+            &row.iter()
+                .map(|c| escape(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let text = render_table(
+            &["a", "long_header"],
+            &[
+                vec!["xxxxx".into(), "1".into()],
+                vec!["y".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Column 2 starts at the same offset in all data rows.
+        let offset = lines[0].find("long_header").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), offset);
+        assert_eq!(lines[3].find('2').unwrap(), offset);
+    }
+
+    #[test]
+    fn table_handles_empty_rows() {
+        let text = render_table(&["h"], &[]);
+        assert!(text.contains('h'));
+    }
+
+    #[test]
+    fn csv_escapes_when_needed() {
+        let csv = render_csv(
+            &["name", "value"],
+            &[vec!["a,b".into(), "say \"hi\"".into()]],
+        );
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_plain_cells_unquoted() {
+        let csv = render_csv(&["x"], &[vec!["plain".into()]]);
+        assert_eq!(csv, "x\nplain\n");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the evaluation protocol: invariants of the
+//! stratified splitter and the metrics that every experiment relies on.
+
+use datasets::metrics::{accuracy, ConfusionMatrix, Summary};
+use datasets::StratifiedKFold;
+use proptest::prelude::*;
+
+/// Arbitrary label vectors: 2–4 classes, enough samples to split.
+fn arb_labels() -> impl Strategy<Value = (Vec<u32>, usize)> {
+    (2usize..5, 10usize..80, any::<u64>(), 2usize..6).prop_map(
+        |(classes, n, seed, k)| {
+            let mut rng = prng::Xoshiro256PlusPlus::seed_from_u64(seed);
+            use prng::WordRng;
+            let mut labels: Vec<u32> =
+                (0..n).map(|_| rng.u64_below(classes as u64) as u32).collect();
+            // Guarantee every class appears at least once.
+            for c in 0..classes as u32 {
+                labels[c as usize] = c;
+            }
+            (labels, k)
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn folds_partition_any_dataset((labels, k) in arb_labels()) {
+        let folds = StratifiedKFold::new(k, 3).split(&labels).expect("n >= k");
+        prop_assert_eq!(folds.len(), k);
+        let mut test_seen = vec![0usize; labels.len()];
+        for fold in &folds {
+            for &i in &fold.test {
+                test_seen[i] += 1;
+            }
+            // Disjointness within a fold.
+            let mut union: Vec<usize> =
+                fold.train.iter().chain(&fold.test).copied().collect();
+            union.sort_unstable();
+            union.dedup();
+            prop_assert_eq!(union.len(), labels.len());
+        }
+        prop_assert!(test_seen.iter().all(|&c| c == 1), "each sample tested once");
+    }
+
+    #[test]
+    fn fold_sizes_are_balanced((labels, k) in arb_labels()) {
+        let folds = StratifiedKFold::new(k, 5).split(&labels).expect("n >= k");
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        let max = sizes.iter().copied().max().expect("non-empty");
+        let min = sizes.iter().copied().min().expect("non-empty");
+        // Round-robin dealing keeps fold sizes within one per class.
+        let classes = labels.iter().copied().max().unwrap_or(0) as usize + 1;
+        prop_assert!(max - min <= classes, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn stratification_bounds_class_counts((labels, k) in arb_labels()) {
+        let folds = StratifiedKFold::new(k, 7).split(&labels).expect("n >= k");
+        let classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        for class in 0..classes {
+            let total = labels.iter().filter(|&&l| l == class).count();
+            for fold in &folds {
+                let in_fold = fold.test.iter().filter(|&&i| labels[i] == class).count();
+                // Perfect stratification: each fold holds floor or ceil of
+                // total/k samples of every class.
+                prop_assert!(
+                    in_fold >= total / k && in_fold <= total.div_ceil(k),
+                    "class {class}: {in_fold} of {total} in one of {k} folds"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_agrees_with_confusion_matrix(
+        pairs in prop::collection::vec((0u32..4, 0u32..4), 1..60)
+    ) {
+        let truth: Vec<u32> = pairs.iter().map(|(t, _)| *t).collect();
+        let predicted: Vec<u32> = pairs.iter().map(|(_, p)| *p).collect();
+        let mut cm = ConfusionMatrix::new(4);
+        cm.record_all(&truth, &predicted);
+        prop_assert!((cm.accuracy() - accuracy(&truth, &predicted)).abs() < 1e-12);
+        prop_assert_eq!(cm.total(), truth.len());
+    }
+
+    #[test]
+    fn summary_mean_is_within_range(samples in prop::collection::vec(-1e3f64..1e3, 1..50)) {
+        let summary = Summary::of(&samples);
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(summary.mean >= min - 1e-9 && summary.mean <= max + 1e-9);
+        prop_assert!(summary.std_dev >= 0.0);
+        prop_assert_eq!(summary.count, samples.len());
+    }
+}

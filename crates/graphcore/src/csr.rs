@@ -1,0 +1,393 @@
+//! Compressed sparse row storage for undirected simple graphs.
+
+use crate::GraphError;
+
+/// An immutable undirected simple graph in CSR form.
+///
+/// Vertices are `0..vertex_count()` as `u32`. Self-loops and parallel edges
+/// are excluded by construction; each undirected edge is stored in both
+/// adjacency lists, which are kept sorted for binary-search membership
+/// queries.
+///
+/// # Examples
+///
+/// ```
+/// use graphcore::Graph;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])?;
+/// assert_eq!(g.vertex_count(), 4);
+/// assert_eq!(g.edge_count(), 4);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.has_edge(0, 3));
+/// assert!(!g.has_edge(0, 2));
+/// # Ok::<(), graphcore::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge iterator.
+    ///
+    /// Self-loops and duplicate edges are silently dropped, matching the
+    /// simple-graph semantics of the TUDataset benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an endpoint is `>= n`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let mut builder = GraphBuilder::new(n);
+        for (u, v) in edges {
+            builder.try_add_edge(u, v)?;
+        }
+        Ok(builder.build())
+    }
+
+    /// A graph with `n` vertices and no edges.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        GraphBuilder::new(n).build()
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn degree(&self, v: u32) -> usize {
+        let v = v as usize;
+        assert!(v < self.vertex_count(), "vertex {v} out of range");
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The sorted neighbor list of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let v = v as usize;
+        assert!(v < self.vertex_count(), "vertex {v} out of range");
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex is out of range.
+    #[must_use]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over each undirected edge once, as `(u, v)` with `u < v`,
+    /// in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.vertex_count() as u32).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// The maximum vertex degree, or 0 for an empty vertex set.
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        (0..self.vertex_count() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fraction of vertex pairs connected by an edge (0 for n < 2).
+    #[must_use]
+    pub fn density(&self) -> f64 {
+        let n = self.vertex_count();
+        if n < 2 {
+            return 0.0;
+        }
+        let pairs = n as f64 * (n as f64 - 1.0) / 2.0;
+        self.edge_count() as f64 / pairs
+    }
+
+    /// Number of vertices with degree zero.
+    #[must_use]
+    pub fn isolated_count(&self) -> usize {
+        (0..self.vertex_count() as u32)
+            .filter(|&v| self.degree(v) == 0)
+            .count()
+    }
+
+    /// Collects every undirected edge once as `(u, v)` with `u < v`.
+    #[must_use]
+    pub fn to_edge_list(&self) -> Vec<(u32, u32)> {
+        self.edges().collect()
+    }
+
+    /// Counts the triangles in the graph (each counted once).
+    ///
+    /// Uses the standard neighbor-intersection method over sorted
+    /// adjacency lists; used by tests and by surrogate-dataset diagnostics.
+    #[must_use]
+    pub fn triangle_count(&self) -> usize {
+        let mut count = 0usize;
+        for (u, v) in self.edges() {
+            // Intersect neighbor lists above v to count each triangle once.
+            let nu = self.neighbors(u);
+            let nv = self.neighbors(v);
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < nu.len() && j < nv.len() {
+                match nu[i].cmp(&nv[j]) {
+                    core::cmp::Ordering::Less => i += 1,
+                    core::cmp::Ordering::Greater => j += 1,
+                    core::cmp::Ordering::Equal => {
+                        if nu[i] > v {
+                            count += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// # Examples
+///
+/// ```
+/// use graphcore::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 2);
+/// b.add_edge(1, 0); // duplicate: ignored
+/// b.add_edge(2, 2); // self-loop: ignored
+/// let g = b.build();
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` vertices.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a builder pre-populated with the edges of `graph`.
+    #[must_use]
+    pub fn from_graph(graph: &Graph) -> Self {
+        Self {
+            n: graph.vertex_count(),
+            edges: graph.to_edge_list(),
+        }
+    }
+
+    /// The number of vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops are ignored;
+    /// duplicates are removed at [`build`](Self::build) time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is `>= n`.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        self.try_add_edge(u, v)
+            .expect("edge endpoint out of range");
+    }
+
+    /// Adds the undirected edge `{u, v}`, validating endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] if an endpoint is `>= n`.
+    pub fn try_add_edge(&mut self, u: u32, v: u32) -> Result<(), GraphError> {
+        for w in [u, v] {
+            if w as usize >= self.n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: w,
+                    vertex_count: self.n,
+                });
+            }
+        }
+        if u != v {
+            self.edges.push((u.min(v), u.max(v)));
+        }
+        Ok(())
+    }
+
+    /// Number of edges added so far (duplicates still counted).
+    #[must_use]
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalises the graph: sorts, deduplicates and builds CSR arrays.
+    #[must_use]
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut degrees = vec![0usize; self.n];
+        for &(u, v) in &self.edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0usize);
+        for d in &degrees {
+            offsets.push(offsets.last().copied().expect("non-empty") + d);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0u32; offsets[self.n]];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Adjacency lists are filled in increasing order of the opposite
+        // endpoint for the `u`-side but interleaved for the `v`-side; sort
+        // each list to restore the invariant.
+        for v in 0..self.n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph { offsets, neighbors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.isolated_count(), 5);
+        assert_eq!(g.density(), 0.0);
+    }
+
+    #[test]
+    fn zero_vertex_graph_is_fine() {
+        let g = Graph::empty(0);
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn from_edges_validates_range() {
+        let out = Graph::from_edges(3, [(0, 5)]);
+        assert!(matches!(
+            out,
+            Err(GraphError::VertexOutOfRange {
+                vertex: 5,
+                vertex_count: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn duplicates_and_loops_are_dropped() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1), (2, 2)]).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_symmetric() {
+        let g = Graph::from_edges(5, [(3, 1), (3, 0), (3, 4), (1, 0)]).unwrap();
+        assert_eq!(g.neighbors(3), &[0, 1, 4]);
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(v, u), "adjacency must be symmetric");
+        }
+    }
+
+    #[test]
+    fn edges_yields_each_once_in_order() {
+        let g = Graph::from_edges(4, [(2, 3), (0, 1), (1, 2)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn degree_sums_to_twice_edges() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4)]).unwrap();
+        let total: usize = (0..6).map(|v| g.degree(v)).sum();
+        assert_eq!(total, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn triangle_count_on_known_graphs() {
+        // Triangle
+        let tri = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(tri.triangle_count(), 1);
+        // K4 has 4 triangles
+        let k4 =
+            Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(k4.triangle_count(), 4);
+        // Path has none
+        let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert_eq!(path.triangle_count(), 0);
+    }
+
+    #[test]
+    fn builder_from_graph_roundtrips() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let again = GraphBuilder::from_graph(&g).build();
+        assert_eq!(g, again);
+    }
+
+    #[test]
+    fn density_of_complete_graph_is_one() {
+        let k4 =
+            Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        assert!((k4.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn degree_out_of_range_panics() {
+        let g = Graph::empty(2);
+        let _ = g.degree(2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types for graph construction and generation.
+
+/// Errors produced by graph construction and the random generators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referenced a vertex `>= vertex_count`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The number of vertices in the graph.
+        vertex_count: usize,
+    },
+    /// A probability parameter was outside `[0, 1]` or non-finite.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// A stochastic block model was given an inconsistent probability
+    /// matrix (non-square, asymmetric, or wrong size).
+    InvalidBlockMatrix {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// A generator parameter was structurally invalid (e.g. attachment
+    /// count exceeding the vertex budget in Barabási–Albert).
+    InvalidParameter {
+        /// Human-readable description of the invalid parameter.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                vertex_count,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for graph with {vertex_count} vertices"
+            ),
+            GraphError::InvalidProbability { value } => {
+                write!(f, "probability must lie in [0, 1], got {value}")
+            }
+            GraphError::InvalidBlockMatrix { reason } => {
+                write!(f, "invalid block probability matrix: {reason}")
+            }
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid generator parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            vertex_count: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('9') && msg.contains('4'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<GraphError>();
+    }
+}

@@ -1,0 +1,560 @@
+//! Random and deterministic graph generators.
+//!
+//! The Erdős–Rényi model is the one the paper uses for its scalability
+//! study (Section V-B: "synthetic datasets with 2 classes evenly split over
+//! 100 graphs ... using the Erdős–Rényi random graph model" with edge
+//! probability 0.05). The stochastic block model and Barabási–Albert model
+//! are used by `datasets` to give the TUDataset surrogates class-dependent
+//! structure.
+
+use crate::{Graph, GraphBuilder, GraphError};
+use prng::WordRng;
+
+fn check_probability(p: f64) -> Result<(), GraphError> {
+    if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+        Err(GraphError::InvalidProbability { value: p })
+    } else {
+        Ok(())
+    }
+}
+
+/// Samples G(n, p): each of the n·(n−1)/2 possible edges is present
+/// independently with probability `p`.
+///
+/// Uses the Batagelj–Brandes skip-sampling algorithm, which runs in
+/// O(n + m) expected time instead of O(n²) — the property that makes the
+/// Fig. 4 scaling study cheap to regenerate.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidProbability`] if `p` is not in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use prng::Xoshiro256PlusPlus;
+///
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+/// let g = graphcore::generate::erdos_renyi(100, 0.05, &mut rng)?;
+/// assert_eq!(g.vertex_count(), 100);
+/// # Ok::<(), graphcore::GraphError>(())
+/// ```
+pub fn erdos_renyi<R: WordRng>(n: usize, p: f64, rng: &mut R) -> Result<Graph, GraphError> {
+    check_probability(p)?;
+    let mut builder = GraphBuilder::new(n);
+    if n < 2 || p == 0.0 {
+        return Ok(builder.build());
+    }
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                builder.add_edge(u, v);
+            }
+        }
+        return Ok(builder.build());
+    }
+    // Batagelj & Brandes (2005): walk the strictly-lower-triangular pair
+    // space (v, w) with w < v, skipping geometric gaps between edges.
+    let mut v: u64 = 1;
+    let mut w: i64 = -1;
+    let n64 = n as u64;
+    while v < n64 {
+        let gap = rng.geometric(p) as i64;
+        w += 1 + gap;
+        while v < n64 && w >= v as i64 {
+            w -= v as i64;
+            v += 1;
+        }
+        if v < n64 {
+            builder.add_edge(v as u32, w as u32);
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Samples a stochastic block model: vertices are partitioned into blocks
+/// of the given sizes, and an edge between a vertex in block `a` and one in
+/// block `b` appears independently with probability `probs[a][b]`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidBlockMatrix`] if `probs` is not a symmetric
+/// `k×k` matrix for `k = sizes.len()`, or [`GraphError::InvalidProbability`]
+/// if any entry is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use prng::Xoshiro256PlusPlus;
+///
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+/// // Two dense communities, sparsely interconnected.
+/// let g = graphcore::generate::stochastic_block_model(
+///     &[20, 20],
+///     &[vec![0.3, 0.01], vec![0.01, 0.3]],
+///     &mut rng,
+/// )?;
+/// assert_eq!(g.vertex_count(), 40);
+/// # Ok::<(), graphcore::GraphError>(())
+/// ```
+pub fn stochastic_block_model<R: WordRng>(
+    sizes: &[usize],
+    probs: &[Vec<f64>],
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    let k = sizes.len();
+    if probs.len() != k || probs.iter().any(|row| row.len() != k) {
+        return Err(GraphError::InvalidBlockMatrix {
+            reason: format!("expected a {k}x{k} matrix"),
+        });
+    }
+    for (a, row) in probs.iter().enumerate() {
+        for (b, &p) in row.iter().enumerate() {
+            check_probability(p)?;
+            if (p - probs[b][a]).abs() > 1e-12 {
+                return Err(GraphError::InvalidBlockMatrix {
+                    reason: format!("matrix not symmetric at ({a}, {b})"),
+                });
+            }
+        }
+    }
+    let n: usize = sizes.iter().sum();
+    let mut starts = Vec::with_capacity(k + 1);
+    starts.push(0usize);
+    for &s in sizes {
+        starts.push(starts.last().copied().expect("non-empty") + s);
+    }
+    let mut builder = GraphBuilder::new(n);
+    for a in 0..k {
+        for b in a..k {
+            let p = probs[a][b];
+            if p == 0.0 {
+                continue;
+            }
+            if a == b {
+                sample_block_diagonal(&mut builder, starts[a], sizes[a], p, rng);
+            } else {
+                sample_block_rectangle(
+                    &mut builder,
+                    starts[a],
+                    sizes[a],
+                    starts[b],
+                    sizes[b],
+                    p,
+                    rng,
+                );
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Skip-samples the pairs within one block (triangular index space).
+fn sample_block_diagonal<R: WordRng>(
+    builder: &mut GraphBuilder,
+    start: usize,
+    size: usize,
+    p: f64,
+    rng: &mut R,
+) {
+    if size < 2 {
+        return;
+    }
+    if p >= 1.0 {
+        for i in 0..size {
+            for j in (i + 1)..size {
+                builder.add_edge((start + i) as u32, (start + j) as u32);
+            }
+        }
+        return;
+    }
+    let mut v: u64 = 1;
+    let mut w: i64 = -1;
+    let n64 = size as u64;
+    while v < n64 {
+        let gap = rng.geometric(p) as i64;
+        w += 1 + gap;
+        while v < n64 && w >= v as i64 {
+            w -= v as i64;
+            v += 1;
+        }
+        if v < n64 {
+            builder.add_edge((start + v as usize) as u32, (start + w as usize) as u32);
+        }
+    }
+}
+
+/// Skip-samples the pairs across two distinct blocks (rectangular space).
+fn sample_block_rectangle<R: WordRng>(
+    builder: &mut GraphBuilder,
+    start_a: usize,
+    size_a: usize,
+    start_b: usize,
+    size_b: usize,
+    p: f64,
+    rng: &mut R,
+) {
+    let total = size_a as u64 * size_b as u64;
+    if total == 0 {
+        return;
+    }
+    if p >= 1.0 {
+        for i in 0..size_a {
+            for j in 0..size_b {
+                builder.add_edge((start_a + i) as u32, (start_b + j) as u32);
+            }
+        }
+        return;
+    }
+    let mut idx: i64 = -1;
+    loop {
+        let gap = rng.geometric(p) as i64;
+        idx += 1 + gap;
+        if idx as u64 >= total {
+            break;
+        }
+        let i = (idx as u64 / size_b as u64) as usize;
+        let j = (idx as u64 % size_b as u64) as usize;
+        builder.add_edge((start_a + i) as u32, (start_b + j) as u32);
+    }
+}
+
+/// Samples a Barabási–Albert preferential-attachment graph: starting from
+/// a path of `attach` vertices, each new vertex attaches to `attach`
+/// distinct existing vertices chosen proportionally to their degree.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `attach == 0` or
+/// `attach >= n`.
+pub fn barabasi_albert<R: WordRng>(
+    n: usize,
+    attach: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if attach == 0 || attach >= n {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("attachment count {attach} must satisfy 0 < attach < n (n = {n})"),
+        });
+    }
+    let mut builder = GraphBuilder::new(n);
+    // `targets` holds each vertex once per unit of degree; sampling an
+    // element uniformly implements preferential attachment.
+    let mut targets: Vec<u32> = Vec::new();
+    // Seed graph: a path over the first `attach` vertices (any connected
+    // seed works; a path keeps the degree distribution mild).
+    for v in 1..attach as u32 {
+        builder.add_edge(v - 1, v);
+        targets.push(v - 1);
+        targets.push(v);
+    }
+    if attach == 1 {
+        targets.push(0);
+    }
+    for v in attach as u32..n as u32 {
+        let mut chosen: Vec<u32> = Vec::with_capacity(attach);
+        let mut guard = 0usize;
+        while chosen.len() < attach {
+            let candidate = targets[rng.usize_below(targets.len())];
+            if !chosen.contains(&candidate) {
+                chosen.push(candidate);
+            }
+            guard += 1;
+            if guard > 64 * attach {
+                // Degenerate corner (all mass on few vertices): fall back
+                // to the lowest-id vertices not yet chosen.
+                for u in 0..v {
+                    if chosen.len() == attach {
+                        break;
+                    }
+                    if !chosen.contains(&u) {
+                        chosen.push(u);
+                    }
+                }
+            }
+        }
+        for &u in &chosen {
+            builder.add_edge(v, u);
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Adds `count` random triangles to a copy of `graph`: each triangle picks
+/// three distinct vertices and inserts the three edges. Used by dataset
+/// surrogates to plant motif-level class signal.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if the graph has fewer than
+/// three vertices and `count > 0`.
+pub fn with_planted_triangles<R: WordRng>(
+    graph: &Graph,
+    count: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if count == 0 {
+        return Ok(graph.clone());
+    }
+    let n = graph.vertex_count();
+    if n < 3 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("cannot plant triangles in a graph with {n} vertices"),
+        });
+    }
+    let mut builder = GraphBuilder::from_graph(graph);
+    for _ in 0..count {
+        let ids = rng.sample_indices(n, 3);
+        builder.add_edge(ids[0] as u32, ids[1] as u32);
+        builder.add_edge(ids[1] as u32, ids[2] as u32);
+        builder.add_edge(ids[0] as u32, ids[2] as u32);
+    }
+    Ok(builder.build())
+}
+
+/// Returns an isomorphic copy of `graph` with vertex ids randomly
+/// permuted.
+///
+/// Synthetic generators emit structured vertex orderings (preferential
+/// attachment adds hubs first, block models lay communities out
+/// contiguously), which real-world data does not exhibit; dataset
+/// surrogates shuffle ids so that no method can exploit the generator's
+/// ordering.
+#[must_use]
+pub fn shuffle_vertex_ids<R: WordRng>(graph: &Graph, rng: &mut R) -> Graph {
+    let n = graph.vertex_count();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    rng.shuffle(&mut perm);
+    let mut builder = GraphBuilder::new(n);
+    for (u, v) in graph.edges() {
+        builder.add_edge(perm[u as usize], perm[v as usize]);
+    }
+    builder.build()
+}
+
+/// The complete graph K_n.
+#[must_use]
+pub fn complete(n: usize) -> Graph {
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+/// A star with center 0 and `n − 1` leaves.
+#[must_use]
+pub fn star(n: usize) -> Graph {
+    let mut builder = GraphBuilder::new(n);
+    for v in 1..n as u32 {
+        builder.add_edge(0, v);
+    }
+    builder.build()
+}
+
+/// The path 0 − 1 − … − (n−1).
+#[must_use]
+pub fn path(n: usize) -> Graph {
+    let mut builder = GraphBuilder::new(n);
+    for v in 1..n as u32 {
+        builder.add_edge(v - 1, v);
+    }
+    builder.build()
+}
+
+/// The cycle on `n` vertices (requires `n >= 3` to actually close; smaller
+/// values degenerate to a path).
+#[must_use]
+pub fn cycle(n: usize) -> Graph {
+    let mut builder = GraphBuilder::new(n);
+    for v in 1..n as u32 {
+        builder.add_edge(v - 1, v);
+    }
+    if n >= 3 {
+        builder.add_edge(n as u32 - 1, 0);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prng::Xoshiro256PlusPlus;
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn er_p_zero_is_empty() {
+        let g = erdos_renyi(50, 0.0, &mut rng(1)).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn er_p_one_is_complete() {
+        let g = erdos_renyi(20, 1.0, &mut rng(2)).unwrap();
+        assert_eq!(g.edge_count(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn er_rejects_bad_probability() {
+        assert!(matches!(
+            erdos_renyi(10, 1.5, &mut rng(3)),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            erdos_renyi(10, f64::NAN, &mut rng(3)),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn er_edge_count_matches_expectation() {
+        // E[m] = p * C(n, 2); with n=200, p=0.05: 995. Allow 4 sigma.
+        let n = 200;
+        let p = 0.05;
+        let pairs = (n * (n - 1) / 2) as f64;
+        let expected = p * pairs;
+        let sigma = (pairs * p * (1.0 - p)).sqrt();
+        let mut total = 0f64;
+        let reps = 20;
+        for s in 0..reps {
+            total += erdos_renyi(n, p, &mut rng(100 + s)).unwrap().edge_count() as f64;
+        }
+        let mean = total / reps as f64;
+        assert!(
+            (mean - expected).abs() < 4.0 * sigma / (reps as f64).sqrt(),
+            "mean {mean}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn er_small_n_does_not_panic() {
+        for n in 0..4 {
+            let g = erdos_renyi(n, 0.5, &mut rng(9)).unwrap();
+            assert_eq!(g.vertex_count(), n);
+        }
+    }
+
+    #[test]
+    fn er_is_deterministic_per_seed() {
+        let a = erdos_renyi(60, 0.1, &mut rng(42)).unwrap();
+        let b = erdos_renyi(60, 0.1, &mut rng(42)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sbm_respects_block_structure() {
+        let g = stochastic_block_model(
+            &[30, 30],
+            &[vec![0.5, 0.0], vec![0.0, 0.5]],
+            &mut rng(5),
+        )
+        .unwrap();
+        // No cross-block edges.
+        for (u, v) in g.edges() {
+            assert_eq!(u < 30, v < 30, "edge ({u}, {v}) crosses blocks");
+        }
+        assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn sbm_cross_block_only() {
+        let g = stochastic_block_model(
+            &[10, 15],
+            &[vec![0.0, 1.0], vec![1.0, 0.0]],
+            &mut rng(6),
+        )
+        .unwrap();
+        assert_eq!(g.edge_count(), 10 * 15);
+    }
+
+    #[test]
+    fn sbm_validates_matrix() {
+        assert!(matches!(
+            stochastic_block_model(&[5, 5], &[vec![0.1]], &mut rng(7)),
+            Err(GraphError::InvalidBlockMatrix { .. })
+        ));
+        assert!(matches!(
+            stochastic_block_model(
+                &[5, 5],
+                &[vec![0.1, 0.2], vec![0.3, 0.1]],
+                &mut rng(7)
+            ),
+            Err(GraphError::InvalidBlockMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn ba_degrees_and_connectivity() {
+        let g = barabasi_albert(100, 3, &mut rng(8)).unwrap();
+        assert_eq!(g.vertex_count(), 100);
+        // Every non-seed vertex has degree >= attach.
+        for v in 3..100u32 {
+            assert!(g.degree(v) >= 3, "vertex {v} degree {}", g.degree(v));
+        }
+        assert_eq!(g.isolated_count(), 0);
+    }
+
+    #[test]
+    fn ba_rejects_bad_attach() {
+        assert!(barabasi_albert(5, 0, &mut rng(9)).is_err());
+        assert!(barabasi_albert(5, 5, &mut rng(9)).is_err());
+    }
+
+    #[test]
+    fn ba_attach_one_is_a_tree() {
+        let g = barabasi_albert(50, 1, &mut rng(10)).unwrap();
+        assert_eq!(g.edge_count(), 49);
+    }
+
+    #[test]
+    fn planted_triangles_increase_count() {
+        let base = erdos_renyi(40, 0.02, &mut rng(11)).unwrap();
+        let before = base.triangle_count();
+        let planted = with_planted_triangles(&base, 10, &mut rng(12)).unwrap();
+        assert!(planted.triangle_count() > before);
+        assert!(planted.edge_count() >= base.edge_count());
+    }
+
+    #[test]
+    fn planted_triangles_zero_is_identity() {
+        let base = erdos_renyi(10, 0.3, &mut rng(13)).unwrap();
+        assert_eq!(with_planted_triangles(&base, 0, &mut rng(13)).unwrap(), base);
+    }
+
+    #[test]
+    fn planted_triangles_tiny_graph_errors() {
+        let base = Graph::empty(2);
+        assert!(with_planted_triangles(&base, 1, &mut rng(14)).is_err());
+    }
+
+    #[test]
+    fn shuffle_preserves_structure() {
+        let g = barabasi_albert(30, 2, &mut rng(20)).unwrap();
+        let shuffled = shuffle_vertex_ids(&g, &mut rng(21));
+        assert_eq!(shuffled.vertex_count(), g.vertex_count());
+        assert_eq!(shuffled.edge_count(), g.edge_count());
+        let mut a: Vec<usize> = (0..30).map(|v| g.degree(v)).collect();
+        let mut b: Vec<usize> = (0..30).map(|v| shuffled.degree(v)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "degree multiset is invariant");
+        assert_eq!(shuffled.triangle_count(), g.triangle_count());
+    }
+
+    #[test]
+    fn deterministic_toys() {
+        assert_eq!(complete(5).edge_count(), 10);
+        assert_eq!(star(5).edge_count(), 4);
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert_eq!(cycle(2).edge_count(), 1); // degenerates to a path
+        assert_eq!(complete(0).vertex_count(), 0);
+    }
+}

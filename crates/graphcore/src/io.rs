@@ -1,0 +1,400 @@
+//! TUDataset text-format I/O.
+//!
+//! The TUDataset collection (Morris et al., 2020) distributes each dataset
+//! `DS` as plain-text files:
+//!
+//! - `DS_A.txt` — one directed arc per line as `u, v`, 1-based, with both
+//!   directions of every undirected edge present;
+//! - `DS_graph_indicator.txt` — line *i* holds the (1-based) graph id of
+//!   node *i*;
+//! - `DS_graph_labels.txt` — line *g* holds the class label of graph *g*.
+//!
+//! The evaluation machine for this reproduction has no network access, so
+//! experiments run on synthetic surrogates (see `datasets::surrogate`), but
+//! this module lets real downloaded files drop in unchanged and is
+//! round-trip tested.
+
+use crate::{Graph, GraphBuilder};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A parsed TUDataset: one [`Graph`] per sample plus class labels.
+///
+/// `labels[i]` is a dense class index in `0..num_classes`; the original
+/// file values (which may be arbitrary integers such as −1/+1) are kept in
+/// `original_labels`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuData {
+    /// The graphs, in file order.
+    pub graphs: Vec<Graph>,
+    /// Dense class indices in `0..num_classes`, aligned with `graphs`.
+    pub labels: Vec<u32>,
+    /// The label values as they appeared in `DS_graph_labels.txt`.
+    pub original_labels: Vec<i64>,
+}
+
+impl TuData {
+    /// Number of distinct classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m as usize + 1)
+    }
+}
+
+/// Errors produced when parsing TUDataset files.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TuError {
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+    /// A malformed line, with file kind and 1-based line number.
+    Parse {
+        /// Which of the three files was malformed.
+        file: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// Cross-file inconsistency (e.g. an arc referencing a missing node).
+    Inconsistent {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for TuError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TuError::Io(e) => write!(f, "i/o error reading tudataset files: {e}"),
+            TuError::Parse { file, line, reason } => {
+                write!(f, "malformed {file} at line {line}: {reason}")
+            }
+            TuError::Inconsistent { reason } => {
+                write!(f, "inconsistent tudataset files: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TuError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TuError {
+    fn from(e: std::io::Error) -> Self {
+        TuError::Io(e)
+    }
+}
+
+/// Parses a TUDataset from in-memory file contents.
+///
+/// # Errors
+///
+/// Returns [`TuError::Parse`] for malformed lines and
+/// [`TuError::Inconsistent`] for cross-file disagreements.
+///
+/// # Examples
+///
+/// ```
+/// let adjacency = "1, 2\n2, 1\n3, 4\n4, 3\n";
+/// let indicator = "1\n1\n2\n2\n";
+/// let labels = "1\n-1\n";
+/// let data = graphcore::io::parse_tudataset(adjacency, indicator, labels)?;
+/// assert_eq!(data.graphs.len(), 2);
+/// assert_eq!(data.num_classes(), 2);
+/// # Ok::<(), graphcore::io::TuError>(())
+/// ```
+pub fn parse_tudataset(
+    adjacency: &str,
+    graph_indicator: &str,
+    graph_labels: &str,
+) -> Result<TuData, TuError> {
+    // --- graph indicator: node -> graph id -------------------------------
+    let mut node_graph: Vec<usize> = Vec::new();
+    for (idx, line) in non_empty_lines(graph_indicator) {
+        let gid: usize = line.trim().parse().map_err(|_| TuError::Parse {
+            file: "graph_indicator",
+            line: idx,
+            reason: format!("expected a graph id, got {line:?}"),
+        })?;
+        if gid == 0 {
+            return Err(TuError::Parse {
+                file: "graph_indicator",
+                line: idx,
+                reason: "graph ids are 1-based; got 0".to_string(),
+            });
+        }
+        node_graph.push(gid - 1);
+    }
+    let num_graphs = node_graph.iter().copied().max().map_or(0, |m| m + 1);
+
+    // --- labels -----------------------------------------------------------
+    let mut original_labels: Vec<i64> = Vec::new();
+    for (idx, line) in non_empty_lines(graph_labels) {
+        let label: i64 = line.trim().parse().map_err(|_| TuError::Parse {
+            file: "graph_labels",
+            line: idx,
+            reason: format!("expected an integer label, got {line:?}"),
+        })?;
+        original_labels.push(label);
+    }
+    if original_labels.len() != num_graphs {
+        return Err(TuError::Inconsistent {
+            reason: format!(
+                "{} graph labels but {} graphs referenced by the indicator",
+                original_labels.len(),
+                num_graphs
+            ),
+        });
+    }
+
+    // Dense re-labeling: sorted distinct original labels -> 0..k.
+    let mut distinct: Vec<i64> = original_labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let labels: Vec<u32> = original_labels
+        .iter()
+        .map(|l| distinct.binary_search(l).expect("label present") as u32)
+        .collect();
+
+    // --- per-graph vertex numbering ---------------------------------------
+    let mut graph_sizes = vec![0usize; num_graphs];
+    let mut local_index: Vec<u32> = Vec::with_capacity(node_graph.len());
+    for &g in &node_graph {
+        local_index.push(graph_sizes[g] as u32);
+        graph_sizes[g] += 1;
+    }
+    let mut builders: Vec<GraphBuilder> = graph_sizes
+        .iter()
+        .map(|&s| GraphBuilder::new(s))
+        .collect();
+
+    // --- adjacency ---------------------------------------------------------
+    for (idx, line) in non_empty_lines(adjacency) {
+        let mut parts = line.split(',');
+        let parse_endpoint = |part: Option<&str>| -> Result<usize, TuError> {
+            let text = part.ok_or(TuError::Parse {
+                file: "A",
+                line: idx,
+                reason: "expected two comma-separated node ids".to_string(),
+            })?;
+            let value: usize = text.trim().parse().map_err(|_| TuError::Parse {
+                file: "A",
+                line: idx,
+                reason: format!("expected a node id, got {text:?}"),
+            })?;
+            if value == 0 {
+                return Err(TuError::Parse {
+                    file: "A",
+                    line: idx,
+                    reason: "node ids are 1-based; got 0".to_string(),
+                });
+            }
+            Ok(value - 1)
+        };
+        let u = parse_endpoint(parts.next())?;
+        let v = parse_endpoint(parts.next())?;
+        for node in [u, v] {
+            if node >= node_graph.len() {
+                return Err(TuError::Inconsistent {
+                    reason: format!(
+                        "arc references node {} but only {} nodes exist",
+                        node + 1,
+                        node_graph.len()
+                    ),
+                });
+            }
+        }
+        let gu = node_graph[u];
+        let gv = node_graph[v];
+        if gu != gv {
+            return Err(TuError::Inconsistent {
+                reason: format!(
+                    "arc ({}, {}) crosses graphs {} and {}",
+                    u + 1,
+                    v + 1,
+                    gu + 1,
+                    gv + 1
+                ),
+            });
+        }
+        builders[gu]
+            .try_add_edge(local_index[u], local_index[v])
+            .expect("local indices are in range by construction");
+    }
+
+    Ok(TuData {
+        graphs: builders.into_iter().map(GraphBuilder::build).collect(),
+        labels,
+        original_labels,
+    })
+}
+
+/// Loads `DS_A.txt`, `DS_graph_indicator.txt` and `DS_graph_labels.txt`
+/// from `dir` for dataset `name`.
+///
+/// # Errors
+///
+/// Returns [`TuError::Io`] if a file cannot be read, or any parse error
+/// from [`parse_tudataset`].
+pub fn load_tudataset(dir: &Path, name: &str) -> Result<TuData, TuError> {
+    let read = |suffix: &str| -> Result<String, TuError> {
+        Ok(std::fs::read_to_string(dir.join(format!("{name}_{suffix}.txt")))?)
+    };
+    parse_tudataset(&read("A")?, &read("graph_indicator")?, &read("graph_labels")?)
+}
+
+/// Serialises graphs and labels to the three TUDataset file contents
+/// (adjacency, graph indicator, graph labels), with both arc directions
+/// written as real TUDataset files do.
+#[must_use]
+pub fn to_tudataset_strings(graphs: &[Graph], labels: &[i64]) -> (String, String, String) {
+    let mut adjacency = String::new();
+    let mut indicator = String::new();
+    let mut label_text = String::new();
+    let mut offset = 0usize;
+    for (g_idx, graph) in graphs.iter().enumerate() {
+        for _ in 0..graph.vertex_count() {
+            let _ = writeln!(indicator, "{}", g_idx + 1);
+        }
+        for (u, v) in graph.edges() {
+            let gu = offset + u as usize + 1;
+            let gv = offset + v as usize + 1;
+            let _ = writeln!(adjacency, "{gu}, {gv}");
+            let _ = writeln!(adjacency, "{gv}, {gu}");
+        }
+        offset += graph.vertex_count();
+    }
+    for label in labels {
+        let _ = writeln!(label_text, "{label}");
+    }
+    (adjacency, indicator, label_text)
+}
+
+/// Writes a dataset to `dir` in TUDataset layout.
+///
+/// # Errors
+///
+/// Returns [`TuError::Io`] if the directory cannot be created or a file
+/// cannot be written.
+pub fn save_tudataset(
+    dir: &Path,
+    name: &str,
+    graphs: &[Graph],
+    labels: &[i64],
+) -> Result<(), TuError> {
+    std::fs::create_dir_all(dir)?;
+    let (a, ind, lab) = to_tudataset_strings(graphs, labels);
+    std::fs::write(dir.join(format!("{name}_A.txt")), a)?;
+    std::fs::write(dir.join(format!("{name}_graph_indicator.txt")), ind)?;
+    std::fs::write(dir.join(format!("{name}_graph_labels.txt")), lab)?;
+    Ok(())
+}
+
+fn non_empty_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l))
+        .filter(|(_, l)| !l.trim().is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use prng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn parse_minimal_dataset() {
+        let data = parse_tudataset("1, 2\n2, 1\n", "1\n1\n2\n", "7\n9\n").unwrap();
+        assert_eq!(data.graphs.len(), 2);
+        assert_eq!(data.graphs[0].edge_count(), 1);
+        assert_eq!(data.graphs[1].vertex_count(), 1);
+        assert_eq!(data.labels, vec![0, 1]);
+        assert_eq!(data.original_labels, vec![7, 9]);
+        assert_eq!(data.num_classes(), 2);
+    }
+
+    #[test]
+    fn labels_are_densified_in_sorted_order() {
+        let data = parse_tudataset("", "1\n2\n3\n", "1\n-1\n1\n").unwrap();
+        assert_eq!(data.labels, vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn rejects_zero_based_ids() {
+        assert!(matches!(
+            parse_tudataset("0, 1\n", "1\n1\n", "1\n"),
+            Err(TuError::Parse { file: "A", .. })
+        ));
+        assert!(matches!(
+            parse_tudataset("", "0\n", "1\n"),
+            Err(TuError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_cross_graph_arcs() {
+        assert!(matches!(
+            parse_tudataset("1, 2\n", "1\n2\n", "1\n1\n"),
+            Err(TuError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_label_count_mismatch() {
+        assert!(matches!(
+            parse_tudataset("", "1\n1\n", "1\n2\n"),
+            Err(TuError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_tudataset("a, b\n", "1\n1\n", "1\n").is_err());
+        assert!(parse_tudataset("1\n", "1\n", "1\n").is_err());
+        assert!(parse_tudataset("", "1\n", "x\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_strings() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(31);
+        let graphs: Vec<Graph> = (0..5)
+            .map(|i| generate::erdos_renyi(10 + i, 0.3, &mut rng).unwrap())
+            .collect();
+        let labels: Vec<i64> = vec![1, -1, 1, -1, 1];
+        let (a, ind, lab) = to_tudataset_strings(&graphs, &labels);
+        let parsed = parse_tudataset(&a, &ind, &lab).unwrap();
+        assert_eq!(parsed.graphs, graphs);
+        assert_eq!(parsed.original_labels, labels);
+    }
+
+    #[test]
+    fn roundtrip_through_files() {
+        let dir = std::env::temp_dir().join("graphcore_tu_roundtrip_test");
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(32);
+        let graphs: Vec<Graph> = (0..3)
+            .map(|_| generate::erdos_renyi(8, 0.4, &mut rng).unwrap())
+            .collect();
+        let labels = vec![0i64, 1, 0];
+        save_tudataset(&dir, "TEST", &graphs, &labels).unwrap();
+        let loaded = load_tudataset(&dir, "TEST").unwrap();
+        assert_eq!(loaded.graphs, graphs);
+        assert_eq!(loaded.original_labels, labels);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn isolated_trailing_vertices_preserved() {
+        // Graph 2 has two vertices and no edges.
+        let data = parse_tudataset("1, 2\n2, 1\n", "1\n1\n2\n2\n", "1\n1\n").unwrap();
+        assert_eq!(data.graphs[1].vertex_count(), 2);
+        assert_eq!(data.graphs[1].edge_count(), 0);
+    }
+}

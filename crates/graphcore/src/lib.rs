@@ -1,0 +1,40 @@
+//! Graph substrate for the GraphHD reproduction suite.
+//!
+//! Provides everything the paper's pipeline needs from a graph library:
+//!
+//! - [`Graph`] — a compact CSR (compressed sparse row) representation of
+//!   undirected simple graphs, plus [`GraphBuilder`] for incremental
+//!   construction.
+//! - [`generate`] — random graph models: the Erdős–Rényi G(n, p) model used
+//!   by the paper's scalability study (Section V-B), stochastic block
+//!   models and Barabási–Albert graphs used by the dataset surrogates, and
+//!   deterministic toy graphs for tests.
+//! - [`pagerank`] — PageRank power iteration with the paper's fixed
+//!   iteration count (10), plus degree centrality and deterministic
+//!   score-to-rank conversion (Section IV-C).
+//! - [`io`] — the TUDataset text format (`DS_A.txt`,
+//!   `DS_graph_indicator.txt`, `DS_graph_labels.txt`) reader and writer, so
+//!   real benchmark files drop into the suite unchanged.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphcore::{pagerank, Graph, PageRankConfig};
+//!
+//! // A star: vertex 0 is clearly the most central.
+//! let star = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)])?;
+//! let scores = pagerank(&star, &PageRankConfig::default());
+//! let ranks = graphcore::ranks_by_score(&scores);
+//! assert_eq!(ranks[0], 0); // rank 0 = most central
+//! # Ok::<(), graphcore::GraphError>(())
+//! ```
+
+mod csr;
+mod error;
+pub mod generate;
+pub mod io;
+mod pagerank;
+
+pub use csr::{Graph, GraphBuilder};
+pub use error::GraphError;
+pub use pagerank::{degree_centrality, pagerank, pagerank_ranks, ranks_by_score, PageRankConfig};

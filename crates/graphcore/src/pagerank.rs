@@ -1,0 +1,285 @@
+//! PageRank centrality and rank extraction (paper Section IV-C).
+//!
+//! GraphHD uses PageRank to give vertices *topology-derived identifiers*:
+//! vertices of different graphs that occupy the same centrality rank share
+//! a basis hypervector. The paper fixes the iteration count at 10
+//! ("the accuracy of GraphHD has then plateaued").
+
+use crate::Graph;
+
+/// Configuration for the PageRank power iteration.
+///
+/// # Examples
+///
+/// ```
+/// use graphcore::PageRankConfig;
+///
+/// let config = PageRankConfig::default();
+/// assert_eq!(config.iterations, 10); // the paper's fixed setting
+/// assert!((config.damping - 0.85).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRankConfig {
+    /// Damping factor d of the classic formulation; 0.85 is the value from
+    /// Brin & Page used by essentially every implementation.
+    pub damping: f64,
+    /// Number of power iterations. The paper fixes 10 for all experiments.
+    pub iterations: usize,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        Self {
+            damping: 0.85,
+            iterations: 10,
+        }
+    }
+}
+
+impl PageRankConfig {
+    /// Creates a config with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `damping` is not a finite value in `[0, 1]`.
+    #[must_use]
+    pub fn new(damping: f64, iterations: usize) -> Self {
+        assert!(
+            damping.is_finite() && (0.0..=1.0).contains(&damping),
+            "damping must lie in [0, 1], got {damping}"
+        );
+        Self { damping, iterations }
+    }
+}
+
+/// Computes PageRank scores by power iteration on an undirected graph.
+///
+/// Every undirected edge acts as two directed links. Dangling (isolated)
+/// vertices redistribute their mass uniformly, so the returned scores
+/// always sum to 1 for non-empty graphs. Returns an empty vector for the
+/// empty graph.
+///
+/// # Examples
+///
+/// ```
+/// use graphcore::{pagerank, Graph, PageRankConfig};
+///
+/// let path = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+/// let scores = pagerank(&path, &PageRankConfig::default());
+/// // The middle vertex of a path is the most central.
+/// assert!(scores[1] > scores[0] && scores[1] > scores[2]);
+/// # Ok::<(), graphcore::GraphError>(())
+/// ```
+#[must_use]
+pub fn pagerank(graph: &Graph, config: &PageRankConfig) -> Vec<f64> {
+    let n = graph.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..config.iterations {
+        let mut dangling_mass = 0.0f64;
+        next.fill(0.0);
+        for v in 0..n as u32 {
+            let deg = graph.degree(v);
+            let r = rank[v as usize];
+            if deg == 0 {
+                dangling_mass += r;
+            } else {
+                let share = r / deg as f64;
+                for &u in graph.neighbors(v) {
+                    next[u as usize] += share;
+                }
+            }
+        }
+        let teleport = (1.0 - config.damping) * uniform;
+        let dangling_share = config.damping * dangling_mass * uniform;
+        for r in next.iter_mut() {
+            *r = teleport + config.damping * *r + dangling_share;
+        }
+        core::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// Degree centrality: degree / (n − 1), the simplest structural identifier
+/// and the ablation alternative to PageRank in the suite's experiments.
+///
+/// Returns all zeros for graphs with fewer than two vertices.
+#[must_use]
+pub fn degree_centrality(graph: &Graph) -> Vec<f64> {
+    let n = graph.vertex_count();
+    if n < 2 {
+        return vec![0.0; n];
+    }
+    (0..n as u32)
+        .map(|v| graph.degree(v) as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// Converts centrality scores into dense ranks: rank 0 is the most central
+/// vertex. Ties are broken deterministically by vertex id (ascending), the
+/// convention this suite adopts since the paper does not specify one.
+///
+/// # Examples
+///
+/// ```
+/// let ranks = graphcore::ranks_by_score(&[0.2, 0.5, 0.3]);
+/// assert_eq!(ranks, vec![2, 0, 1]);
+/// ```
+#[must_use]
+pub fn ranks_by_score(scores: &[f64]) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap_or(core::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut ranks = vec![0u32; scores.len()];
+    for (rank, &vertex) in order.iter().enumerate() {
+        ranks[vertex as usize] = rank as u32;
+    }
+    ranks
+}
+
+/// Convenience: PageRank scores of `graph` converted to ranks.
+#[must_use]
+pub fn pagerank_ranks(graph: &Graph, config: &PageRankConfig) -> Vec<u32> {
+    ranks_by_score(&pagerank(graph, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use prng::Xoshiro256PlusPlus;
+
+    fn config() -> PageRankConfig {
+        PageRankConfig::default()
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_scores() {
+        assert!(pagerank(&Graph::empty(0), &config()).is_empty());
+    }
+
+    #[test]
+    fn scores_sum_to_one() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let g = generate::erdos_renyi(50, 0.1, &mut rng).unwrap();
+        let sum: f64 = pagerank(&g, &config()).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn scores_sum_to_one_with_isolated_vertices() {
+        // Two vertices are isolated: dangling handling must conserve mass.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2)]).unwrap();
+        let scores = pagerank(&g, &config());
+        let sum: f64 = scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn uniform_on_vertex_transitive_graphs() {
+        // On a cycle every vertex is equivalent: scores must be equal.
+        let g = generate::cycle(8);
+        let scores = pagerank(&g, &config());
+        for &s in &scores {
+            assert!((s - 0.125).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn star_center_dominates() {
+        let g = generate::star(10);
+        let scores = pagerank(&g, &config());
+        for leaf in 1..10 {
+            assert!(scores[0] > scores[leaf]);
+        }
+        let ranks = ranks_by_score(&scores);
+        assert_eq!(ranks[0], 0);
+    }
+
+    #[test]
+    fn damping_zero_is_uniform() {
+        let g = generate::star(5);
+        let scores = pagerank(&g, &PageRankConfig::new(0.0, 10));
+        for &s in &scores {
+            assert!((s - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_iterations_returns_uniform() {
+        let g = generate::star(4);
+        let scores = pagerank(&g, &PageRankConfig::new(0.85, 0));
+        for &s in &scores {
+            assert!((s - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "damping must lie in [0, 1]")]
+    fn invalid_damping_panics() {
+        let _ = PageRankConfig::new(1.5, 10);
+    }
+
+    #[test]
+    fn degree_centrality_matches_degrees() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        let c = degree_centrality(&g);
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        for &leaf in &c[1..4] {
+            assert!((leaf - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degree_centrality_degenerate_graphs() {
+        assert!(degree_centrality(&Graph::empty(0)).is_empty());
+        assert_eq!(degree_centrality(&Graph::empty(1)), vec![0.0]);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        let ranks = ranks_by_score(&[0.1, 0.9, 0.5, 0.5, 0.2]);
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        // Tie between vertices 2 and 3 resolved by id.
+        assert!(ranks[2] < ranks[3]);
+        assert_eq!(ranks[1], 0);
+    }
+
+    #[test]
+    fn ranks_of_empty_scores() {
+        assert!(ranks_by_score(&[]).is_empty());
+    }
+
+    #[test]
+    fn pagerank_ranks_convenience_agrees() {
+        let g = generate::star(6);
+        let scores = pagerank(&g, &config());
+        assert_eq!(pagerank_ranks(&g, &config()), ranks_by_score(&scores));
+    }
+
+    #[test]
+    fn more_iterations_converge() {
+        // Power iteration should approach a fixed point: iterations 50 and
+        // 51 agree much more closely than 1 and 2.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(77);
+        let g = generate::erdos_renyi(30, 0.2, &mut rng).unwrap();
+        let diff = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+        };
+        let r1 = pagerank(&g, &PageRankConfig::new(0.85, 1));
+        let r2 = pagerank(&g, &PageRankConfig::new(0.85, 2));
+        let r50 = pagerank(&g, &PageRankConfig::new(0.85, 50));
+        let r51 = pagerank(&g, &PageRankConfig::new(0.85, 51));
+        assert!(diff(&r50, &r51) < diff(&r1, &r2) / 10.0);
+    }
+}

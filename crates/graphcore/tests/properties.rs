@@ -1,0 +1,87 @@
+//! Property-based tests for the graph substrate.
+
+use graphcore::{generate, pagerank, ranks_by_score, Graph, PageRankConfig};
+use prng::Xoshiro256PlusPlus;
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40, 0.0f64..=0.6, any::<u64>()).prop_map(|(n, p, seed)| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        generate::erdos_renyi(n, p, &mut rng).expect("valid parameters")
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_adjacency_is_symmetric_and_sorted(g in arb_graph()) {
+        for v in 0..g.vertex_count() as u32 {
+            let neighbors = g.neighbors(v);
+            prop_assert!(neighbors.windows(2).all(|w| w[0] < w[1]));
+            for &u in neighbors {
+                prop_assert!(g.has_edge(u, v));
+                prop_assert_ne!(u, v, "self-loop found");
+            }
+        }
+    }
+
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        let degree_sum: usize = (0..g.vertex_count() as u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn edge_list_roundtrip(g in arb_graph()) {
+        let rebuilt = Graph::from_edges(g.vertex_count(), g.to_edge_list())
+            .expect("edges are in range");
+        prop_assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_is_positive(g in arb_graph()) {
+        let scores = pagerank(&g, &PageRankConfig::default());
+        let sum: f64 = scores.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum {}", sum);
+        prop_assert!(scores.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn ranks_are_always_a_permutation(g in arb_graph()) {
+        let ranks = ranks_by_score(&pagerank(&g, &PageRankConfig::default()));
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        let expected: Vec<u32> = (0..g.vertex_count() as u32).collect();
+        prop_assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn higher_degree_never_hurts_pagerank_on_stars(extra in 1usize..20) {
+        // Star center with `extra` leaves always outranks every leaf.
+        let g = generate::star(extra + 1);
+        let ranks = ranks_by_score(&pagerank(&g, &PageRankConfig::default()));
+        prop_assert_eq!(ranks[0], 0);
+    }
+
+    #[test]
+    fn er_density_tracks_p(n in 30usize..80, p in 0.05f64..0.5, seed in 0u64..1000) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let g = generate::erdos_renyi(n, p, &mut rng).expect("valid parameters");
+        // Loose statistical bound: density within ±0.25 absolute of p.
+        prop_assert!((g.density() - p).abs() < 0.25);
+    }
+
+    #[test]
+    fn tudataset_roundtrip(seed in any::<u64>(), count in 1usize..6) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let graphs: Vec<Graph> = (0..count)
+            .map(|i| {
+                generate::erdos_renyi(3 + i * 2, 0.4, &mut rng).expect("valid parameters")
+            })
+            .collect();
+        let labels: Vec<i64> = (0..count as i64).map(|i| i % 2).collect();
+        let (a, ind, lab) = graphcore::io::to_tudataset_strings(&graphs, &labels);
+        let parsed = graphcore::io::parse_tudataset(&a, &ind, &lab).expect("roundtrip parses");
+        prop_assert_eq!(parsed.graphs, graphs);
+        prop_assert_eq!(parsed.original_labels, labels);
+    }
+}

@@ -1,0 +1,153 @@
+//! GraphHD under the suite-wide [`GraphClassifier`] harness.
+
+use crate::{GraphHdConfig, GraphHdModel};
+use datasets::harness::GraphClassifier;
+use datasets::GraphDataset;
+use graphcore::Graph;
+
+/// GraphHD as a [`GraphClassifier`], with optional retraining epochs (the
+/// paper's future-work extension, off by default to match the baseline
+/// protocol of Section V).
+///
+/// # Examples
+///
+/// ```
+/// use datasets::harness::{evaluate_cv, CvProtocol, GraphClassifier};
+/// use datasets::surrogate;
+/// use graphhd::GraphHdClassifier;
+///
+/// let dataset = surrogate::generate_surrogate_sized(
+///     surrogate::spec_by_name("MUTAG").expect("known"),
+///     7,
+///     40,
+/// );
+/// let mut clf = GraphHdClassifier::default();
+/// let protocol = CvProtocol { folds: 4, repetitions: 1, seed: 1 };
+/// let report = evaluate_cv(&mut clf, &dataset, &protocol)?;
+/// assert_eq!(report.method, "GraphHD");
+/// # Ok::<(), datasets::SplitError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphHdClassifier {
+    config: GraphHdConfig,
+    retrain_epochs: usize,
+    model: Option<GraphHdModel>,
+}
+
+impl GraphHdClassifier {
+    /// Creates a classifier with the given GraphHD configuration.
+    #[must_use]
+    pub fn new(config: GraphHdConfig) -> Self {
+        Self {
+            config,
+            retrain_epochs: 0,
+            model: None,
+        }
+    }
+
+    /// Enables the retraining extension with the given epoch budget.
+    #[must_use]
+    pub fn with_retraining(mut self, epochs: usize) -> Self {
+        self.retrain_epochs = epochs;
+        self
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &GraphHdConfig {
+        &self.config
+    }
+
+    /// The trained model, if fitted.
+    #[must_use]
+    pub fn model(&self) -> Option<&GraphHdModel> {
+        self.model.as_ref()
+    }
+}
+
+impl Default for GraphHdClassifier {
+    fn default() -> Self {
+        Self::new(GraphHdConfig::default())
+    }
+}
+
+impl GraphClassifier for GraphHdClassifier {
+    fn name(&self) -> &str {
+        if self.retrain_epochs > 0 {
+            "GraphHD+retrain"
+        } else {
+            "GraphHD"
+        }
+    }
+
+    fn fit(&mut self, dataset: &GraphDataset, train: &[usize]) {
+        let graphs: Vec<&Graph> = train.iter().map(|&i| dataset.graph(i)).collect();
+        let labels: Vec<u32> = train.iter().map(|&i| dataset.label(i)).collect();
+        let mut model = GraphHdModel::fit(
+            self.config,
+            &graphs,
+            &labels,
+            dataset.num_classes(),
+        )
+        .expect("harness supplies consistent datasets");
+        if self.retrain_epochs > 0 {
+            let encodings = model.encoder().encode_all(&graphs);
+            let _ = model.retrain(&encodings, &labels, self.retrain_epochs);
+        }
+        self.model = Some(model);
+    }
+
+    fn predict(&self, dataset: &GraphDataset, indices: &[usize]) -> Vec<u32> {
+        let model = self
+            .model
+            .as_ref()
+            .expect("fit must be called before predict");
+        let graphs: Vec<&Graph> = indices.iter().map(|&i| dataset.graph(i)).collect();
+        model.predict_all(&graphs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::harness::{evaluate_cv, CvProtocol};
+    use datasets::surrogate;
+
+    #[test]
+    fn beats_chance_on_surrogate() {
+        let spec = surrogate::spec_by_name("NCI1").expect("known dataset");
+        let dataset = surrogate::generate_surrogate_sized(spec, 3, 150);
+        let mut clf = GraphHdClassifier::new(GraphHdConfig::with_dim(4096));
+        let protocol = CvProtocol {
+            folds: 3,
+            repetitions: 1,
+            seed: 11,
+        };
+        let report = evaluate_cv(&mut clf, &dataset, &protocol).expect("splittable");
+        let chance = 1.0 / dataset.num_classes() as f64;
+        let accuracy = report.accuracy().mean;
+        assert!(
+            accuracy > chance + 0.10,
+            "accuracy {accuracy} vs chance {chance}"
+        );
+    }
+
+    #[test]
+    fn retraining_variant_renames_itself() {
+        let clf = GraphHdClassifier::default().with_retraining(5);
+        assert_eq!(clf.name(), "GraphHD+retrain");
+        assert_eq!(GraphHdClassifier::default().name(), "GraphHD");
+    }
+
+    #[test]
+    #[should_panic(expected = "fit must be called")]
+    fn predict_before_fit_panics() {
+        let dataset = surrogate::generate_surrogate_sized(
+            surrogate::spec_by_name("MUTAG").expect("known"),
+            1,
+            10,
+        );
+        let clf = GraphHdClassifier::default();
+        let _ = clf.predict(&dataset, &[0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! GraphHD configuration.
+
+use graphcore::PageRankConfig;
+use hdvec::TieBreak;
+
+/// Which centrality metric supplies the vertex identifiers (ranks).
+///
+/// The paper proposes PageRank (Section IV-C); the alternatives exist for
+/// the suite's ablation experiment A1, which quantifies how much the
+/// choice matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CentralityKind {
+    /// PageRank centrality — the paper's choice.
+    #[default]
+    PageRank,
+    /// Degree centrality — a cheaper structural identifier.
+    Degree,
+    /// Raw vertex ids — *no* topological correspondence between graphs;
+    /// the "naive random hypervector per vertex" strawman the paper argues
+    /// against in Section IV-C.
+    VertexId,
+}
+
+impl CentralityKind {
+    /// Human-readable name for experiment tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            CentralityKind::PageRank => "pagerank",
+            CentralityKind::Degree => "degree",
+            CentralityKind::VertexId => "vertex-id",
+        }
+    }
+}
+
+/// Configuration of the GraphHD pipeline. The defaults reproduce the
+/// paper's experimental setup (Section V): 10,000-dimensional bipolar
+/// hypervectors and 10 PageRank iterations.
+///
+/// # Examples
+///
+/// ```
+/// use graphhd::GraphHdConfig;
+///
+/// let config = GraphHdConfig::default();
+/// assert_eq!(config.dim, 10_000);
+/// assert_eq!(config.pagerank.iterations, 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphHdConfig {
+    /// Hypervector dimensionality d (paper: 10,000).
+    pub dim: usize,
+    /// PageRank parameters (paper: 10 iterations, standard damping).
+    pub pagerank: PageRankConfig,
+    /// The centrality metric used for vertex identifiers.
+    pub centrality: CentralityKind,
+    /// Tie-break policy for bundling majorities.
+    pub tie_break: TieBreak,
+    /// Seed for the basis item memory (and derived randomness).
+    pub seed: u64,
+}
+
+impl Default for GraphHdConfig {
+    fn default() -> Self {
+        Self {
+            dim: hdvec::DEFAULT_DIM,
+            pagerank: PageRankConfig::default(),
+            centrality: CentralityKind::PageRank,
+            tie_break: TieBreak::default(),
+            seed: 0x6_12A,
+        }
+    }
+}
+
+impl GraphHdConfig {
+    /// A default configuration with the given hypervector dimensionality
+    /// (used by the dimensionality-ablation experiment).
+    #[must_use]
+    pub fn with_dim(dim: usize) -> Self {
+        Self {
+            dim,
+            ..Self::default()
+        }
+    }
+
+    /// A default configuration with a different centrality metric (used
+    /// by the centrality-ablation experiment).
+    #[must_use]
+    pub fn with_centrality(centrality: CentralityKind) -> Self {
+        Self {
+            centrality,
+            ..Self::default()
+        }
+    }
+
+    /// A default configuration with a different seed.
+    #[must_use]
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_section_v() {
+        let c = GraphHdConfig::default();
+        assert_eq!(c.dim, 10_000);
+        assert_eq!(c.pagerank.iterations, 10);
+        assert!((c.pagerank.damping - 0.85).abs() < 1e-12);
+        assert_eq!(c.centrality, CentralityKind::PageRank);
+    }
+
+    #[test]
+    fn builders_override_single_fields() {
+        assert_eq!(GraphHdConfig::with_dim(512).dim, 512);
+        assert_eq!(
+            GraphHdConfig::with_centrality(CentralityKind::Degree).centrality,
+            CentralityKind::Degree
+        );
+        assert_eq!(GraphHdConfig::with_seed(9).seed, 9);
+    }
+
+    #[test]
+    fn centrality_names_are_distinct() {
+        let names = [
+            CentralityKind::PageRank.name(),
+            CentralityKind::Degree.name(),
+            CentralityKind::VertexId.name(),
+        ];
+        assert_eq!(
+            names.len(),
+            names.iter().collect::<std::collections::HashSet<_>>().len()
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! **GraphHD** — graph classification with hyperdimensional computing.
+//!
+//! This crate is the primary contribution of the reproduced paper (Nunes,
+//! Heddes, Givargis, Nicolau, Veidenbaum: *GraphHD: Efficient graph
+//! classification using hyperdimensional computing*, DATE 2022). The
+//! pipeline, following Section IV:
+//!
+//! 1. **Vertex encoding** — vertices are ranked by PageRank centrality;
+//!    vertices with the same centrality rank (across different graphs!)
+//!    share a random basis hypervector, giving a topology-derived symbol
+//!    correspondence between graphs.
+//! 2. **Edge encoding** — each edge binds its endpoint hypervectors:
+//!    `Enc_e((u, v)) = Enc_v(u) × Enc_v(v)`.
+//! 3. **Graph encoding** — all edge hypervectors of a graph are bundled
+//!    (majority vote) into the graph hypervector.
+//! 4. **Training** (Algorithm 1) — the hypervectors of each class are
+//!    bundled into a class vector.
+//! 5. **Inference** — a query graph is encoded with the same function and
+//!    assigned the class of the most cosine-similar class vector.
+//!
+//! Beyond the baseline, the crate implements the paper's future-work
+//! directions (Section VII): [`retrain`](model::GraphHdModel::retrain)ing,
+//! [`prototypes`] (multiple class-vectors per class), and
+//! [`labeled`] (vertex-label-aware encoding), plus [`noise`] utilities
+//! backing the robustness claims of Sections I–II.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphhd::{GraphHdConfig, GraphHdModel};
+//! use graphcore::generate;
+//!
+//! // Tell dense graphs from sparse ones.
+//! let graphs: Vec<_> = (5..15)
+//!     .flat_map(|n| [generate::complete(n), generate::path(n)])
+//!     .collect();
+//! let refs: Vec<&graphcore::Graph> = graphs.iter().collect();
+//! let labels: Vec<u32> = (0..refs.len()).map(|i| (i % 2) as u32).collect();
+//!
+//! let model = GraphHdModel::fit(GraphHdConfig::default(), &refs, &labels, 2)?;
+//! let dense = generate::complete(9);
+//! assert_eq!(model.predict(&dense), 0);
+//! # Ok::<(), graphhd::TrainError>(())
+//! ```
+
+mod classifier;
+mod config;
+mod encoder;
+pub mod labeled;
+mod model;
+pub mod noise;
+pub mod prototypes;
+
+pub use classifier::GraphHdClassifier;
+pub use config::{CentralityKind, GraphHdConfig};
+pub use encoder::GraphEncoder;
+pub use model::{GraphHdModel, RetrainReport, TrainError};

@@ -1,0 +1,472 @@
+//! GraphHD training (Algorithm 1) and inference, plus the retraining
+//! extension (future-work direction 1 of Section VII).
+
+use crate::{GraphEncoder, GraphHdConfig};
+use graphcore::Graph;
+use hdvec::{Accumulator, Hypervector};
+
+/// Errors produced when fitting a [`GraphHdModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TrainError {
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// Graph and label counts differ.
+    LengthMismatch {
+        /// Number of graphs supplied.
+        graphs: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// A label was `>= num_classes`.
+    LabelOutOfRange {
+        /// Index of the offending sample.
+        index: usize,
+        /// The label value.
+        label: u32,
+        /// Declared class count.
+        num_classes: usize,
+    },
+    /// `num_classes` was zero.
+    ZeroClasses,
+    /// The configured hypervector dimension was zero.
+    ZeroDimension,
+}
+
+impl core::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TrainError::EmptyTrainingSet => write!(f, "cannot train on zero graphs"),
+            TrainError::LengthMismatch { graphs, labels } => {
+                write!(f, "{graphs} graphs but {labels} labels")
+            }
+            TrainError::LabelOutOfRange {
+                index,
+                label,
+                num_classes,
+            } => write!(
+                f,
+                "label {label} at index {index} out of range for {num_classes} classes"
+            ),
+            TrainError::ZeroClasses => write!(f, "need at least one class"),
+            TrainError::ZeroDimension => write!(f, "hypervector dimension must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Outcome of a [`GraphHdModel::retrain`] run: mistakes per epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetrainReport {
+    /// Number of misclassified training samples in each epoch.
+    pub epoch_errors: Vec<usize>,
+}
+
+impl RetrainReport {
+    /// Whether the final epoch made no mistakes (training converged).
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.epoch_errors.last().is_some_and(|&e| e == 0)
+    }
+}
+
+/// A trained GraphHD model: one class vector per class (Section III-B /
+/// Algorithm 1), with the underlying integer accumulators retained so the
+/// retraining extension can update them.
+///
+/// A usage example lives in the [crate documentation](crate).
+#[derive(Debug, Clone)]
+pub struct GraphHdModel {
+    encoder: GraphEncoder,
+    class_accumulators: Vec<Accumulator>,
+    class_vectors: Vec<Hypervector>,
+}
+
+impl GraphHdModel {
+    /// Trains per Algorithm 1: encode every training graph, bundle the
+    /// graph hypervectors of each class into its class vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] for inconsistent inputs.
+    pub fn fit(
+        config: GraphHdConfig,
+        graphs: &[&Graph],
+        labels: &[u32],
+        num_classes: usize,
+    ) -> Result<Self, TrainError> {
+        let encoder = GraphEncoder::new(config).map_err(|_| TrainError::ZeroDimension)?;
+        let encodings = Self::validate_and_encode(&encoder, graphs, labels, num_classes)?;
+        Ok(Self::fit_encoded(encoder, &encodings, labels, num_classes))
+    }
+
+    /// Trains from precomputed graph hypervectors (exposed so pipelines
+    /// that already hold encodings — retraining loops, ablations — skip
+    /// the redundant encode pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or labels are out of range (callers
+    /// going through [`fit`](Self::fit) are validated with errors).
+    #[must_use]
+    pub fn fit_encoded(
+        encoder: GraphEncoder,
+        encodings: &[Hypervector],
+        labels: &[u32],
+        num_classes: usize,
+    ) -> Self {
+        assert_eq!(encodings.len(), labels.len(), "encoding/label mismatch");
+        let dim = encoder.config().dim;
+        let mut class_accumulators: Vec<Accumulator> = (0..num_classes)
+            .map(|_| Accumulator::new(dim).expect("validated dimension"))
+            .collect();
+        for (hv, &label) in encodings.iter().zip(labels) {
+            class_accumulators[label as usize].add(hv);
+        }
+        let tie = encoder.config().tie_break;
+        let class_vectors = class_accumulators
+            .iter()
+            .map(|acc| acc.to_hypervector(tie))
+            .collect();
+        Self {
+            encoder,
+            class_accumulators,
+            class_vectors,
+        }
+    }
+
+    fn validate_and_encode(
+        encoder: &GraphEncoder,
+        graphs: &[&Graph],
+        labels: &[u32],
+        num_classes: usize,
+    ) -> Result<Vec<Hypervector>, TrainError> {
+        if num_classes == 0 {
+            return Err(TrainError::ZeroClasses);
+        }
+        if graphs.is_empty() {
+            return Err(TrainError::EmptyTrainingSet);
+        }
+        if graphs.len() != labels.len() {
+            return Err(TrainError::LengthMismatch {
+                graphs: graphs.len(),
+                labels: labels.len(),
+            });
+        }
+        if let Some((index, &label)) = labels
+            .iter()
+            .enumerate()
+            .find(|(_, &l)| l as usize >= num_classes)
+        {
+            return Err(TrainError::LabelOutOfRange {
+                index,
+                label,
+                num_classes,
+            });
+        }
+        Ok(encoder.encode_all(graphs))
+    }
+
+    /// The encoder (shared between training and inference, as the paper
+    /// requires).
+    #[must_use]
+    pub fn encoder(&self) -> &GraphEncoder {
+        &self.encoder
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.class_vectors.len()
+    }
+
+    /// The trained class vectors.
+    #[must_use]
+    pub fn class_vectors(&self) -> &[Hypervector] {
+        &self.class_vectors
+    }
+
+    /// Cosine similarity of an already-encoded query to every class.
+    #[must_use]
+    pub fn scores_encoded(&self, query: &Hypervector) -> Vec<f64> {
+        self.class_vectors
+            .iter()
+            .map(|c| c.cosine(query))
+            .collect()
+    }
+
+    /// Cosine similarity of a graph to every class vector.
+    #[must_use]
+    pub fn scores(&self, graph: &Graph) -> Vec<f64> {
+        self.scores_encoded(&self.encoder.encode(graph))
+    }
+
+    /// Predicts the class of an already-encoded query (ties go to the
+    /// lower class id).
+    #[must_use]
+    pub fn predict_encoded(&self, query: &Hypervector) -> u32 {
+        let scores = self.scores_encoded(query);
+        let mut best = 0usize;
+        for (i, &s) in scores.iter().enumerate().skip(1) {
+            if s > scores[best] {
+                best = i;
+            }
+        }
+        best as u32
+    }
+
+    /// Predicts the class of a graph — `pred(y)` of Section III-C.
+    #[must_use]
+    pub fn predict(&self, graph: &Graph) -> u32 {
+        self.predict_encoded(&self.encoder.encode(graph))
+    }
+
+    /// Predicts many graphs, encoding in parallel.
+    #[must_use]
+    pub fn predict_all(&self, graphs: &[&Graph]) -> Vec<u32> {
+        self.encoder
+            .encode_all(graphs)
+            .iter()
+            .map(|hv| self.predict_encoded(hv))
+            .collect()
+    }
+
+    /// The retraining extension (Section VII, direction 1): perceptron-
+    /// style refinement. For each epoch, every mispredicted training
+    /// sample is *added* to its true class accumulator and *subtracted*
+    /// from the wrongly predicted one; class vectors are re-thresholded
+    /// after each mistake.
+    ///
+    /// Returns the per-epoch mistake counts. Stops early when an epoch is
+    /// mistake-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or a label is out of range.
+    pub fn retrain(
+        &mut self,
+        encodings: &[Hypervector],
+        labels: &[u32],
+        epochs: usize,
+    ) -> RetrainReport {
+        assert_eq!(encodings.len(), labels.len(), "encoding/label mismatch");
+        assert!(
+            labels.iter().all(|&l| (l as usize) < self.num_classes()),
+            "label out of range"
+        );
+        let tie = self.encoder.config().tie_break;
+        let mut epoch_errors = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut errors = 0usize;
+            for (hv, &label) in encodings.iter().zip(labels) {
+                let predicted = self.predict_encoded(hv);
+                if predicted != label {
+                    errors += 1;
+                    self.class_accumulators[label as usize].add(hv);
+                    self.class_accumulators[predicted as usize].sub(hv);
+                    self.class_vectors[label as usize] =
+                        self.class_accumulators[label as usize].to_hypervector(tie);
+                    self.class_vectors[predicted as usize] =
+                        self.class_accumulators[predicted as usize].to_hypervector(tie);
+                }
+            }
+            epoch_errors.push(errors);
+            if errors == 0 {
+                break;
+            }
+        }
+        RetrainReport { epoch_errors }
+    }
+
+    /// Replaces every class vector with a noisy copy (each bit flipped
+    /// independently with probability `rate`) — the fault-injection hook
+    /// behind the robustness experiment A3.
+    #[must_use]
+    pub fn with_noisy_class_vectors<R: prng::WordRng>(&self, rate: f64, rng: &mut R) -> Self {
+        let mut noisy = self.clone();
+        noisy.class_vectors = self
+            .class_vectors
+            .iter()
+            .map(|c| c.with_noise(rate, rng))
+            .collect();
+        noisy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::generate;
+    use prng::Xoshiro256PlusPlus;
+
+    fn toy() -> (Vec<Graph>, Vec<u32>) {
+        let mut graphs = Vec::new();
+        let mut labels = Vec::new();
+        for n in 6..16 {
+            graphs.push(generate::complete(n));
+            labels.push(0);
+            graphs.push(generate::path(n));
+            labels.push(1);
+        }
+        (graphs, labels)
+    }
+
+    fn fit_toy(dim: usize) -> (GraphHdModel, Vec<Graph>, Vec<u32>) {
+        let (graphs, labels) = toy();
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        let model = GraphHdModel::fit(
+            GraphHdConfig::with_dim(dim),
+            &refs,
+            &labels,
+            2,
+        )
+        .expect("valid inputs");
+        (model, graphs, labels)
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let g = generate::path(3);
+        let config = GraphHdConfig::default();
+        assert_eq!(
+            GraphHdModel::fit(config, &[], &[], 2).unwrap_err(),
+            TrainError::EmptyTrainingSet
+        );
+        assert_eq!(
+            GraphHdModel::fit(config, &[&g], &[], 2).unwrap_err(),
+            TrainError::LengthMismatch { graphs: 1, labels: 0 }
+        );
+        assert_eq!(
+            GraphHdModel::fit(config, &[&g], &[7], 2).unwrap_err(),
+            TrainError::LabelOutOfRange {
+                index: 0,
+                label: 7,
+                num_classes: 2
+            }
+        );
+        assert_eq!(
+            GraphHdModel::fit(config, &[&g], &[0], 0).unwrap_err(),
+            TrainError::ZeroClasses
+        );
+        assert_eq!(
+            GraphHdModel::fit(GraphHdConfig::with_dim(0), &[&g], &[0], 1).unwrap_err(),
+            TrainError::ZeroDimension
+        );
+    }
+
+    #[test]
+    fn separable_task_is_learned() {
+        let (model, graphs, labels) = fit_toy(10_000);
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        let predictions = model.predict_all(&refs);
+        let accuracy = predictions
+            .iter()
+            .zip(&labels)
+            .filter(|(p, l)| p == l)
+            .count() as f64
+            / labels.len() as f64;
+        assert!(accuracy >= 0.9, "training accuracy {accuracy}");
+        // Held-out sizes generalise.
+        assert_eq!(model.predict(&generate::complete(20)), 0);
+        assert_eq!(model.predict(&generate::path(20)), 1);
+    }
+
+    #[test]
+    fn scores_align_with_prediction() {
+        let (model, _, _) = fit_toy(4096);
+        let g = generate::complete(11);
+        let scores = model.scores(&g);
+        assert_eq!(scores.len(), 2);
+        let predicted = model.predict(&g);
+        assert!(scores[predicted as usize] >= scores[1 - predicted as usize]);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (a, _, _) = fit_toy(2048);
+        let (b, _, _) = fit_toy(2048);
+        assert_eq!(a.class_vectors(), b.class_vectors());
+    }
+
+    #[test]
+    fn retrain_reduces_errors_on_hard_task() {
+        // A harder task: same density, different motif structure.
+        let mut graphs = Vec::new();
+        let mut labels = Vec::new();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        for i in 0..40 {
+            let base = generate::erdos_renyi(20, 0.15, &mut rng).expect("valid p");
+            if i % 2 == 0 {
+                graphs.push(base);
+                labels.push(0u32);
+            } else {
+                graphs.push(
+                    generate::with_planted_triangles(&base, 6, &mut rng).expect("n >= 3"),
+                );
+                labels.push(1u32);
+            }
+        }
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        let config = GraphHdConfig::with_dim(4096);
+        let encoder = GraphEncoder::new(config).expect("valid config");
+        let encodings = encoder.encode_all(&refs);
+        let mut model = GraphHdModel::fit_encoded(encoder, &encodings, &labels, 2);
+
+        let before: usize = encodings
+            .iter()
+            .zip(&labels)
+            .filter(|(hv, &l)| model.predict_encoded(hv) != l)
+            .count();
+        let report = model.retrain(&encodings, &labels, 20);
+        let after: usize = encodings
+            .iter()
+            .zip(&labels)
+            .filter(|(hv, &l)| model.predict_encoded(hv) != l)
+            .count();
+        assert!(
+            after <= before,
+            "retraining must not increase training errors ({before} -> {after})"
+        );
+        assert!(!report.epoch_errors.is_empty());
+    }
+
+    #[test]
+    fn retrain_converged_flag() {
+        let (mut model, graphs, labels) = fit_toy(4096);
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        let encodings = model.encoder().encode_all(&refs);
+        let report = model.retrain(&encodings, &labels, 50);
+        assert!(report.converged(), "separable task should converge");
+    }
+
+    #[test]
+    fn noise_injection_keeps_dimensions() {
+        let (model, _, _) = fit_toy(1024);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        let noisy = model.with_noisy_class_vectors(0.2, &mut rng);
+        assert_eq!(noisy.num_classes(), model.num_classes());
+        for (a, b) in noisy.class_vectors().iter().zip(model.class_vectors()) {
+            assert_eq!(a.dim(), b.dim());
+            assert_ne!(a, b, "20% noise should change the vectors");
+        }
+    }
+
+    #[test]
+    fn robustness_to_moderate_noise() {
+        // The HDC robustness claim: 10% of flipped class-vector bits
+        // barely moves accuracy on a separable task.
+        let (model, graphs, labels) = fit_toy(10_000);
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        let noisy = model.with_noisy_class_vectors(0.10, &mut rng);
+        let predictions = noisy.predict_all(&refs);
+        let accuracy = predictions
+            .iter()
+            .zip(&labels)
+            .filter(|(p, l)| p == l)
+            .count() as f64
+            / labels.len() as f64;
+        assert!(accuracy >= 0.9, "accuracy under noise {accuracy}");
+    }
+}

@@ -1,0 +1,362 @@
+//! Bundling accumulators: exact element-wise majority voting.
+
+use crate::{HdvError, Hypervector};
+
+/// Policy for resolving per-dimension ties when an [`Accumulator`] is
+/// thresholded to a bipolar hypervector.
+///
+/// Ties occur whenever an even number of vectors has been bundled and a
+/// dimension received exactly as many +1 as −1 votes. The paper does not
+/// specify a rule; all three policies below are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TieBreak {
+    /// Resolve every tie to +1.
+    Positive,
+    /// Resolve every tie to −1.
+    Negative,
+    /// Resolve ties pseudo-randomly but reproducibly: dimension `i` of a
+    /// tie takes the sign of a fixed random pattern derived from the seed.
+    Seeded(u64),
+}
+
+impl Default for TieBreak {
+    /// The suite-wide default: seeded pseudo-random ties with seed 0, which
+    /// avoids the systematic bias of `Positive`/`Negative` while staying
+    /// reproducible.
+    fn default() -> Self {
+        TieBreak::Seeded(0)
+    }
+}
+
+/// Signed per-dimension vote counters implementing HDC bundling exactly.
+///
+/// The paper's Σ (bundling) is element-wise majority voting. Summing ±1
+/// components in `i32` counters and thresholding at zero implements it
+/// without the precision loss of iterated pairwise majorities.
+///
+/// # Examples
+///
+/// ```
+/// use hdvec::{Accumulator, ItemMemory, TieBreak};
+///
+/// let memory = ItemMemory::new(10_000, 3)?;
+/// let mut acc = Accumulator::new(10_000)?;
+/// for i in 0..7 {
+///     acc.add(&memory.hypervector(i));
+/// }
+/// let class_vector = acc.to_hypervector(TieBreak::default());
+/// assert_eq!(class_vector.dim(), 10_000);
+/// # Ok::<(), hdvec::HdvError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Accumulator {
+    counts: Vec<i32>,
+    added: u64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator of the given dimensionality.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdvError::ZeroDimension`] if `dim == 0`.
+    pub fn new(dim: usize) -> Result<Self, HdvError> {
+        if dim == 0 {
+            return Err(HdvError::ZeroDimension);
+        }
+        Ok(Self {
+            counts: vec![0; dim],
+            added: 0,
+        })
+    }
+
+    /// The dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of `add` calls minus `sub` calls weighted by their weights —
+    /// i.e. the net number of vectors currently bundled.
+    #[must_use]
+    pub fn added(&self) -> u64 {
+        self.added
+    }
+
+    /// Whether nothing has been accumulated yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.added == 0 && self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// The raw signed counters.
+    #[must_use]
+    pub fn counts(&self) -> &[i32] {
+        &self.counts
+    }
+
+    /// Builds an accumulator from raw signed counters and a vote count —
+    /// the conversion target of
+    /// [`BitSliceAccumulator`](crate::BitSliceAccumulator).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdvError::ZeroDimension`] if `counts` is empty.
+    pub fn from_counts(counts: Vec<i32>, added: u64) -> Result<Self, HdvError> {
+        if counts.is_empty() {
+            return Err(HdvError::ZeroDimension);
+        }
+        Ok(Self { counts, added })
+    }
+
+    /// Adds one vote of `hv` (+1 components increment, −1 decrement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn add(&mut self, hv: &Hypervector) {
+        self.add_weighted(hv, 1);
+    }
+
+    /// Removes one vote of `hv`; the inverse of [`add`](Self::add), used by
+    /// retraining to subtract a mispredicted sample from a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn sub(&mut self, hv: &Hypervector) {
+        self.add_weighted(hv, -1);
+    }
+
+    /// Adds `weight` votes of `hv` at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn add_weighted(&mut self, hv: &Hypervector, weight: i32) {
+        assert_eq!(
+            self.dim(),
+            hv.dim(),
+            "cannot accumulate a {}-dimensional hypervector into a {}-dimensional accumulator",
+            hv.dim(),
+            self.dim()
+        );
+        // Walk the packed words and update counters per bit; bit=1 ⇔ −1.
+        for (word_idx, &word) in hv.words().iter().enumerate() {
+            let base = word_idx * 64;
+            let upper = usize::min(base + 64, self.counts.len());
+            for (bit, count) in self.counts[base..upper].iter_mut().enumerate() {
+                if (word >> bit) & 1 == 1 {
+                    *count -= weight;
+                } else {
+                    *count += weight;
+                }
+            }
+        }
+        self.added = self.added.saturating_add_signed(i64::from(weight));
+    }
+
+    /// Merges another accumulator into this one (vote-wise addition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn merge(&mut self, other: &Accumulator) {
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "cannot merge accumulators of dimensions {} and {}",
+            other.dim(),
+            self.dim()
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.added = self.added.saturating_add(other.added);
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.added = 0;
+    }
+
+    /// Thresholds the counters into a bipolar hypervector: positive counts
+    /// map to +1, negative to −1, and zeros are resolved by `tie_break`.
+    /// This is the normalization `[...]` of the paper's encoding equations.
+    #[must_use]
+    pub fn to_hypervector(&self, tie_break: TieBreak) -> Hypervector {
+        let dim = self.dim();
+        let tie = match tie_break {
+            TieBreak::Positive => None,
+            TieBreak::Negative => None,
+            TieBreak::Seeded(seed) => Some(Hypervector::tie_pattern(dim, seed)),
+        };
+        let mut out = Hypervector::positive(dim).expect("dimension already validated");
+        for (i, &c) in self.counts.iter().enumerate() {
+            let negative = match c.cmp(&0) {
+                core::cmp::Ordering::Less => true,
+                core::cmp::Ordering::Greater => false,
+                core::cmp::Ordering::Equal => match (&tie, tie_break) {
+                    (Some(pattern), _) => pattern.component(i) == -1,
+                    (None, TieBreak::Negative) => true,
+                    (None, _) => false,
+                },
+            };
+            if negative {
+                out.set_component(i, -1);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ItemMemory;
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(matches!(Accumulator::new(0), Err(HdvError::ZeroDimension)));
+    }
+
+    #[test]
+    fn add_then_threshold_is_identity() {
+        let memory = ItemMemory::new(200, 5).unwrap();
+        let v = memory.hypervector(0);
+        let mut acc = Accumulator::new(200).unwrap();
+        acc.add(&v);
+        assert_eq!(acc.to_hypervector(TieBreak::Positive), v);
+        assert_eq!(acc.added(), 1);
+    }
+
+    #[test]
+    fn add_sub_cancels() {
+        let memory = ItemMemory::new(200, 6).unwrap();
+        let v = memory.hypervector(1);
+        let mut acc = Accumulator::new(200).unwrap();
+        acc.add(&v);
+        acc.sub(&v);
+        assert!(acc.is_empty());
+        assert!(acc.counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn majority_beats_minority() {
+        let memory = ItemMemory::new(512, 7).unwrap();
+        let a = memory.hypervector(0);
+        let b = memory.hypervector(1);
+        let mut acc = Accumulator::new(512).unwrap();
+        acc.add(&a);
+        acc.add(&a);
+        acc.add(&a);
+        acc.add(&b);
+        // a has 3 votes vs 1: result equals a wherever they disagree, so
+        // the result is exactly a (where they agree it is trivially a).
+        assert_eq!(acc.to_hypervector(TieBreak::Positive), a);
+    }
+
+    #[test]
+    fn weighted_add_equals_repeated_add() {
+        let memory = ItemMemory::new(128, 8).unwrap();
+        let v = memory.hypervector(2);
+        let mut a = Accumulator::new(128).unwrap();
+        let mut b = Accumulator::new(128).unwrap();
+        for _ in 0..5 {
+            a.add(&v);
+        }
+        b.add_weighted(&v, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_equals_joint_accumulation() {
+        let memory = ItemMemory::new(128, 9).unwrap();
+        let mut left = Accumulator::new(128).unwrap();
+        let mut right = Accumulator::new(128).unwrap();
+        let mut joint = Accumulator::new(128).unwrap();
+        for i in 0..4 {
+            let v = memory.hypervector(i);
+            if i % 2 == 0 {
+                left.add(&v);
+            } else {
+                right.add(&v);
+            }
+            joint.add(&v);
+        }
+        left.merge(&right);
+        assert_eq!(left, joint);
+    }
+
+    #[test]
+    fn tie_break_policies_differ_only_on_ties() {
+        let memory = ItemMemory::new(1000, 10).unwrap();
+        let a = memory.hypervector(0);
+        let b = memory.hypervector(1);
+        let mut acc = Accumulator::new(1000).unwrap();
+        acc.add(&a);
+        acc.add(&b);
+        let pos = acc.to_hypervector(TieBreak::Positive);
+        let neg = acc.to_hypervector(TieBreak::Negative);
+        let seeded = acc.to_hypervector(TieBreak::Seeded(42));
+        for i in 0..1000 {
+            if acc.counts()[i] != 0 {
+                assert_eq!(pos.component(i), neg.component(i));
+                assert_eq!(pos.component(i), seeded.component(i));
+            } else {
+                assert_eq!(pos.component(i), 1);
+                assert_eq!(neg.component(i), -1);
+            }
+        }
+        // Roughly half the dimensions of two random vectors tie.
+        let ties = acc.counts().iter().filter(|&&c| c == 0).count();
+        assert!(ties > 350 && ties < 650, "tie count {ties}");
+    }
+
+    #[test]
+    fn seeded_tie_break_is_deterministic() {
+        let memory = ItemMemory::new(256, 11).unwrap();
+        let mut acc = Accumulator::new(256).unwrap();
+        acc.add(&memory.hypervector(0));
+        acc.add(&memory.hypervector(1));
+        let x = acc.to_hypervector(TieBreak::Seeded(7));
+        let y = acc.to_hypervector(TieBreak::Seeded(7));
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let memory = ItemMemory::new(64, 12).unwrap();
+        let mut acc = Accumulator::new(64).unwrap();
+        acc.add(&memory.hypervector(0));
+        acc.reset();
+        assert!(acc.is_empty());
+        assert_eq!(acc.added(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot accumulate")]
+    fn dimension_mismatch_panics() {
+        let memory = ItemMemory::new(64, 13).unwrap();
+        let mut acc = Accumulator::new(128).unwrap();
+        acc.add(&memory.hypervector(0));
+    }
+
+    #[test]
+    fn bundle_similarity_grows_with_votes() {
+        // A vector bundled twice among unrelated vectors is closer to the
+        // bundle than one bundled once.
+        let memory = ItemMemory::new(10_000, 14).unwrap();
+        let favored = memory.hypervector(0);
+        let other = memory.hypervector(1);
+        let mut acc = Accumulator::new(10_000).unwrap();
+        acc.add_weighted(&favored, 3);
+        acc.add(&other);
+        for i in 2..6 {
+            acc.add(&memory.hypervector(i));
+        }
+        let bundle = acc.to_hypervector(TieBreak::default());
+        assert!(bundle.cosine(&favored) > bundle.cosine(&other));
+    }
+}

@@ -1,0 +1,562 @@
+//! The bit-packed bipolar hypervector type.
+
+use crate::HdvError;
+use prng::{SplitMix64, WordRng};
+
+/// A bipolar hypervector in {+1, −1}^d.
+///
+/// Components are stored one bit per dimension with the convention
+/// **bit = 1 ⇔ component = −1**, so that element-wise multiplication
+/// (HDC *binding*) is a bitwise XOR and the dot product is
+/// `d − 2·hamming`. The storage invariant is that bits beyond `dim` in the
+/// last word are always zero; every operation preserves it.
+///
+/// # Examples
+///
+/// ```
+/// use hdvec::Hypervector;
+///
+/// let v = Hypervector::from_components(&[1, -1, 1, 1])?;
+/// assert_eq!(v.component(1), -1);
+/// assert_eq!(v.dot(&v), 4);
+/// assert_eq!(v.cosine(&v), 1.0);
+/// # Ok::<(), hdvec::HdvError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Hypervector {
+    dim: usize,
+    words: Vec<u64>,
+}
+
+impl Hypervector {
+    /// Number of 64-bit words needed for `dim` dimensions.
+    fn word_count(dim: usize) -> usize {
+        dim.div_ceil(64)
+    }
+
+    /// Mask with ones at every valid bit position of the final word.
+    fn tail_mask(dim: usize) -> u64 {
+        match dim % 64 {
+            0 => !0u64,
+            r => (1u64 << r) - 1,
+        }
+    }
+
+    fn check_dim(dim: usize) -> Result<(), HdvError> {
+        if dim == 0 {
+            Err(HdvError::ZeroDimension)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Creates the all-(+1) hypervector, the identity element of binding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdvError::ZeroDimension`] if `dim == 0`.
+    pub fn positive(dim: usize) -> Result<Self, HdvError> {
+        Self::check_dim(dim)?;
+        Ok(Self {
+            dim,
+            words: vec![0u64; Self::word_count(dim)],
+        })
+    }
+
+    /// Creates the all-(−1) hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdvError::ZeroDimension`] if `dim == 0`.
+    pub fn negative(dim: usize) -> Result<Self, HdvError> {
+        Self::check_dim(dim)?;
+        let mut words = vec![!0u64; Self::word_count(dim)];
+        if let Some(last) = words.last_mut() {
+            *last &= Self::tail_mask(dim);
+        }
+        Ok(Self { dim, words })
+    }
+
+    /// Draws a uniformly random hypervector from `rng`.
+    ///
+    /// Each component is independently ±1 with probability ½, which makes
+    /// distinct random hypervectors quasi-orthogonal in high dimension —
+    /// the property HDC basis sets rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdvError::ZeroDimension`] if `dim == 0`.
+    pub fn random<R: WordRng>(dim: usize, rng: &mut R) -> Result<Self, HdvError> {
+        Self::check_dim(dim)?;
+        let mut words: Vec<u64> = (0..Self::word_count(dim)).map(|_| rng.next_u64()).collect();
+        if let Some(last) = words.last_mut() {
+            *last &= Self::tail_mask(dim);
+        }
+        Ok(Self { dim, words })
+    }
+
+    /// Builds a hypervector from explicit ±1 components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdvError::ZeroDimension`] for an empty slice and
+    /// [`HdvError::InvalidComponent`] if any value is not +1 or −1.
+    pub fn from_components(components: &[i8]) -> Result<Self, HdvError> {
+        Self::check_dim(components.len())?;
+        let mut out = Self::positive(components.len())?;
+        for (i, &c) in components.iter().enumerate() {
+            match c {
+                1 => {}
+                -1 => out.set_component(i, -1),
+                other => {
+                    return Err(HdvError::InvalidComponent {
+                        index: i,
+                        value: other,
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Builds a hypervector from a predicate over dimensions; `true` maps
+    /// to −1 (set bit), mirroring the storage convention.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdvError::ZeroDimension`] if `dim == 0`.
+    pub fn from_fn<F: FnMut(usize) -> bool>(dim: usize, mut f: F) -> Result<Self, HdvError> {
+        Self::check_dim(dim)?;
+        let mut out = Self::positive(dim)?;
+        for i in 0..dim {
+            if f(i) {
+                out.set_component(i, -1);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The dimensionality d.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The packed 64-bit words (bit = 1 ⇔ component −1). Bits beyond
+    /// `dim()` in the last word are zero.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The component at `index`, +1 or −1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim()`.
+    #[must_use]
+    pub fn component(&self, index: usize) -> i8 {
+        assert!(
+            index < self.dim,
+            "component index {index} out of bounds for dimension {}",
+            self.dim
+        );
+        if (self.words[index / 64] >> (index % 64)) & 1 == 1 {
+            -1
+        } else {
+            1
+        }
+    }
+
+    /// Sets the component at `index` to `value` (+1 or −1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim()` or `value` is not ±1.
+    pub fn set_component(&mut self, index: usize, value: i8) {
+        assert!(
+            index < self.dim,
+            "component index {index} out of bounds for dimension {}",
+            self.dim
+        );
+        assert!(value == 1 || value == -1, "component must be +1 or -1");
+        let word = index / 64;
+        let bit = 1u64 << (index % 64);
+        if value == -1 {
+            self.words[word] |= bit;
+        } else {
+            self.words[word] &= !bit;
+        }
+    }
+
+    /// Returns the components as `i8` values (+1/−1).
+    #[must_use]
+    pub fn to_components(&self) -> Vec<i8> {
+        (0..self.dim).map(|i| self.component(i)).collect()
+    }
+
+    /// Iterates over components as +1/−1 values.
+    pub fn iter(&self) -> impl Iterator<Item = i8> + '_ {
+        (0..self.dim).map(move |i| self.component(i))
+    }
+
+    /// Binds two hypervectors (element-wise multiplication; XOR on the
+    /// packed representation). Binding is commutative, associative and
+    /// self-inverse, and the result is quasi-orthogonal to both operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn bind(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.bind_assign(other);
+        out
+    }
+
+    /// In-place [`bind`](Self::bind).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn bind_assign(&mut self, other: &Self) {
+        assert_eq!(
+            self.dim, other.dim,
+            "cannot bind hypervectors of dimensions {} and {}",
+            self.dim, other.dim
+        );
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w ^= o;
+        }
+    }
+
+    /// Returns the element-wise negation (every +1 ↔ −1).
+    #[must_use]
+    pub fn negated(&self) -> Self {
+        let mut words: Vec<u64> = self.words.iter().map(|w| !w).collect();
+        if let Some(last) = words.last_mut() {
+            *last &= Self::tail_mask(self.dim);
+        }
+        Self {
+            dim: self.dim,
+            words,
+        }
+    }
+
+    /// Circularly shifts components by `shift` positions (Kanerva's
+    /// permutation operation ρ): output dimension `(i + shift) mod d` takes
+    /// the value of input dimension `i`. `permute(0)` is the identity.
+    #[must_use]
+    pub fn permute(&self, shift: usize) -> Self {
+        let shift = shift % self.dim;
+        if shift == 0 {
+            return self.clone();
+        }
+        let mut out = Self {
+            dim: self.dim,
+            words: vec![0u64; self.words.len()],
+        };
+        for i in 0..self.dim {
+            if (self.words[i / 64] >> (i % 64)) & 1 == 1 {
+                let j = (i + shift) % self.dim;
+                out.words[j / 64] |= 1u64 << (j % 64);
+            }
+        }
+        out
+    }
+
+    /// Number of −1 components (popcount of the packed words).
+    #[must_use]
+    pub fn count_negative(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Hamming distance: the number of dimensions where the two vectors
+    /// disagree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn hamming(&self, other: &Self) -> usize {
+        assert_eq!(
+            self.dim, other.dim,
+            "cannot compare hypervectors of dimensions {} and {}",
+            self.dim, other.dim
+        );
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Dot product over the ±1 components: `d − 2·hamming`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn dot(&self, other: &Self) -> i64 {
+        self.dim as i64 - 2 * self.hamming(other) as i64
+    }
+
+    /// Cosine similarity in [−1, 1]. For bipolar vectors every vector has
+    /// norm √d, so this is exactly `dot / d`. This is the similarity metric
+    /// δ used by GraphHD at inference time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn cosine(&self, other: &Self) -> f64 {
+        self.dot(other) as f64 / self.dim as f64
+    }
+
+    /// Normalized Hamming similarity in [0, 1]: `1 − hamming/d`, the
+    /// "inverse Hamming distance" mentioned by the paper as an alternative
+    /// similarity metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn hamming_similarity(&self, other: &Self) -> f64 {
+        1.0 - self.hamming(other) as f64 / self.dim as f64
+    }
+
+    /// Returns a copy with each component independently flipped with
+    /// probability `rate`, modelling bit-level faults in an HDC memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not a finite value in `[0, 1]`.
+    #[must_use]
+    pub fn with_noise<R: WordRng>(&self, rate: f64, rng: &mut R) -> Self {
+        assert!(
+            rate.is_finite() && (0.0..=1.0).contains(&rate),
+            "noise rate must lie in [0, 1], got {rate}"
+        );
+        let mut out = self.clone();
+        for i in 0..self.dim {
+            if rng.bernoulli(rate) {
+                out.words[i / 64] ^= 1u64 << (i % 64);
+            }
+        }
+        out
+    }
+
+    /// Flips the components at the given indices in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn flip_indices(&mut self, indices: &[usize]) {
+        for &i in indices {
+            assert!(
+                i < self.dim,
+                "flip index {i} out of bounds for dimension {}",
+                self.dim
+            );
+            self.words[i / 64] ^= 1u64 << (i % 64);
+        }
+    }
+
+    /// A deterministic "tie-break" hypervector derived from `seed`; used by
+    /// [`Accumulator::to_hypervector`](crate::Accumulator::to_hypervector)
+    /// to resolve majority ties pseudo-randomly but reproducibly.
+    pub(crate) fn tie_pattern(dim: usize, seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut words: Vec<u64> = (0..Self::word_count(dim)).map(|_| sm.next_u64()).collect();
+        if let Some(last) = words.last_mut() {
+            *last &= Self::tail_mask(dim);
+        }
+        Self { dim, words }
+    }
+}
+
+impl core::fmt::Debug for Hypervector {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Hypervector")
+            .field("dim", &self.dim)
+            .field("negative_components", &self.count_negative())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prng::Xoshiro256PlusPlus;
+
+    fn rng() -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(matches!(
+            Hypervector::positive(0),
+            Err(HdvError::ZeroDimension)
+        ));
+        assert!(matches!(
+            Hypervector::random(0, &mut rng()),
+            Err(HdvError::ZeroDimension)
+        ));
+    }
+
+    #[test]
+    fn positive_and_negative_are_opposites() {
+        for dim in [1, 63, 64, 65, 100, 10_000] {
+            let p = Hypervector::positive(dim).unwrap();
+            let n = Hypervector::negative(dim).unwrap();
+            assert_eq!(p.count_negative(), 0);
+            assert_eq!(n.count_negative(), dim);
+            assert_eq!(p.negated(), n);
+            assert_eq!(p.cosine(&n), -1.0);
+        }
+    }
+
+    #[test]
+    fn tail_bits_stay_clear() {
+        // dim not a multiple of 64 exercises the tail mask.
+        let dim = 70;
+        let mut r = rng();
+        let a = Hypervector::random(dim, &mut r).unwrap();
+        let b = Hypervector::random(dim, &mut r).unwrap();
+        for v in [a.bind(&b), a.negated(), a.permute(13), a.with_noise(0.5, &mut r)] {
+            let tail = v.words().last().copied().unwrap();
+            assert_eq!(tail & !((1u64 << (dim % 64)) - 1), 0, "tail bits leaked");
+        }
+    }
+
+    #[test]
+    fn from_components_roundtrip() {
+        let comps = [1i8, -1, -1, 1, -1];
+        let v = Hypervector::from_components(&comps).unwrap();
+        assert_eq!(v.to_components(), comps);
+    }
+
+    #[test]
+    fn from_components_rejects_invalid() {
+        let out = Hypervector::from_components(&[1, 0, -1]);
+        assert!(matches!(
+            out,
+            Err(HdvError::InvalidComponent { index: 1, value: 0 })
+        ));
+    }
+
+    #[test]
+    fn bind_is_self_inverse_and_identity() {
+        let mut r = rng();
+        let a = Hypervector::random(1000, &mut r).unwrap();
+        let ident = Hypervector::positive(1000).unwrap();
+        assert_eq!(a.bind(&a), ident);
+        assert_eq!(a.bind(&ident), a);
+    }
+
+    #[test]
+    fn bind_preserves_distance() {
+        let mut r = rng();
+        let a = Hypervector::random(2048, &mut r).unwrap();
+        let b = Hypervector::random(2048, &mut r).unwrap();
+        let c = Hypervector::random(2048, &mut r).unwrap();
+        assert_eq!(a.bind(&c).hamming(&b.bind(&c)), a.hamming(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot bind")]
+    fn bind_dimension_mismatch_panics() {
+        let a = Hypervector::positive(64).unwrap();
+        let b = Hypervector::positive(128).unwrap();
+        let _ = a.bind(&b);
+    }
+
+    #[test]
+    fn random_vectors_are_quasi_orthogonal() {
+        let mut r = rng();
+        let a = Hypervector::random(10_000, &mut r).unwrap();
+        let b = Hypervector::random(10_000, &mut r).unwrap();
+        assert!(a.cosine(&b).abs() < 0.05);
+        // And roughly balanced.
+        let frac = a.count_negative() as f64 / 10_000.0;
+        assert!((frac - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn permute_rotates_and_inverts() {
+        let mut r = rng();
+        let a = Hypervector::random(100, &mut r).unwrap();
+        let p = a.permute(17);
+        assert_eq!(p.component(17), a.component(0));
+        assert_eq!(p.component(0), a.component(83));
+        assert_eq!(p.permute(100 - 17), a);
+        assert_eq!(a.permute(0), a);
+        assert_eq!(a.permute(100), a);
+    }
+
+    #[test]
+    fn permute_preserves_pairwise_distance() {
+        let mut r = rng();
+        let a = Hypervector::random(500, &mut r).unwrap();
+        let b = Hypervector::random(500, &mut r).unwrap();
+        assert_eq!(a.permute(7).hamming(&b.permute(7)), a.hamming(&b));
+    }
+
+    #[test]
+    fn dot_matches_hamming_identity() {
+        let mut r = rng();
+        let a = Hypervector::random(300, &mut r).unwrap();
+        let b = Hypervector::random(300, &mut r).unwrap();
+        assert_eq!(a.dot(&b), 300 - 2 * a.hamming(&b) as i64);
+        let naive: i64 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| i64::from(x) * i64::from(y))
+            .sum();
+        assert_eq!(a.dot(&b), naive);
+    }
+
+    #[test]
+    fn noise_zero_and_one_are_exact() {
+        let mut r = rng();
+        let a = Hypervector::random(256, &mut r).unwrap();
+        assert_eq!(a.with_noise(0.0, &mut r), a);
+        assert_eq!(a.with_noise(1.0, &mut r), a.negated());
+    }
+
+    #[test]
+    fn noise_rate_is_respected() {
+        let mut r = rng();
+        let a = Hypervector::random(10_000, &mut r).unwrap();
+        let noisy = a.with_noise(0.1, &mut r);
+        let flipped = a.hamming(&noisy) as f64 / 10_000.0;
+        assert!((flipped - 0.1).abs() < 0.02, "flip fraction {flipped}");
+    }
+
+    #[test]
+    fn flip_indices_flips_exactly() {
+        let mut v = Hypervector::positive(128).unwrap();
+        v.flip_indices(&[0, 64, 127]);
+        assert_eq!(v.count_negative(), 3);
+        assert_eq!(v.component(64), -1);
+        v.flip_indices(&[64]);
+        assert_eq!(v.component(64), 1);
+    }
+
+    #[test]
+    fn hamming_similarity_bounds() {
+        let mut r = rng();
+        let a = Hypervector::random(512, &mut r).unwrap();
+        assert_eq!(a.hamming_similarity(&a), 1.0);
+        assert_eq!(a.hamming_similarity(&a.negated()), 0.0);
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_compact() {
+        let v = Hypervector::positive(64).unwrap();
+        let s = format!("{v:?}");
+        assert!(s.contains("Hypervector"));
+        assert!(s.contains("dim"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Deterministic basis ("item") hypervector memories.
+
+use crate::{HdvError, Hypervector};
+use prng::{mix_seed, Xoshiro256PlusPlus};
+
+/// A deterministic, conceptually infinite set of random basis hypervectors.
+///
+/// The hypervector for item `i` is a pure function of `(seed, i)`: each item
+/// gets its own PRNG stream via [`prng::mix_seed`]. This is how GraphHD's
+/// vertex basis set H_v is realised — rank *r* across all graphs maps to
+/// `memory.hypervector(r)` without ever materialising the whole basis.
+///
+/// Distinct items are quasi-orthogonal with overwhelming probability, the
+/// property the paper requires of categorical value hypervectors
+/// (δ(Vi, Vj) ≃ 0 for i ≠ j).
+///
+/// # Examples
+///
+/// ```
+/// use hdvec::ItemMemory;
+///
+/// let memory = ItemMemory::new(10_000, 99)?;
+/// // Same (seed, index) — same hypervector, even across processes.
+/// assert_eq!(memory.hypervector(5), memory.hypervector(5));
+/// // Different indices — quasi-orthogonal.
+/// let sim = memory.hypervector(0).cosine(&memory.hypervector(1));
+/// assert!(sim.abs() < 0.05);
+/// # Ok::<(), hdvec::HdvError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ItemMemory {
+    dim: usize,
+    seed: u64,
+}
+
+impl ItemMemory {
+    /// Creates an item memory producing `dim`-dimensional hypervectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdvError::ZeroDimension`] if `dim == 0`.
+    pub fn new(dim: usize, seed: u64) -> Result<Self, HdvError> {
+        if dim == 0 {
+            return Err(HdvError::ZeroDimension);
+        }
+        Ok(Self { dim, seed })
+    }
+
+    /// The dimensionality of produced hypervectors.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The base seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generates the basis hypervector for `index`.
+    #[must_use]
+    pub fn hypervector(&self, index: u64) -> Hypervector {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(mix_seed(self.seed, index));
+        Hypervector::random(self.dim, &mut rng).expect("dimension already validated")
+    }
+}
+
+/// An [`ItemMemory`] with a growable cache of generated hypervectors, for
+/// hot loops that repeatedly touch the same low indices (e.g. encoding all
+/// graphs of a dataset, where ranks 0..max_n recur constantly).
+///
+/// # Examples
+///
+/// ```
+/// use hdvec::CachedItemMemory;
+///
+/// let mut memory = CachedItemMemory::new(10_000, 99)?;
+/// let first = memory.hypervector(3).clone();
+/// let again = memory.hypervector(3).clone();
+/// assert_eq!(first, again);
+/// # Ok::<(), hdvec::HdvError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CachedItemMemory {
+    inner: ItemMemory,
+    cache: Vec<Hypervector>,
+}
+
+impl CachedItemMemory {
+    /// Creates an empty cached memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdvError::ZeroDimension`] if `dim == 0`.
+    pub fn new(dim: usize, seed: u64) -> Result<Self, HdvError> {
+        Ok(Self {
+            inner: ItemMemory::new(dim, seed)?,
+            cache: Vec::new(),
+        })
+    }
+
+    /// Creates a cached memory with the first `prefill` items generated
+    /// eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdvError::ZeroDimension`] if `dim == 0`.
+    pub fn with_prefill(dim: usize, seed: u64, prefill: usize) -> Result<Self, HdvError> {
+        let mut mem = Self::new(dim, seed)?;
+        mem.ensure(prefill);
+        Ok(mem)
+    }
+
+    /// The dimensionality of produced hypervectors.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    /// Number of currently cached items.
+    #[must_use]
+    pub fn cached_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Returns the hypervector for `index`, generating and caching it (and
+    /// any missing predecessors) on first use.
+    pub fn hypervector(&mut self, index: usize) -> &Hypervector {
+        self.ensure(index + 1);
+        &self.cache[index]
+    }
+
+    /// Ensures at least `len` items are cached.
+    pub fn ensure(&mut self, len: usize) {
+        while self.cache.len() < len {
+            let next = self.cache.len() as u64;
+            self.cache.push(self.inner.hypervector(next));
+        }
+    }
+
+    /// A shared view of the underlying deterministic memory.
+    #[must_use]
+    pub fn as_item_memory(&self) -> ItemMemory {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(matches!(ItemMemory::new(0, 1), Err(HdvError::ZeroDimension)));
+        assert!(matches!(
+            CachedItemMemory::new(0, 1),
+            Err(HdvError::ZeroDimension)
+        ));
+    }
+
+    #[test]
+    fn deterministic_per_index() {
+        let m = ItemMemory::new(512, 21).unwrap();
+        assert_eq!(m.hypervector(9), m.hypervector(9));
+    }
+
+    #[test]
+    fn distinct_indices_distinct_vectors() {
+        let m = ItemMemory::new(10_000, 22).unwrap();
+        let a = m.hypervector(0);
+        let b = m.hypervector(1);
+        assert_ne!(a, b);
+        assert!(a.cosine(&b).abs() < 0.05);
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_bases() {
+        let m1 = ItemMemory::new(1024, 1).unwrap();
+        let m2 = ItemMemory::new(1024, 2).unwrap();
+        assert_ne!(m1.hypervector(0), m2.hypervector(0));
+    }
+
+    #[test]
+    fn pairwise_quasi_orthogonality_over_many_items() {
+        let m = ItemMemory::new(10_000, 23).unwrap();
+        let items: Vec<_> = (0..20).map(|i| m.hypervector(i)).collect();
+        for i in 0..items.len() {
+            for j in (i + 1)..items.len() {
+                let sim = items[i].cosine(&items[j]);
+                assert!(
+                    sim.abs() < 0.06,
+                    "items {i} and {j} too similar: {sim}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cache_matches_uncached() {
+        let plain = ItemMemory::new(256, 24).unwrap();
+        let mut cached = CachedItemMemory::new(256, 24).unwrap();
+        for i in [5usize, 2, 7, 5, 0] {
+            assert_eq!(cached.hypervector(i), &plain.hypervector(i as u64));
+        }
+        assert_eq!(cached.cached_len(), 8);
+    }
+
+    #[test]
+    fn prefill_generates_eagerly() {
+        let cached = CachedItemMemory::with_prefill(128, 25, 10).unwrap();
+        assert_eq!(cached.cached_len(), 10);
+    }
+}

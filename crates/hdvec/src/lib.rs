@@ -1,0 +1,140 @@
+//! Hyperdimensional computing (HDC) substrate.
+//!
+//! This crate implements the representation and the three fundamental HDC
+//! operations that GraphHD (Nunes et al., DATE 2022, Section III) builds on:
+//!
+//! - [`Hypervector`] — a *bipolar* vector in {+1, −1}^d, stored one bit per
+//!   dimension so that **binding** (element-wise multiplication) is a word
+//!   XOR and similarity reduces to popcounts.
+//! - [`Accumulator`] — signed per-dimension counters implementing
+//!   **bundling** (element-wise majority voting) exactly, including explicit
+//!   [`TieBreak`] policies for the even-count ties the paper leaves
+//!   unspecified.
+//! - [`Hypervector::permute`] — the **permutation** operation (circular
+//!   shift), completing Kanerva's operation triple.
+//! - [`ItemMemory`] / [`CachedItemMemory`] — deterministic basis
+//!   ("item") hypervector generation: the hypervector for symbol *i* is a
+//!   pure function of `(seed, i)`, so independent processes agree on the
+//!   basis without sharing state.
+//!
+//! # Examples
+//!
+//! Bind two random hypervectors and verify quasi-orthogonality, the
+//! statistical property HDC encodings rely on:
+//!
+//! ```
+//! use hdvec::ItemMemory;
+//!
+//! let memory = ItemMemory::new(10_000, 42)?;
+//! let a = memory.hypervector(0);
+//! let b = memory.hypervector(1);
+//! let edge = a.bind(&b);
+//! // The bound vector is quasi-orthogonal to both operands.
+//! assert!(edge.cosine(&a).abs() < 0.05);
+//! assert!(edge.cosine(&b).abs() < 0.05);
+//! // Binding is self-inverse: unbinding recovers the other operand.
+//! assert_eq!(edge.bind(&a), b);
+//! # Ok::<(), hdvec::HdvError>(())
+//! ```
+
+mod accumulator;
+mod bitslice;
+mod error;
+mod hypervector;
+mod item_memory;
+
+pub use accumulator::{Accumulator, TieBreak};
+pub use bitslice::BitSliceAccumulator;
+pub use error::HdvError;
+pub use hypervector::Hypervector;
+pub use item_memory::{CachedItemMemory, ItemMemory};
+
+/// The hypervector dimensionality used by the paper in all experiments
+/// (Section V: "GraphHD uses 10,000-dimensional bipolar hypervectors").
+pub const DEFAULT_DIM: usize = 10_000;
+
+/// Bundles an iterator of hypervectors into their element-wise majority.
+///
+/// This is the `bundle(·)` of the paper's Algorithm 1: ties (possible when
+/// an even number of vectors is bundled) are resolved by `tie_break`.
+///
+/// # Errors
+///
+/// Returns [`HdvError::EmptyBundle`] if the iterator is empty and
+/// [`HdvError::DimensionMismatch`] if the vectors disagree on dimension.
+///
+/// # Examples
+///
+/// ```
+/// use hdvec::{bundle, ItemMemory, TieBreak};
+///
+/// let memory = ItemMemory::new(10_000, 7)?;
+/// let vs: Vec<_> = (0..5).map(|i| memory.hypervector(i)).collect();
+/// let sum = bundle(vs.iter(), TieBreak::Positive)?;
+/// // The bundle is similar to each of its (quasi-orthogonal) inputs.
+/// for v in &vs {
+///     assert!(sum.cosine(v) > 0.2);
+/// }
+/// # Ok::<(), hdvec::HdvError>(())
+/// ```
+pub fn bundle<'a, I>(vectors: I, tie_break: TieBreak) -> Result<Hypervector, HdvError>
+where
+    I: IntoIterator<Item = &'a Hypervector>,
+{
+    let mut iter = vectors.into_iter();
+    let first = iter.next().ok_or(HdvError::EmptyBundle)?;
+    let mut acc = Accumulator::new(first.dim())?;
+    acc.add(first);
+    for v in iter {
+        if v.dim() != first.dim() {
+            return Err(HdvError::DimensionMismatch {
+                left: first.dim(),
+                right: v.dim(),
+            });
+        }
+        acc.add(v);
+    }
+    Ok(acc.to_hypervector(tie_break))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_of_one_is_identity() {
+        let memory = ItemMemory::new(256, 1).unwrap();
+        let v = memory.hypervector(3);
+        let out = bundle([&v], TieBreak::Positive).unwrap();
+        assert_eq!(out, v);
+    }
+
+    #[test]
+    fn bundle_empty_errors() {
+        let out = bundle([], TieBreak::Positive);
+        assert!(matches!(out, Err(HdvError::EmptyBundle)));
+    }
+
+    #[test]
+    fn bundle_dimension_mismatch_errors() {
+        let a = ItemMemory::new(128, 1).unwrap().hypervector(0);
+        let b = ItemMemory::new(256, 1).unwrap().hypervector(0);
+        let out = bundle([&a, &b], TieBreak::Positive);
+        assert!(matches!(out, Err(HdvError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn bundle_majority_of_three() {
+        let memory = ItemMemory::new(512, 9).unwrap();
+        let a = memory.hypervector(0);
+        let b = memory.hypervector(1);
+        // Majority of {a, a, b} is a at every dimension (2 votes vs 1).
+        let out = bundle([&a, &a, &b], TieBreak::Positive).unwrap();
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn default_dim_matches_paper() {
+        assert_eq!(DEFAULT_DIM, 10_000);
+    }
+}

@@ -1,0 +1,231 @@
+//! One-vs-one multiclass voting over binary SVMs.
+
+use crate::{BinarySvm, SvmConfig, SvmError};
+
+/// A multiclass kernel SVM: one [`BinarySvm`] per unordered class pair,
+/// combined by majority voting (ties broken by summed decision margins) —
+/// the scheme used by libsvm/scikit-learn `SVC` and therefore by the
+/// TUDataset reference evaluation the paper follows.
+///
+/// # Examples
+///
+/// ```
+/// use kernelsvm::{MulticlassSvm, SvmConfig};
+///
+/// // Three 1-D clusters at -2, 0, +2 with a linear kernel.
+/// let xs = [-2.1, -1.9, -0.1, 0.1, 1.9, 2.1];
+/// let labels = [0u32, 0, 1, 1, 2, 2];
+/// let kernel = |i: usize, j: usize| xs[i] * xs[j] + 1.0;
+/// let svm = MulticlassSvm::train(&labels, 3, kernel, &SvmConfig::default())?;
+/// let pred = svm.predict(|t| xs[t] * 2.0 + 1.0);
+/// assert_eq!(pred, 2);
+/// # Ok::<(), kernelsvm::SvmError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticlassSvm {
+    num_classes: usize,
+    machines: Vec<PairMachine>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct PairMachine {
+    /// Class predicted on positive decisions.
+    positive: u32,
+    /// Class predicted on negative decisions.
+    negative: u32,
+    /// Training-set indices (into the caller's index space) this pair
+    /// machine was trained on; the binary SVM's support indices refer to
+    /// positions in this vector.
+    subset: Vec<usize>,
+    svm: BinarySvm,
+}
+
+impl MulticlassSvm {
+    /// Trains one binary machine per class pair that has samples of both
+    /// classes. `labels[i]` must be `< num_classes`; `kernel(i, j)` is the
+    /// kernel between training samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvmError::EmptyTrainingSet`] for an empty training set,
+    /// [`SvmError::InvalidLabel`] if a label is `>= num_classes`, or any
+    /// binary training error.
+    pub fn train<K>(
+        labels: &[u32],
+        num_classes: usize,
+        kernel: K,
+        config: &SvmConfig,
+    ) -> Result<Self, SvmError>
+    where
+        K: Fn(usize, usize) -> f64,
+    {
+        if labels.is_empty() {
+            return Err(SvmError::EmptyTrainingSet);
+        }
+        if let Some((index, _)) = labels
+            .iter()
+            .enumerate()
+            .find(|(_, &l)| l as usize >= num_classes)
+        {
+            return Err(SvmError::InvalidLabel { index, value: 0 });
+        }
+        let mut machines = Vec::new();
+        for a in 0..num_classes as u32 {
+            for b in (a + 1)..num_classes as u32 {
+                let subset: Vec<usize> = labels
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &l)| l == a || l == b)
+                    .map(|(i, _)| i)
+                    .collect();
+                let pair_labels: Vec<i8> = subset
+                    .iter()
+                    .map(|&i| if labels[i] == a { 1 } else { -1 })
+                    .collect();
+                if !pair_labels.contains(&1) || !pair_labels.contains(&-1) {
+                    // One of the classes is absent from this training
+                    // split; skip the pair (votes from other pairs decide).
+                    continue;
+                }
+                let svm = BinarySvm::train(
+                    &pair_labels,
+                    |p, q| kernel(subset[p], subset[q]),
+                    config,
+                )?;
+                machines.push(PairMachine {
+                    positive: a,
+                    negative: b,
+                    subset,
+                    svm,
+                });
+            }
+        }
+        Ok(Self {
+            num_classes,
+            machines,
+        })
+    }
+
+    /// The number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of trained pair machines.
+    #[must_use]
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Predicts the class of a test sample given `kernel_to_train(t)` =
+    /// k(test, training sample `t`) over the caller's training index
+    /// space.
+    pub fn predict<K: Fn(usize) -> f64>(&self, kernel_to_train: K) -> u32 {
+        let mut votes = vec![0usize; self.num_classes];
+        let mut margins = vec![0.0f64; self.num_classes];
+        for machine in &self.machines {
+            let decision = machine
+                .svm
+                .decision(|local| kernel_to_train(machine.subset[local]));
+            let winner = if decision >= 0.0 {
+                machine.positive
+            } else {
+                machine.negative
+            };
+            votes[winner as usize] += 1;
+            margins[winner as usize] += decision.abs();
+        }
+        (0..self.num_classes as u32)
+            .max_by(|&x, &y| {
+                votes[x as usize].cmp(&votes[y as usize]).then(
+                    margins[x as usize]
+                        .partial_cmp(&margins[y as usize])
+                        .unwrap_or(core::cmp::Ordering::Equal),
+                )
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster_points() -> (Vec<Vec<f64>>, Vec<u32>) {
+        let centers = [(-3.0, 0.0), (3.0, 0.0), (0.0, 3.0)];
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for (class, &(cx, cy)) in centers.iter().enumerate() {
+            for k in 0..6 {
+                let dx = 0.2 * f64::from(k % 3) - 0.2;
+                let dy = 0.2 * f64::from(k / 3) - 0.1;
+                points.push(vec![cx + dx, cy + dy]);
+                labels.push(class as u32);
+            }
+        }
+        (points, labels)
+    }
+
+    fn rbf(points: &[Vec<f64>]) -> impl Fn(usize, usize) -> f64 + '_ {
+        move |i, j| {
+            let d2: f64 = points[i]
+                .iter()
+                .zip(&points[j])
+                .map(|(a, b)| (a - b).powi(2))
+                .sum();
+            (-0.5 * d2).exp()
+        }
+    }
+
+    #[test]
+    fn three_cluster_problem_is_solved() {
+        let (points, labels) = cluster_points();
+        let svm =
+            MulticlassSvm::train(&labels, 3, rbf(&points), &SvmConfig::with_c(10.0)).unwrap();
+        assert_eq!(svm.machine_count(), 3);
+        // Training points classify correctly.
+        for (i, &label) in labels.iter().enumerate() {
+            let x = points[i].clone();
+            let pred = svm.predict(|t| {
+                let d2: f64 = points[t]
+                    .iter()
+                    .zip(&x)
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum();
+                (-0.5 * d2).exp()
+            });
+            assert_eq!(pred, label, "point {i}");
+        }
+    }
+
+    #[test]
+    fn two_class_case_reduces_to_single_machine() {
+        let xs = [-1.0, -2.0, 1.0, 2.0];
+        let labels = [0u32, 0, 1, 1];
+        let kernel = |i: usize, j: usize| xs[i] * xs[j];
+        let svm = MulticlassSvm::train(&labels, 2, kernel, &SvmConfig::default()).unwrap();
+        assert_eq!(svm.machine_count(), 1);
+        assert_eq!(svm.predict(|t| xs[t] * -1.5), 0);
+        assert_eq!(svm.predict(|t| xs[t] * 1.5), 1);
+    }
+
+    #[test]
+    fn missing_class_pairs_are_skipped() {
+        // Class 2 declared but absent: pairs (0,2) and (1,2) are skipped.
+        let xs = [-1.0, -2.0, 1.0, 2.0];
+        let labels = [0u32, 0, 1, 1];
+        let kernel = |i: usize, j: usize| xs[i] * xs[j];
+        let svm = MulticlassSvm::train(&labels, 3, kernel, &SvmConfig::default()).unwrap();
+        assert_eq!(svm.machine_count(), 1);
+        let pred = svm.predict(|t| xs[t] * 1.5);
+        assert_eq!(pred, 1);
+    }
+
+    #[test]
+    fn rejects_out_of_range_labels() {
+        let kernel = |_: usize, _: usize| 1.0;
+        assert!(MulticlassSvm::train(&[0, 3], 2, kernel, &SvmConfig::default()).is_err());
+        assert!(MulticlassSvm::train(&[], 2, kernel, &SvmConfig::default()).is_err());
+    }
+}

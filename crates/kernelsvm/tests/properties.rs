@@ -1,0 +1,113 @@
+//! Property-based tests for the SMO solver: KKT-adjacent invariants that
+//! must hold for any training outcome on any PSD kernel.
+
+use kernelsvm::{BinarySvm, MulticlassSvm, SvmConfig, SvmError};
+use prng::{Normal, WordRng, Xoshiro256PlusPlus};
+use proptest::prelude::*;
+
+/// Random 2-D points with labels from a noisy linear rule.
+fn dataset(seed: u64, n: usize) -> (Vec<Vec<f64>>, Vec<i8>) {
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    let mut normal = Normal::standard();
+    let mut points = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = normal.sample(&mut rng);
+        let y = normal.sample(&mut rng);
+        points.push(vec![x, y]);
+        let noisy = rng.bernoulli(0.1);
+        let side = x + 0.5 * y > 0.0;
+        labels.push(if side != noisy { 1 } else { -1 });
+    }
+    // Ensure both classes exist.
+    labels[0] = 1;
+    labels[1] = -1;
+    (points, labels)
+}
+
+fn rbf(points: &[Vec<f64>]) -> impl Fn(usize, usize) -> f64 + '_ {
+    move |i, j| {
+        let d2: f64 = points[i]
+            .iter()
+            .zip(&points[j])
+            .map(|(a, b)| (a - b).powi(2))
+            .sum();
+        (-0.7 * d2).exp()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dual_feasibility_holds(seed in any::<u64>(), c_exp in -2i32..3) {
+        let c = 10f64.powi(c_exp);
+        let (points, labels) = dataset(seed, 24);
+        let svm = BinarySvm::train(&labels, rbf(&points), &SvmConfig::with_c(c))
+            .expect("valid inputs");
+        // 0 <= alpha <= C and sum(alpha * y) == 0.
+        let mut signed_sum = 0.0;
+        for (&s, &ay) in svm.support().iter().zip(svm.alpha_y()) {
+            let alpha = ay * f64::from(labels[s]);
+            prop_assert!(alpha > 0.0, "support vectors carry positive alpha");
+            prop_assert!(alpha <= c + 1e-9, "alpha {} exceeds C {}", alpha, c);
+            signed_sum += ay;
+        }
+        prop_assert!(signed_sum.abs() < 1e-6, "sum alpha*y = {}", signed_sum);
+    }
+
+    #[test]
+    fn training_is_deterministic(seed in any::<u64>()) {
+        let (points, labels) = dataset(seed, 20);
+        let a = BinarySvm::train(&labels, rbf(&points), &SvmConfig::default())
+            .expect("valid inputs");
+        let b = BinarySvm::train(&labels, rbf(&points), &SvmConfig::default())
+            .expect("valid inputs");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decision_is_linear_in_kernel_row(seed in any::<u64>()) {
+        // f(x) = sum(alpha_y * k) + b: doubling every kernel value doubles
+        // f - b. A cheap algebraic consistency check of `decision`.
+        let (points, labels) = dataset(seed, 16);
+        let svm = BinarySvm::train(&labels, rbf(&points), &SvmConfig::default())
+            .expect("valid inputs");
+        let base: f64 = svm.decision(|_| 1.0);
+        let doubled: f64 = svm.decision(|_| 2.0);
+        let sum_ay: f64 = svm.alpha_y().iter().sum();
+        prop_assert!((base - svm.bias() - sum_ay).abs() < 1e-9);
+        prop_assert!((doubled - svm.bias() - 2.0 * sum_ay).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiclass_predictions_are_in_range(seed in any::<u64>(), k in 2usize..5) {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let n = 10 * k;
+        let mut points = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = (i % k) as u32;
+            let angle = 2.0 * std::f64::consts::PI * f64::from(class) / k as f64;
+            points.push(vec![
+                3.0 * angle.cos() + rng.next_f64(),
+                3.0 * angle.sin() + rng.next_f64(),
+            ]);
+            labels.push(class);
+        }
+        let svm = MulticlassSvm::train(&labels, k, rbf(&points), &SvmConfig::with_c(10.0))
+            .expect("valid inputs");
+        prop_assert_eq!(svm.machine_count(), k * (k - 1) / 2);
+        for q in 0..n {
+            let predicted = svm.predict(|t| rbf(&points)(q, t));
+            prop_assert!((predicted as usize) < k);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_error_not_panic(c in prop_oneof![Just(f64::NAN), Just(0.0), Just(-3.0)]) {
+        let labels = [1i8, -1];
+        let out = BinarySvm::train(&labels, |_, _| 1.0, &SvmConfig::with_c(c));
+        prop_assert_eq!(out.unwrap_err(), SvmError::InvalidConfig);
+    }
+}

@@ -1,0 +1,141 @@
+//! Non-uniform distributions built on top of [`WordRng`].
+
+use crate::WordRng;
+
+/// A normal (Gaussian) distribution sampler using the Marsaglia polar
+/// method, caching the spare variate.
+///
+/// # Examples
+///
+/// ```
+/// use prng::{Normal, Xoshiro256PlusPlus};
+///
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+/// let mut normal = Normal::new(0.0, 1.0).expect("valid parameters");
+/// let x = normal.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+    spare: Option<f64>,
+}
+
+impl Normal {
+    /// Creates a sampler with the given mean and standard deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidNormalError`] if `std_dev` is negative or either
+    /// parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, InvalidNormalError> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(InvalidNormalError { mean, std_dev });
+        }
+        Ok(Self {
+            mean,
+            std_dev,
+            spare: None,
+        })
+    }
+
+    /// Creates the standard normal distribution N(0, 1).
+    #[must_use]
+    pub fn standard() -> Self {
+        Self {
+            mean: 0.0,
+            std_dev: 1.0,
+            spare: None,
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: WordRng>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return self.mean + self.std_dev * z;
+        }
+        loop {
+            let u = 2.0 * rng.next_f64() - 1.0;
+            let v = 2.0 * rng.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * factor);
+                return self.mean + self.std_dev * (u * factor);
+            }
+        }
+    }
+
+    /// The distribution mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+/// Error returned by [`Normal::new`] for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidNormalError {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl core::fmt::Display for InvalidNormalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "invalid normal distribution parameters: mean {}, std dev {}",
+            self.mean, self.std_dev
+        )
+    }
+}
+
+impl std::error::Error for InvalidNormalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xoshiro256PlusPlus;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn sample_moments_match() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(55);
+        let mut normal = Normal::new(2.0, 3.0).expect("valid parameters");
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.3, "variance {var}");
+    }
+
+    #[test]
+    fn zero_std_dev_is_constant() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(56);
+        let mut normal = Normal::new(5.0, 0.0).expect("valid parameters");
+        for _ in 0..10 {
+            assert_eq!(normal.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn standard_matches_new() {
+        let std = Normal::standard();
+        assert_eq!(std.mean(), 0.0);
+        assert_eq!(std.std_dev(), 1.0);
+    }
+}

@@ -1,0 +1,307 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic component of the GraphHD reproduction suite (basis
+//! hypervector generation, random graph models, weight initialisation,
+//! shuffling for cross-validation, …) draws from this crate so that results
+//! are bit-reproducible across platforms and independent of external crate
+//! version churn.
+//!
+//! Two generators are provided:
+//!
+//! - [`SplitMix64`] — a tiny, fast generator mainly used to expand a single
+//!   `u64` seed into independent streams (its intended use per Vigna).
+//! - [`Xoshiro256PlusPlus`] — the general-purpose workhorse with good
+//!   statistical quality, seeded from a `u64` through SplitMix64.
+//!
+//! # Examples
+//!
+//! ```
+//! use prng::{WordRng, Xoshiro256PlusPlus};
+//!
+//! let mut rng = Xoshiro256PlusPlus::seed_from_u64(42);
+//! let coin = rng.bernoulli(0.5);
+//! let idx = rng.usize_below(10);
+//! assert!(idx < 10);
+//! let _ = coin;
+//! ```
+
+mod distributions;
+mod splitmix;
+mod xoshiro;
+
+pub use distributions::{InvalidNormalError, Normal};
+pub use splitmix::SplitMix64;
+pub use xoshiro::{Xoshiro256PlusPlus, ZeroStateError};
+
+/// A source of uniformly distributed 64-bit words.
+///
+/// Implemented by both generators in this crate; algorithms that only need
+/// raw words (e.g. hypervector generation) accept `&mut impl WordRng` so
+/// either generator can drive them.
+pub trait WordRng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)` with 53 bits of
+    /// precision.
+    fn next_f64(&mut self) -> f64 {
+        // Take the 53 high bits; dividing by 2^53 yields [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniformly distributed integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn u64_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "u64_below requires a positive bound");
+        // Lemire (2019): unbiased bounded integers without division in the
+        // common path.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniformly distributed `usize` in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn usize_below(&mut self, bound: usize) -> usize {
+        self.u64_below(bound as u64) as usize
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a finite value in `[0, 1]`.
+    fn bernoulli(&mut self, p: f64) -> bool {
+        assert!(
+            p.is_finite() && (0.0..=1.0).contains(&p),
+            "bernoulli probability must lie in [0, 1], got {p}"
+        );
+        self.next_f64() < p
+    }
+
+    /// Returns a sample from the geometric distribution counting the number
+    /// of failures before the first success with success probability `p`.
+    ///
+    /// Used by the skip-sampling Erdős–Rényi generator: the gap between
+    /// consecutive present edges in G(n, p) is geometric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1]`.
+    fn geometric(&mut self, p: f64) -> u64 {
+        assert!(
+            p > 0.0 && p <= 1.0,
+            "geometric success probability must lie in (0, 1], got {p}"
+        );
+        if p >= 1.0 {
+            return 0;
+        }
+        // Inverse CDF: floor(ln(1-u) / ln(1-p)). `1 - next_f64()` is in
+        // (0, 1], so the logarithm is finite or zero.
+        let u = self.next_f64();
+        let num = (1.0 - u).ln();
+        let den = (1.0 - p).ln();
+        let g = (num / den).floor();
+        if g < 0.0 {
+            0
+        } else if g > u64::MAX as f64 {
+            u64::MAX
+        } else {
+            g as u64
+        }
+    }
+
+    /// Shuffles a slice in place with the Fisher–Yates algorithm.
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = self.usize_below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Draws `k` distinct indices from `[0, n)` without replacement, in
+    /// random order (partial Fisher–Yates over an index vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize>
+    where
+        Self: Sized,
+    {
+        assert!(k <= n, "cannot sample {k} distinct indices from {n}");
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.usize_below(n - i);
+            indices.swap(i, j);
+        }
+        indices.truncate(k);
+        indices
+    }
+}
+
+/// Mixes a stream index into a base seed, producing an independent seed.
+///
+/// This is the canonical way the suite derives per-object seeds (one stream
+/// per basis hypervector, per fold, per graph, …) from a single experiment
+/// seed. The constant is the golden-ratio increment used by SplitMix64, and
+/// the result is passed through one SplitMix64 round so that even
+/// consecutive `stream` values yield uncorrelated seeds.
+///
+/// # Examples
+///
+/// ```
+/// let a = prng::mix_seed(7, 0);
+/// let b = prng::mix_seed(7, 1);
+/// assert_ne!(a, b);
+/// ```
+#[must_use]
+pub fn mix_seed(seed: u64, stream: u64) -> u64 {
+    let mut sm = SplitMix64::new(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    sm.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn u64_below_respects_bound() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2);
+        for bound in [1u64, 2, 3, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(rng.u64_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn u64_below_covers_small_range() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.u64_below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should occur");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive bound")]
+    fn u64_below_zero_panics() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(4);
+        let _ = rng.u64_below(0);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        for _ in 0..100 {
+            assert!(!rng.bernoulli(0.0));
+            assert!(rng.bernoulli(1.0));
+        }
+    }
+
+    #[test]
+    fn bernoulli_mean_is_close() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(0.3)).count();
+        let mean = hits as f64 / n as f64;
+        assert!((mean - 0.3).abs() < 0.01, "mean {mean} too far from 0.3");
+    }
+
+    #[test]
+    fn geometric_p_one_is_zero() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        assert_eq!(rng.geometric(1.0), 0);
+    }
+
+    #[test]
+    fn geometric_mean_matches_theory() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(8);
+        let p = 0.25;
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| rng.geometric(p)).sum();
+        let mean = total as f64 / n as f64;
+        let expected = (1.0 - p) / p; // mean number of failures
+        assert!(
+            (mean - expected).abs() < 0.1,
+            "mean {mean} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_handles_degenerate_lengths() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(10);
+        let mut empty: [u8; 0] = [];
+        rng.shuffle(&mut empty);
+        let mut one = [42u8];
+        rng.shuffle(&mut one);
+        assert_eq!(one, [42]);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
+        let sample = rng.sample_indices(50, 20);
+        assert_eq!(sample.len(), 20);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "indices must be distinct");
+        assert!(sample.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn mix_seed_streams_differ() {
+        let seeds: Vec<u64> = (0..100).map(|s| mix_seed(12345, s)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn mix_seed_is_deterministic() {
+        assert_eq!(mix_seed(1, 2), mix_seed(1, 2));
+    }
+}

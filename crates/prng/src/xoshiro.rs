@@ -1,0 +1,184 @@
+//! xoshiro256++ — the suite's general-purpose generator.
+
+use crate::{SplitMix64, WordRng};
+
+/// The xoshiro256++ generator (Blackman & Vigna, 2019).
+///
+/// 256 bits of state, period 2^256 − 1, excellent statistical quality and
+/// extremely fast. Seeded from a single `u64` through [`SplitMix64`], per
+/// the authors' recommendation.
+///
+/// # Examples
+///
+/// ```
+/// use prng::{WordRng, Xoshiro256PlusPlus};
+///
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+/// let x = rng.next_u64();
+/// let y = rng.next_u64();
+/// assert_ne!(x, y);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Creates a generator by expanding `seed` through SplitMix64.
+    ///
+    /// All seeds (including zero) produce a valid, non-degenerate state.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Self { s }
+    }
+
+    /// Creates a generator from a full 256-bit state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the state is all zeros, which is the one
+    /// forbidden state of the xoshiro family.
+    pub fn from_state(s: [u64; 4]) -> Result<Self, ZeroStateError> {
+        if s == [0, 0, 0, 0] {
+            Err(ZeroStateError)
+        } else {
+            Ok(Self { s })
+        }
+    }
+
+    /// Equivalent to 2^128 calls to `next_u64`; used to create
+    /// non-overlapping parallel streams from one seed.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180E_C6D3_3CFD_0ABA,
+            0xD5A6_1266_F0C9_392C,
+            0xA958_9759_90E0_E9BC,
+            0x39AB_DC45_29B1_661C,
+        ];
+        let mut s0 = 0u64;
+        let mut s1 = 0u64;
+        let mut s2 = 0u64;
+        let mut s3 = 0u64;
+        for jump_word in JUMP {
+            for bit in 0..64 {
+                if (jump_word & (1u64 << bit)) != 0 {
+                    s0 ^= self.s[0];
+                    s1 ^= self.s[1];
+                    s2 ^= self.s[2];
+                    s3 ^= self.s[3];
+                }
+                let _ = self.next_u64();
+            }
+        }
+        self.s = [s0, s1, s2, s3];
+    }
+}
+
+impl WordRng for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Error returned by [`Xoshiro256PlusPlus::from_state`] for the forbidden
+/// all-zero state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroStateError;
+
+impl core::fmt::Display for ZeroStateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "xoshiro256++ state must not be all zeros")
+    }
+}
+
+impl std::error::Error for ZeroStateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_state_rejected() {
+        assert_eq!(
+            Xoshiro256PlusPlus::from_state([0; 4]).unwrap_err(),
+            ZeroStateError
+        );
+    }
+
+    #[test]
+    fn nonzero_state_accepted() {
+        let rng = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]).expect("valid state");
+        assert_eq!(rng.s, [1, 2, 3, 4]);
+    }
+
+    /// Known-answer test against the reference implementation
+    /// (xoshiro256plusplus.c): with state {1, 2, 3, 4} the first outputs
+    /// are 41943041, 58720359, 3588806011781223, 3591011842654386, ...
+    #[test]
+    fn known_answer_reference_state() {
+        let mut rng = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]).expect("valid state");
+        let expected = [
+            41_943_041u64,
+            58_720_359,
+            3_588_806_011_781_223,
+            3_591_011_842_654_386,
+            9_228_616_714_210_784_205,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(7);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn jump_changes_stream() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(7);
+        let mut b = a.clone();
+        b.jump();
+        let head_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let head_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(head_a, head_b);
+    }
+
+    #[test]
+    fn rough_bit_balance() {
+        // Each bit position should be set roughly half the time.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(123);
+        let n = 4096;
+        let mut counts = [0u32; 64];
+        for _ in 0..n {
+            let w = rng.next_u64();
+            for (bit, count) in counts.iter_mut().enumerate() {
+                *count += ((w >> bit) & 1) as u32;
+            }
+        }
+        for (bit, &count) in counts.iter().enumerate() {
+            let frac = f64::from(count) / f64::from(n);
+            assert!(
+                (frac - 0.5).abs() < 0.05,
+                "bit {bit} set fraction {frac} is unbalanced"
+            );
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Optimizers and learning-rate schedules.
+
+use crate::autograd::ParamSet;
+use crate::Tensor;
+
+/// The Adam optimizer (Kingma & Ba) with the paper's defaults: the paper
+/// trains its GNN baselines with Adam at learning rate 0.01
+/// (Section V-A2).
+///
+/// # Examples
+///
+/// ```
+/// use tinynn::autograd::ParamSet;
+/// use tinynn::optim::Adam;
+/// use tinynn::Tensor;
+///
+/// let mut params = ParamSet::new();
+/// let w = params.add(Tensor::from_vec(1, 1, vec![10.0])?);
+/// let mut adam = Adam::new(0.1);
+/// // Minimise w²: gradient is 2w.
+/// for _ in 0..500 {
+///     let grad = Tensor::from_vec(1, 1, vec![2.0 * params.value(w).get(0, 0)])?;
+///     adam.step(&mut params, &[Some(grad)]);
+/// }
+/// assert!(params.value(w).get(0, 0).abs() < 1e-3);
+/// # Ok::<(), tinynn::TensorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    step: u64,
+    first_moment: Vec<Option<Tensor>>,
+    second_moment: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Creates Adam with the given learning rate and standard moments
+    /// (β₁ = 0.9, β₂ = 0.999, ε = 1e−8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    #[must_use]
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            step: 0,
+            first_moment: Vec::new(),
+            second_moment: Vec::new(),
+        }
+    }
+
+    /// Current learning rate.
+    #[must_use]
+    pub fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    /// Updates the learning rate (used by schedulers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn set_learning_rate(&mut self, lr: f64) {
+        assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one Adam update. `grads[i]` is the gradient of parameter
+    /// index `i` (as returned by `Graph::backward`); `None` entries are
+    /// skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads.len()` differs from the parameter count or a
+    /// gradient's shape differs from its parameter.
+    pub fn step(&mut self, params: &mut ParamSet, grads: &[Option<Tensor>]) {
+        assert_eq!(grads.len(), params.len(), "gradient count mismatch");
+        if self.first_moment.len() < params.len() {
+            self.first_moment.resize(params.len(), None);
+            self.second_moment.resize(params.len(), None);
+        }
+        self.step += 1;
+        let t = self.step as i32;
+        let bias1 = 1.0 - self.beta1.powi(t);
+        let bias2 = 1.0 - self.beta2.powi(t);
+        for (index, value) in params.iter_mut() {
+            let Some(grad) = &grads[index] else {
+                continue;
+            };
+            assert_eq!(grad.shape(), value.shape(), "gradient shape mismatch");
+            let m = self.first_moment[index]
+                .get_or_insert_with(|| Tensor::zeros(grad.rows(), grad.cols()));
+            let v = self.second_moment[index]
+                .get_or_insert_with(|| Tensor::zeros(grad.rows(), grad.cols()));
+            for i in 0..grad.data().len() {
+                let g = grad.data()[i];
+                let mi = self.beta1 * m.data()[i] + (1.0 - self.beta1) * g;
+                let vi = self.beta2 * v.data()[i] + (1.0 - self.beta2) * g * g;
+                m.data_mut()[i] = mi;
+                v.data_mut()[i] = vi;
+                let m_hat = mi / bias1;
+                let v_hat = vi / bias2;
+                value.data_mut()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+        }
+    }
+}
+
+/// ReduceLROnPlateau: halves the learning rate when the observed loss has
+/// not improved for `patience` epochs, with a floor — the exact schedule
+/// of the paper ("starting at 0.01 with a patience parameter of 5 which
+/// decays with 0.5 till a minimum of 10⁻⁶").
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlateauScheduler {
+    patience: usize,
+    factor: f64,
+    min_lr: f64,
+    best: f64,
+    epochs_since_best: usize,
+}
+
+impl PlateauScheduler {
+    /// Creates the scheduler with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1)` or `min_lr` is negative.
+    #[must_use]
+    pub fn new(patience: usize, factor: f64, min_lr: f64) -> Self {
+        assert!(factor > 0.0 && factor < 1.0, "decay factor must be in (0, 1)");
+        assert!(min_lr >= 0.0, "minimum learning rate must be non-negative");
+        Self {
+            patience,
+            factor,
+            min_lr,
+            best: f64::INFINITY,
+            epochs_since_best: 0,
+        }
+    }
+
+    /// The paper's schedule: patience 5, factor 0.5, floor 1e−6.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(5, 0.5, 1e-6)
+    }
+
+    /// Observes an epoch loss; reduces `adam`'s learning rate if the loss
+    /// has plateaued. Returns `true` when a reduction happened.
+    pub fn observe(&mut self, loss: f64, adam: &mut Adam) -> bool {
+        if loss < self.best - 1e-12 {
+            self.best = loss;
+            self.epochs_since_best = 0;
+            return false;
+        }
+        self.epochs_since_best += 1;
+        if self.epochs_since_best > self.patience {
+            self.epochs_since_best = 0;
+            let current = adam.learning_rate();
+            let reduced = (current * self.factor).max(self.min_lr);
+            if reduced < current {
+                adam.set_learning_rate(reduced);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the learning rate can still decrease.
+    #[must_use]
+    pub fn at_floor(&self, adam: &Adam) -> bool {
+        adam.learning_rate() <= self.min_lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::ParamSet;
+
+    #[test]
+    fn adam_minimises_quadratic_bowl() {
+        let mut params = ParamSet::new();
+        let w = params.add(Tensor::from_vec(1, 2, vec![3.0, -4.0]).unwrap());
+        let mut adam = Adam::new(0.05);
+        for _ in 0..2000 {
+            let value = params.value(w).clone();
+            let grad = Tensor::from_vec(
+                1,
+                2,
+                vec![2.0 * value.get(0, 0), 2.0 * value.get(0, 1)],
+            )
+            .unwrap();
+            adam.step(&mut params, &[Some(grad)]);
+        }
+        assert!(params.value(w).get(0, 0).abs() < 1e-3);
+        assert!(params.value(w).get(0, 1).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_skips_missing_gradients() {
+        let mut params = ParamSet::new();
+        let w = params.add(Tensor::from_vec(1, 1, vec![1.0]).unwrap());
+        let mut adam = Adam::new(0.1);
+        adam.step(&mut params, &[None]);
+        assert_eq!(params.value(w).get(0, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient count mismatch")]
+    fn adam_validates_gradient_count() {
+        let mut params = ParamSet::new();
+        let _ = params.add(Tensor::zeros(1, 1));
+        let mut adam = Adam::new(0.1);
+        adam.step(&mut params, &[]);
+    }
+
+    #[test]
+    fn scheduler_reduces_after_patience() {
+        let mut adam = Adam::new(0.01);
+        let mut scheduler = PlateauScheduler::new(2, 0.5, 1e-6);
+        assert!(!scheduler.observe(1.0, &mut adam)); // new best
+        assert!(!scheduler.observe(1.0, &mut adam)); // stall 1
+        assert!(!scheduler.observe(1.0, &mut adam)); // stall 2
+        assert!(scheduler.observe(1.0, &mut adam)); // stall 3 > patience
+        assert!((adam.learning_rate() - 0.005).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scheduler_respects_floor() {
+        let mut adam = Adam::new(2e-6);
+        let mut scheduler = PlateauScheduler::new(0, 0.5, 1e-6);
+        assert!(!scheduler.observe(1.0, &mut adam)); // first loss: new best
+        assert!(scheduler.observe(1.0, &mut adam)); // stall: reduce to floor
+        assert!(!scheduler.observe(1.0, &mut adam)); // clamped: 1e-6 floor
+        assert!((adam.learning_rate() - 1e-6).abs() < 1e-18);
+        assert!(scheduler.at_floor(&adam));
+    }
+
+    #[test]
+    fn scheduler_resets_on_improvement() {
+        let mut adam = Adam::new(0.01);
+        let mut scheduler = PlateauScheduler::new(1, 0.5, 1e-6);
+        assert!(!scheduler.observe(1.0, &mut adam));
+        assert!(!scheduler.observe(1.0, &mut adam));
+        assert!(!scheduler.observe(0.5, &mut adam)); // improvement resets
+        assert!(!scheduler.observe(0.5, &mut adam));
+        assert!(scheduler.observe(0.5, &mut adam));
+        assert!((adam.learning_rate() - 0.005).abs() < 1e-15);
+    }
+
+    #[test]
+    fn paper_default_matches_section_v() {
+        let s = PlateauScheduler::paper_default();
+        assert_eq!(s, PlateauScheduler::new(5, 0.5, 1e-6));
+    }
+}

@@ -1,0 +1,352 @@
+//! Dense 2-D matrices with the kernels the autograd engine needs.
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use tinynn::Tensor;
+///
+/// let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0])?;
+/// let b = Tensor::eye(2);
+/// assert_eq!(a.matmul(&b), a);
+/// # Ok::<(), tinynn::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// A zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The identity matrix of order `n`.
+    #[must_use]
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(n, n);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Builds from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, TensorError> {
+        if data.len() != rows * cols {
+            return Err(TensorError {
+                rows,
+                cols,
+                len: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "tensor index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, value: f64) {
+        assert!(r < self.rows && c < self.cols, "tensor index out of bounds");
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// The raw row-major data.
+    #[must_use]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.rows`.
+    #[must_use]
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} . {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self.data[i * self.cols + k];
+                if aik == 0.0 {
+                    continue;
+                }
+                let brow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    #[must_use]
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} . ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                let brow = other.row(j);
+                let mut acc = 0.0;
+                for (a, b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` without materialising the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    #[must_use]
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: ({}x{})^T . {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let arow = self.row(k);
+            let brow = &other.data[k * other.cols..(k + 1) * other.cols];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// In-place `self += scale · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f64) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Sum of all elements.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Index of the maximum element of each row.
+    #[must_use]
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|r| {
+                let row = self.row(r);
+                row.iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+/// Error returned by [`Tensor::from_vec`] on a shape/data mismatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorError {
+    rows: usize,
+    cols: usize,
+    len: usize,
+}
+
+impl core::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "tensor of shape {}x{} needs {} values, got {}",
+            self.rows,
+            self.cols,
+            self.rows * self.cols,
+            self.len
+        )
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, data: &[f64]) -> Tensor {
+        Tensor::from_vec(rows, cols, data.to_vec()).expect("valid shape")
+    }
+
+    #[test]
+    fn from_vec_validates() {
+        assert!(Tensor::from_vec(2, 2, vec![1.0]).is_err());
+        assert!(Tensor::from_vec(0, 0, vec![]).is_ok());
+    }
+
+    #[test]
+    fn matmul_known_answer() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c, t(2, 2, &[58.0, 64.0, 139.0, 154.0]));
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(4, 3, &[1.0, 0.0, 2.0, 0.0, 1.0, 1.0, 3.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let nt = a.matmul_nt(&b);
+        // bᵀ is 3x4
+        let mut bt = Tensor::zeros(3, 4);
+        for i in 0..4 {
+            for j in 0..3 {
+                bt.set(j, i, b.get(i, j));
+            }
+        }
+        assert_eq!(nt, a.matmul(&bt));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = t(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 4, &(0..12).map(f64::from).collect::<Vec<_>>());
+        let tn = a.matmul_tn(&b);
+        let mut at = Tensor::zeros(2, 3);
+        for i in 0..3 {
+            for j in 0..2 {
+                at.set(j, i, a.get(i, j));
+            }
+        }
+        assert_eq!(tn, at.matmul(&b));
+    }
+
+    #[test]
+    fn eye_is_identity_for_matmul() {
+        let a = t(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.matmul(&Tensor::eye(2)), a);
+        assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn add_scaled_and_sum() {
+        let mut a = Tensor::zeros(2, 2);
+        a.add_scaled(&Tensor::eye(2), 3.0);
+        assert_eq!(a.sum(), 6.0);
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn argmax_rows_picks_maxima() {
+        let a = t(2, 3, &[0.1, 0.9, 0.5, 2.0, -1.0, 1.5]);
+        assert_eq!(a.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_mismatch_panics() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn zero_sized_matmul_works() {
+        let a = Tensor::zeros(0, 3);
+        let b = Tensor::zeros(3, 2);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (0, 2));
+    }
+}

@@ -1,0 +1,227 @@
+//! Finite-difference validation of every backward rule, including the
+//! full GIN forward pass. This is the safety net that lets the suite
+//! trust its from-scratch autograd engine.
+
+use graphcore::generate;
+use std::rc::Rc;
+use tinynn::autograd::{AdjCsr, Graph as Tape, ParamId, ParamSet};
+use tinynn::Tensor;
+
+/// Numerically estimates d(loss)/d(param scalar) by central differences
+/// and compares against the analytic gradient.
+fn check_gradients<F>(params: &ParamSet, build_loss: F, tolerance: f64)
+where
+    F: Fn(&ParamSet, &mut Tape) -> tinynn::autograd::NodeId,
+{
+    let mut tape = Tape::new();
+    let loss = build_loss(params, &mut tape);
+    let analytic = tape.backward(loss, params.len());
+
+    let epsilon = 1e-5;
+    #[allow(clippy::needless_range_loop)] // index drives ParamId reconstruction
+    for index in 0..params.len() {
+        let shape = {
+            let id = ParamId::from_index(index);
+            params.value(id).shape()
+        };
+        for r in 0..shape.0 {
+            for c in 0..shape.1 {
+                let id = ParamId::from_index(index);
+                let mut plus = params.clone();
+                let v = plus.value(id).get(r, c);
+                plus.value_mut(id).set(r, c, v + epsilon);
+                let mut minus = params.clone();
+                minus.value_mut(id).set(r, c, v - epsilon);
+
+                let mut tape_p = Tape::new();
+                let lp = build_loss(&plus, &mut tape_p);
+                let mut tape_m = Tape::new();
+                let lm = build_loss(&minus, &mut tape_m);
+                let numeric = (tape_p.value(lp).get(0, 0) - tape_m.value(lm).get(0, 0))
+                    / (2.0 * epsilon);
+
+                let analytic_value = analytic[index]
+                    .as_ref()
+                    .map_or(0.0, |g| g.get(r, c));
+                let scale = numeric.abs().max(analytic_value.abs()).max(1.0);
+                assert!(
+                    (numeric - analytic_value).abs() / scale < tolerance,
+                    "param {index} entry ({r},{c}): numeric {numeric} vs analytic {analytic_value}"
+                );
+            }
+        }
+    }
+}
+
+/// `ParamId` construction helper for the test (the public API hands out
+/// ids from `ParamSet::add`; tests reconstruct them by index order).
+trait ParamIdExt {
+    fn from_index(index: usize) -> ParamId;
+}
+
+impl ParamIdExt for ParamId {
+    fn from_index(index: usize) -> ParamId {
+        // ParamSet hands out ids sequentially from zero; rebuild by adding
+        // to a scratch set.
+        let mut scratch = ParamSet::new();
+        let mut id = scratch.add(Tensor::zeros(1, 1));
+        for _ in 0..index {
+            id = scratch.add(Tensor::zeros(1, 1));
+        }
+        id
+    }
+}
+
+fn tensor(rows: usize, cols: usize, values: &[f64]) -> Tensor {
+    Tensor::from_vec(rows, cols, values.to_vec()).expect("valid shape")
+}
+
+#[test]
+fn gradcheck_matmul_bias_relu_chain() {
+    let mut params = ParamSet::new();
+    let _w = params.add(tensor(3, 2, &[0.5, -0.3, 0.8, 0.1, -0.6, 0.9]));
+    let _b = params.add(tensor(1, 2, &[0.05, -0.2]));
+    check_gradients(
+        &params,
+        |p, tape| {
+            let x = tape.input(tensor(2, 3, &[1.0, 2.0, -1.0, 0.5, -0.4, 1.5]));
+            let w = tape.param(p, ParamId::from_index(0));
+            let b = tape.param(p, ParamId::from_index(1));
+            let z = tape.matmul(x, w);
+            let z = tape.add_bias(z, b);
+            let z = tape.relu(z);
+            tape.mean_cross_entropy(z, Rc::new(vec![0u32, 1]))
+        },
+        1e-5,
+    );
+}
+
+#[test]
+fn gradcheck_scale_one_plus_and_add() {
+    let mut params = ParamSet::new();
+    let _eps = params.add(tensor(1, 1, &[0.3]));
+    let _w = params.add(tensor(2, 2, &[0.2, -0.1, 0.4, 0.7]));
+    check_gradients(
+        &params,
+        |p, tape| {
+            let x = tape.input(tensor(2, 2, &[1.0, -2.0, 0.5, 1.5]));
+            let eps = tape.param(p, ParamId::from_index(0));
+            let w = tape.param(p, ParamId::from_index(1));
+            let scaled = tape.scale_one_plus(x, eps);
+            let both = tape.add(scaled, x);
+            let z = tape.matmul(both, w);
+            tape.mean_cross_entropy(z, Rc::new(vec![1u32, 0]))
+        },
+        1e-5,
+    );
+}
+
+#[test]
+fn gradcheck_spmm_segment_sum_concat() {
+    let g1 = generate::path(3);
+    let g2 = generate::cycle(4);
+    let adj = Rc::new(AdjCsr::from_graphs(&[&g1, &g2]));
+    let segments = Rc::new(vec![0usize, 0, 0, 1, 1, 1, 1]);
+
+    let mut params = ParamSet::new();
+    let _w = params.add(tensor(2, 3, &[0.3, -0.5, 0.2, 0.8, 0.1, -0.4]));
+    let _w_out = params.add(tensor(5, 2, &[0.1; 10]));
+    check_gradients(
+        &params,
+        |p, tape| {
+            let x = tape.input(tensor(
+                7,
+                2,
+                &[
+                    1.0, 0.5, -0.2, 0.8, 0.3, -0.6, 0.9, 0.1, -0.7, 0.4, 0.2, -0.3, 0.6,
+                    0.7,
+                ],
+            ));
+            let w = tape.param(p, ParamId::from_index(0));
+            let w_out = tape.param(p, ParamId::from_index(1));
+            let msg = tape.spmm(Rc::clone(&adj), x);
+            let h = tape.matmul(msg, w); // 7x3
+            let h = tape.relu(h);
+            let pooled_h = tape.segment_sum(h, Rc::clone(&segments), 2); // 2x3
+            let pooled_x = tape.segment_sum(x, Rc::clone(&segments), 2); // 2x2
+            let readout = tape.concat_cols(pooled_x, pooled_h); // 2x5
+            let logits = tape.matmul(readout, w_out); // 2x2
+            tape.mean_cross_entropy(logits, Rc::new(vec![0u32, 1]))
+        },
+        1e-5,
+    );
+}
+
+#[test]
+fn gradcheck_full_gin_architecture() {
+    // The exact forward pass GinClassifier builds: (1+eps)X + AX -> MLP ->
+    // pool -> JK concat -> linear head -> CE.
+    let g1 = generate::star(4);
+    let g2 = generate::complete(3);
+    let adj = Rc::new(AdjCsr::from_graphs(&[&g1, &g2]));
+    let segments = Rc::new(vec![0usize, 0, 0, 0, 1, 1, 1]);
+    let hidden = 4;
+
+    // Constants are chosen irregular (no exact zeros, no symmetry) so that
+    // no pre-ReLU activation lands on the kink, where central differences
+    // and subgradients legitimately disagree.
+    let mut params = ParamSet::new();
+    let _w1 = params.add(tensor(
+        2,
+        hidden,
+        &[0.31, -0.23, 0.52, 0.17, -0.41, 0.63, 0.29, -0.13],
+    ));
+    let _b1 = params.add(tensor(1, hidden, &[0.011, -0.027, 0.033, 0.041]));
+    let _w2 = params.add(Tensor::from_vec(
+        hidden,
+        hidden,
+        (0..hidden * hidden)
+            .map(|i| 0.097 * ((i % 5) as f64 - 1.71))
+            .collect(),
+    )
+    .expect("valid shape"));
+    let _b2 = params.add(tensor(1, hidden, &[0.023, 0.051, -0.047, 0.019]));
+    let _eps = params.add(tensor(1, 1, &[0.11]));
+    let _w_out = params.add(Tensor::from_vec(
+        2 + hidden,
+        2,
+        (0..(2 + hidden) * 2).map(|i| 0.2 - 0.05 * i as f64).collect(),
+    )
+    .expect("valid shape"));
+    let _b_out = params.add(tensor(1, 2, &[0.0, 0.0]));
+
+    check_gradients(
+        &params,
+        |p, tape| {
+            let x = tape.input(tensor(
+                7,
+                2,
+                &[1.0, 0.9, 1.0, 0.3, 1.0, 0.3, 1.0, 0.3, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+            ));
+            let w1 = tape.param(p, ParamId::from_index(0));
+            let b1 = tape.param(p, ParamId::from_index(1));
+            let w2 = tape.param(p, ParamId::from_index(2));
+            let b2 = tape.param(p, ParamId::from_index(3));
+            let eps = tape.param(p, ParamId::from_index(4));
+            let w_out = tape.param(p, ParamId::from_index(5));
+            let b_out = tape.param(p, ParamId::from_index(6));
+
+            let msg = tape.spmm(Rc::clone(&adj), x);
+            let self_term = tape.scale_one_plus(x, eps);
+            let combined = tape.add(self_term, msg);
+            let z1 = tape.matmul(combined, w1);
+            let z1 = tape.add_bias(z1, b1);
+            let z1 = tape.relu(z1);
+            let z2 = tape.matmul(z1, w2);
+            let z2 = tape.add_bias(z2, b2);
+            let h = tape.relu(z2);
+            let pooled = tape.segment_sum(h, Rc::clone(&segments), 2);
+            let pooled_x = tape.segment_sum(x, Rc::clone(&segments), 2);
+            let readout = tape.concat_cols(pooled_x, pooled);
+            let logits = tape.matmul(readout, w_out);
+            let logits = tape.add_bias(logits, b_out);
+            tape.mean_cross_entropy(logits, Rc::new(vec![0u32, 1]))
+        },
+        1e-4,
+    );
+}

@@ -1,0 +1,426 @@
+//! Weisfeiler–Leman color refinement over a graph collection.
+
+use crate::SparseCounts;
+use graphcore::Graph;
+use std::borrow::Borrow;
+use std::collections::HashMap;
+
+/// The WL feature maps of a graph collection.
+///
+/// One label dictionary spans all graphs and iterations, so label ids are
+/// globally comparable; `maps[g]` counts every label vertex `v` of graph
+/// `g` carried at any iteration `0..=iterations`. Because refinement
+/// assigns fresh ids each round, per-iteration label spaces are disjoint
+/// and a single count vector encodes the full iteration-stratified
+/// histogram (dot products and intersections decompose per iteration
+/// automatically).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WlFeatures {
+    /// One sparse count vector per graph, aligned with the input order.
+    pub maps: Vec<SparseCounts>,
+    /// Number of refinement iterations performed (h).
+    pub iterations: usize,
+    /// Total number of distinct labels over all iterations.
+    pub num_labels: u32,
+    /// Final-iteration labels per graph per vertex (useful for tests and
+    /// for inspecting refinement stability).
+    pub final_labels: Vec<Vec<u32>>,
+}
+
+/// A fitted WL label dictionary: refinement signatures observed on the
+/// training collection, reusable to [`transform`](WlRefinery::transform)
+/// unseen graphs at inference time.
+///
+/// Signatures a new graph exhibits that the training collection never did
+/// are assigned *local* fresh ids — they can never match a training
+/// label, so they contribute nothing to a kernel value against training
+/// graphs, which is exactly the inductive WL-kernel semantics.
+///
+/// # Examples
+///
+/// ```
+/// use graphcore::generate;
+/// use wlkernels::WlRefinery;
+///
+/// let train = vec![generate::path(4), generate::star(4)];
+/// let (refinery, maps) = WlRefinery::fit(&train, 2);
+/// // Transforming a training graph reproduces its fitted map.
+/// assert_eq!(refinery.transform(&train[0]), maps[0]);
+/// // A structurally identical new graph maps identically too.
+/// assert_eq!(refinery.transform(&generate::path(4)), maps[0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WlRefinery {
+    dictionary: HashMap<Vec<u32>, u32>,
+    next_id: u32,
+    iterations: usize,
+}
+
+/// One refinement round: relabels every vertex of every graph by its
+/// compressed `(own label, sorted neighbor labels)` signature, extending
+/// `dictionary` with fresh ids as needed.
+fn refine_round<G: Borrow<Graph>>(
+    graphs: &[G],
+    labels: &[Vec<u32>],
+    dictionary: &mut HashMap<Vec<u32>, u32>,
+    next_id: &mut u32,
+) -> Vec<Vec<u32>> {
+    let mut signature: Vec<u32> = Vec::new();
+    let mut next_labels: Vec<Vec<u32>> = Vec::with_capacity(graphs.len());
+    for (graph, current) in graphs.iter().zip(labels) {
+        let graph = graph.borrow();
+        let mut fresh = vec![0u32; graph.vertex_count()];
+        for v in 0..graph.vertex_count() as u32 {
+            signature.clear();
+            signature.push(current[v as usize]);
+            let start = signature.len();
+            signature.extend(graph.neighbors(v).iter().map(|&u| current[u as usize]));
+            signature[start..].sort_unstable();
+            let id = *dictionary.entry(signature.clone()).or_insert_with(|| {
+                let id = *next_id;
+                *next_id += 1;
+                id
+            });
+            fresh[v as usize] = id;
+        }
+        next_labels.push(fresh);
+    }
+    next_labels
+}
+
+/// Shared refinement core: refines `graphs` for `iterations` rounds
+/// against (and extending) `dictionary`, returning per-graph cumulative
+/// label multisets and final labels.
+fn refine_into<G: Borrow<Graph>>(
+    graphs: &[G],
+    iterations: usize,
+    dictionary: &mut HashMap<Vec<u32>, u32>,
+    next_id: &mut u32,
+) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+    let mut labels: Vec<Vec<u32>> = graphs
+        .iter()
+        .map(|g| vec![0u32; g.borrow().vertex_count()])
+        .collect();
+    let mut all_labels: Vec<Vec<u32>> = labels.clone();
+    for _ in 0..iterations {
+        let next_labels = refine_round(graphs, &labels, dictionary, next_id);
+        for (acc, fresh) in all_labels.iter_mut().zip(&next_labels) {
+            acc.extend_from_slice(fresh);
+        }
+        labels = next_labels;
+    }
+    (all_labels, labels)
+}
+
+impl WlRefinery {
+    /// Fits the dictionary on a training collection and returns it along
+    /// with the training feature maps.
+    pub fn fit<G: Borrow<Graph>>(graphs: &[G], iterations: usize) -> (Self, Vec<SparseCounts>) {
+        let mut dictionary = HashMap::new();
+        let mut next_id = 1u32; // id 0 is the shared initial color
+        let (all_labels, _) = refine_into(graphs, iterations, &mut dictionary, &mut next_id);
+        let maps = all_labels
+            .into_iter()
+            .map(SparseCounts::from_labels)
+            .collect();
+        (
+            Self {
+                dictionary,
+                next_id,
+                iterations,
+            },
+            maps,
+        )
+    }
+
+    /// The number of refinement rounds this dictionary was fitted with.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Number of distinct labels observed during fitting.
+    #[must_use]
+    pub fn num_labels(&self) -> u32 {
+        self.next_id
+    }
+
+    /// Refines a single unseen graph against the fitted dictionary.
+    ///
+    /// Unseen signatures get fresh ids local to this call; they are
+    /// disjoint from all training ids (and from other transforms), so
+    /// they never contribute to kernel values against training maps.
+    #[must_use]
+    pub fn transform(&self, graph: &Graph) -> SparseCounts {
+        let mut labels = vec![0u32; graph.vertex_count()];
+        let mut all_labels: Vec<u32> = labels.clone();
+        let mut local: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut local_next = self.next_id;
+        let mut signature: Vec<u32> = Vec::new();
+        for _ in 0..self.iterations {
+            let mut fresh = vec![0u32; graph.vertex_count()];
+            for v in 0..graph.vertex_count() as u32 {
+                signature.clear();
+                signature.push(labels[v as usize]);
+                let start = signature.len();
+                signature.extend(graph.neighbors(v).iter().map(|&u| labels[u as usize]));
+                signature[start..].sort_unstable();
+                let id = match self.dictionary.get(&signature) {
+                    Some(&id) => id,
+                    None => *local.entry(signature.clone()).or_insert_with(|| {
+                        let id = local_next;
+                        local_next += 1;
+                        id
+                    }),
+                };
+                fresh[v as usize] = id;
+            }
+            all_labels.extend_from_slice(&fresh);
+            labels = fresh;
+        }
+        SparseCounts::from_labels(all_labels)
+    }
+}
+
+/// Runs `iterations` rounds of WL refinement with uniform initial colors
+/// (the unlabeled-graph protocol of the paper) and returns per-graph
+/// feature maps.
+///
+/// Iteration 0 contributes each vertex with the shared initial label, so
+/// `h = 0` reduces both WL kernels to functions of the vertex counts.
+///
+/// # Examples
+///
+/// ```
+/// use graphcore::generate;
+/// use wlkernels::wl_features;
+///
+/// // One WL round on unlabeled graphs discovers degree classes.
+/// let star = generate::star(5);
+/// let features = wl_features(&[star], 1);
+/// // Two roles: the center and the leaves.
+/// assert_eq!(features.maps[0].len(), 3); // initial label + 2 roles
+/// ```
+#[must_use]
+pub fn wl_features<G: Borrow<Graph>>(graphs: &[G], iterations: usize) -> WlFeatures {
+    let mut dictionary = HashMap::new();
+    let mut next_id = 1u32;
+    let (all_labels, final_labels) =
+        refine_into(graphs, iterations, &mut dictionary, &mut next_id);
+    WlFeatures {
+        maps: all_labels
+            .into_iter()
+            .map(SparseCounts::from_labels)
+            .collect(),
+        iterations,
+        num_labels: next_id,
+        final_labels,
+    }
+}
+
+/// Runs refinement once up to `max_iterations` and returns the cumulative
+/// feature maps for **every** iteration count `h ∈ 0..=max_iterations` —
+/// element `h` equals `wl_features(graphs, h)`'s maps. This powers the
+/// paper's model selection over the iteration grid {0, …, 5} without
+/// re-running refinement per grid point.
+///
+/// # Examples
+///
+/// ```
+/// use graphcore::generate;
+/// use wlkernels::{wl_feature_series, wl_features};
+///
+/// let graphs = vec![generate::path(5), generate::star(5)];
+/// let series = wl_feature_series(&graphs, 3);
+/// assert_eq!(series.len(), 4);
+/// assert_eq!(series[2], wl_features(&graphs, 2).maps);
+/// ```
+#[must_use]
+pub fn wl_feature_series<G: Borrow<Graph>>(
+    graphs: &[G],
+    max_iterations: usize,
+) -> Vec<Vec<SparseCounts>> {
+    // Single refinement run with a snapshot of the cumulative label
+    // multiset after every iteration: labels issued at iteration t are
+    // ids unique to t, so the cumulative multiset up to t is a prefix of
+    // the one up to t+1.
+    let mut dictionary: HashMap<Vec<u32>, u32> = HashMap::new();
+    let mut next_id: u32 = 1;
+    let mut labels: Vec<Vec<u32>> = graphs
+        .iter()
+        .map(|g| vec![0u32; g.borrow().vertex_count()])
+        .collect();
+    let mut all_labels: Vec<Vec<u32>> = labels.clone();
+    let mut series: Vec<Vec<SparseCounts>> = Vec::with_capacity(max_iterations + 1);
+    series.push(
+        all_labels
+            .iter()
+            .map(|l| SparseCounts::from_labels(l.clone()))
+            .collect(),
+    );
+    for _ in 0..max_iterations {
+        labels = refine_round(graphs, &labels, &mut dictionary, &mut next_id);
+        for (acc, fresh) in all_labels.iter_mut().zip(&labels) {
+            acc.extend_from_slice(fresh);
+        }
+        series.push(
+            all_labels
+                .iter()
+                .map(|l| SparseCounts::from_labels(l.clone()))
+                .collect(),
+        );
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::generate;
+
+    #[test]
+    fn zero_iterations_counts_vertices() {
+        let graphs = vec![generate::path(3), generate::complete(4)];
+        let features = wl_features(&graphs, 0);
+        assert_eq!(features.maps[0].entries(), &[(0, 3)]);
+        assert_eq!(features.maps[1].entries(), &[(0, 4)]);
+        assert_eq!(features.num_labels, 1);
+    }
+
+    #[test]
+    fn first_iteration_discovers_degrees() {
+        // In a star, iteration 1 separates the hub from the leaves.
+        let features = wl_features(&[generate::star(6)], 1);
+        let finals = &features.final_labels[0];
+        assert_ne!(finals[0], finals[1]);
+        assert!(finals[1..].iter().all(|&l| l == finals[1]));
+    }
+
+    #[test]
+    fn regular_graphs_stay_uniform() {
+        // Cycles are 2-regular: WL can never split them.
+        let features = wl_features(&[generate::cycle(5)], 3);
+        let finals = &features.final_labels[0];
+        assert!(finals.iter().all(|&l| l == finals[0]));
+    }
+
+    #[test]
+    fn shared_dictionary_aligns_graphs() {
+        // Two disjoint copies of the same structure must get identical
+        // feature maps.
+        let graphs = vec![generate::path(4), generate::path(4)];
+        let features = wl_features(&graphs, 3);
+        assert_eq!(features.maps[0], features.maps[1]);
+        assert_eq!(features.final_labels[0], features.final_labels[1]);
+    }
+
+    #[test]
+    fn known_answer_path_vs_triangle() {
+        // P3 vs K3 with h = 1 (hand-computed in the suite's design notes):
+        // iter 0: both graphs count {initial: 3}.
+        // iter 1: P3 has 2 degree-1 vertices and 1 degree-2 vertex; K3 has
+        //         3 degree-2 vertices. The degree-2 signature in P3 is
+        //         (0, [0, 0]) — the same as in K3, so they share that id.
+        let graphs = vec![generate::path(3), generate::cycle(3)];
+        let features = wl_features(&graphs, 1);
+        let a = &features.maps[0];
+        let b = &features.maps[1];
+        assert_eq!(a.dot(b), 9 + 3); // 3*3 (iter 0) + 1*3 (shared deg-2 id)
+        assert_eq!(a.dot(a), 9 + 4 + 1);
+        assert_eq!(b.dot(b), 9 + 9);
+        assert_eq!(a.min_intersection(b), 3 + 1);
+    }
+
+    #[test]
+    fn feature_totals_are_vertices_times_iterations() {
+        let graphs = vec![generate::star(7), generate::cycle(4)];
+        let h = 4;
+        let features = wl_features(&graphs, h);
+        for (g, map) in graphs.iter().zip(&features.maps) {
+            assert_eq!(map.total(), (g.vertex_count() * (h + 1)) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_graph_collection() {
+        let features = wl_features::<Graph>(&[], 2);
+        assert!(features.maps.is_empty());
+    }
+
+    #[test]
+    fn graph_with_no_edges_refines_stably() {
+        let features = wl_features(&[graphcore::Graph::empty(5)], 2);
+        // All vertices keep identical labels; 3 distinct labels total
+        // (one per iteration).
+        assert_eq!(features.maps[0].len(), 3);
+        assert_eq!(features.maps[0].total(), 15);
+    }
+
+    #[test]
+    fn feature_series_matches_individual_runs() {
+        let graphs = vec![
+            generate::star(6),
+            generate::path(6),
+            generate::cycle(6),
+            generate::complete(4),
+        ];
+        let series = wl_feature_series(&graphs, 4);
+        assert_eq!(series.len(), 5);
+        for (h, maps) in series.iter().enumerate() {
+            assert_eq!(maps, &wl_features(&graphs, h).maps, "iteration {h}");
+        }
+    }
+
+    #[test]
+    fn distinguishes_non_isomorphic_same_degree_sequence() {
+        // C6 vs two C3s: same degree sequence (all degree 2) — classic
+        // 1-WL blind spot, so feature maps must be EQUAL here. This
+        // documents the known limitation (GNNs share it, per Xu et al.).
+        let c6 = generate::cycle(6);
+        let mut b = graphcore::GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b.add_edge(u, v);
+        }
+        let two_triangles = b.build();
+        let features = wl_features(&[c6, two_triangles], 3);
+        assert_eq!(features.maps[0], features.maps[1]);
+    }
+
+    #[test]
+    fn refinery_transform_matches_fit_on_training_graphs() {
+        let graphs = vec![
+            generate::star(6),
+            generate::path(7),
+            generate::cycle(5),
+            generate::complete(4),
+        ];
+        let (refinery, maps) = WlRefinery::fit(&graphs, 3);
+        for (graph, map) in graphs.iter().zip(&maps) {
+            assert_eq!(&refinery.transform(graph), map);
+        }
+        assert_eq!(refinery.iterations(), 3);
+        assert!(refinery.num_labels() > 1);
+    }
+
+    #[test]
+    fn refinery_unseen_structures_share_nothing_new() {
+        // A clique of unseen size generates unseen signatures from
+        // iteration 1 on; its kernel against training graphs must equal
+        // the contribution of shared labels only (here: iteration 0).
+        let train = vec![generate::path(4)];
+        let (refinery, maps) = WlRefinery::fit(&train, 2);
+        let unseen = refinery.transform(&generate::complete(6));
+        // Shared: initial label only -> dot = 4 * 6.
+        assert_eq!(maps[0].dot(&unseen), 24);
+    }
+
+    #[test]
+    fn refinery_transforms_are_independent() {
+        // Local ids from one transform must not leak into another.
+        let train = vec![generate::path(4)];
+        let (refinery, _) = WlRefinery::fit(&train, 2);
+        let a = refinery.transform(&generate::complete(5));
+        let b = refinery.transform(&generate::complete(5));
+        assert_eq!(a, b, "same structure, same local extension");
+    }
+}

@@ -1,0 +1,162 @@
+//! Sparse non-negative count vectors over a global label space.
+
+/// A sparse count vector: sorted `(label, count)` pairs with positive
+/// counts. The feature representation of one graph under WL refinement.
+///
+/// # Examples
+///
+/// ```
+/// use wlkernels::SparseCounts;
+///
+/// let a = SparseCounts::from_labels(vec![0, 0, 1, 5]);
+/// let b = SparseCounts::from_labels(vec![0, 1, 1, 7]);
+/// assert_eq!(a.dot(&b), 2 * 1 + 1 * 2);       // labels 0 and 1 overlap
+/// assert_eq!(a.min_intersection(&b), 1 + 1);  // min(2,1) + min(1,2)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SparseCounts {
+    entries: Vec<(u32, u32)>,
+}
+
+impl SparseCounts {
+    /// Builds a count vector from a multiset of labels.
+    #[must_use]
+    pub fn from_labels(mut labels: Vec<u32>) -> Self {
+        labels.sort_unstable();
+        let mut entries: Vec<(u32, u32)> = Vec::new();
+        for label in labels {
+            match entries.last_mut() {
+                Some((l, c)) if *l == label => *c += 1,
+                _ => entries.push((label, 1)),
+            }
+        }
+        Self { entries }
+    }
+
+    /// Builds directly from sorted, deduplicated `(label, count)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) if pairs are unsorted, duplicated, or have
+    /// zero counts.
+    #[must_use]
+    pub fn from_entries(entries: Vec<(u32, u32)>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be strictly sorted by label"
+        );
+        debug_assert!(entries.iter().all(|&(_, c)| c > 0), "counts must be positive");
+        Self { entries }
+    }
+
+    /// The `(label, count)` pairs, sorted by label.
+    #[must_use]
+    pub fn entries(&self) -> &[(u32, u32)] {
+        &self.entries
+    }
+
+    /// Number of distinct labels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no labels are present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total count (the L1 norm).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|&(_, c)| u64::from(c)).sum()
+    }
+
+    /// Dot product — the 1-WL subtree kernel contribution.
+    #[must_use]
+    pub fn dot(&self, other: &Self) -> u64 {
+        self.merge_fold(other, |a, b| u64::from(a) * u64::from(b))
+    }
+
+    /// Sum of element-wise minima — the WL-OA (histogram intersection)
+    /// kernel contribution.
+    #[must_use]
+    pub fn min_intersection(&self, other: &Self) -> u64 {
+        self.merge_fold(other, |a, b| u64::from(a.min(b)))
+    }
+
+    /// Merges the two sorted entry lists, folding `f(count_a, count_b)`
+    /// over labels present in **both** vectors.
+    fn merge_fold<F: Fn(u32, u32) -> u64>(&self, other: &Self, f: F) -> u64 {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0u64;
+        while i < self.entries.len() && j < other.entries.len() {
+            let (la, ca) = self.entries[i];
+            let (lb, cb) = other.entries[j];
+            match la.cmp(&lb) {
+                core::cmp::Ordering::Less => i += 1,
+                core::cmp::Ordering::Greater => j += 1,
+                core::cmp::Ordering::Equal => {
+                    acc += f(ca, cb);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_labels_counts_and_sorts() {
+        let v = SparseCounts::from_labels(vec![5, 1, 5, 5, 1]);
+        assert_eq!(v.entries(), &[(1, 2), (5, 3)]);
+        assert_eq!(v.total(), 5);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn empty_vector_behaves() {
+        let e = SparseCounts::from_labels(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.total(), 0);
+        let v = SparseCounts::from_labels(vec![1]);
+        assert_eq!(e.dot(&v), 0);
+        assert_eq!(e.min_intersection(&v), 0);
+    }
+
+    #[test]
+    fn dot_and_min_on_disjoint_supports_are_zero() {
+        let a = SparseCounts::from_labels(vec![1, 2]);
+        let b = SparseCounts::from_labels(vec![3, 4]);
+        assert_eq!(a.dot(&b), 0);
+        assert_eq!(a.min_intersection(&b), 0);
+    }
+
+    #[test]
+    fn dot_with_self_is_squared_norm() {
+        let a = SparseCounts::from_labels(vec![0, 0, 0, 2, 2, 9]);
+        assert_eq!(a.dot(&a), 9 + 4 + 1);
+        assert_eq!(a.min_intersection(&a), a.total());
+    }
+
+    #[test]
+    fn kernels_are_symmetric() {
+        let a = SparseCounts::from_labels(vec![0, 1, 1, 3]);
+        let b = SparseCounts::from_labels(vec![1, 3, 3, 3]);
+        assert_eq!(a.dot(&b), b.dot(&a));
+        assert_eq!(a.min_intersection(&b), b.min_intersection(&a));
+    }
+
+    #[test]
+    fn min_is_bounded_by_smaller_total() {
+        let a = SparseCounts::from_labels(vec![0, 0, 1]);
+        let b = SparseCounts::from_labels(vec![0, 1, 1, 1, 2, 2]);
+        assert!(a.min_intersection(&b) <= a.total().min(b.total()));
+    }
+}

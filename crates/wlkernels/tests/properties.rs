@@ -1,0 +1,95 @@
+//! Property-based tests for the WL kernel machinery.
+
+use graphcore::{generate, Graph};
+use prng::Xoshiro256PlusPlus;
+use proptest::prelude::*;
+use wlkernels::{compute_gram, wl_features, KernelKind, WlRefinery};
+
+fn arb_graphs() -> impl Strategy<Value = Vec<Graph>> {
+    (2usize..8, any::<u64>()).prop_map(|(count, seed)| {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        (0..count)
+            .map(|i| {
+                generate::erdos_renyi(4 + (i % 5) * 3, 0.3, &mut rng)
+                    .expect("valid parameters")
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gram_matrices_are_symmetric_psd_diagonal(graphs in arb_graphs(), h in 0usize..4) {
+        let features = wl_features(&graphs, h);
+        for kind in [KernelKind::Subtree, KernelKind::OptimalAssignment] {
+            let gram = compute_gram(&features.maps, kind);
+            for i in 0..gram.n() {
+                prop_assert!(gram.get(i, i) > 0.0, "diagonal must be positive");
+                for j in 0..gram.n() {
+                    prop_assert_eq!(gram.get(i, j), gram.get(j, i));
+                    // Cauchy–Schwarz for the subtree (dot-product) kernel.
+                    if kind == KernelKind::Subtree {
+                        prop_assert!(
+                            gram.get(i, j) * gram.get(i, j)
+                                <= gram.get(i, i) * gram.get(j, j) + 1e-6
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_bounds_hold(graphs in arb_graphs(), h in 0usize..4) {
+        let features = wl_features(&graphs, h);
+        let gram = compute_gram(&features.maps, KernelKind::OptimalAssignment).normalized();
+        for i in 0..gram.n() {
+            prop_assert!((gram.get(i, i) - 1.0).abs() < 1e-9);
+            for j in 0..gram.n() {
+                prop_assert!(gram.get(i, j) >= -1e-9);
+                prop_assert!(gram.get(i, j) <= 1.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn min_intersection_bounded_by_dot(graphs in arb_graphs(), h in 0usize..4) {
+        // For non-negative counts, sum of minima <= dot product whenever
+        // counts are >= 1 on shared support.
+        let features = wl_features(&graphs, h);
+        for a in &features.maps {
+            for b in &features.maps {
+                prop_assert!(a.min_intersection(b) <= a.dot(b));
+            }
+        }
+    }
+
+    #[test]
+    fn refinery_transform_agrees_with_joint_fit(graphs in arb_graphs(), h in 0usize..4) {
+        // Transforming each training graph individually must reproduce the
+        // jointly fitted maps (the dictionary covers them by definition).
+        let (refinery, maps) = WlRefinery::fit(&graphs, h);
+        for (graph, map) in graphs.iter().zip(&maps) {
+            prop_assert_eq!(&refinery.transform(graph), map);
+        }
+    }
+
+    #[test]
+    fn wl_is_isomorphism_invariant(seed in any::<u64>(), h in 1usize..4) {
+        // Relabeling vertices must not change the feature map.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+        let g = generate::erdos_renyi(12, 0.3, &mut rng).expect("valid parameters");
+        let mut perm: Vec<u32> = (0..12).collect();
+        use prng::WordRng;
+        rng.shuffle(&mut perm);
+        let mut builder = graphcore::GraphBuilder::new(12);
+        for (u, v) in g.edges() {
+            builder.add_edge(perm[u as usize], perm[v as usize]);
+        }
+        let permuted = builder.build();
+        let features = wl_features(&[g, permuted], h);
+        prop_assert_eq!(&features.maps[0], &features.maps[1]);
+    }
+}

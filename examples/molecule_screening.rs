@@ -1,0 +1,65 @@
+//! Molecule screening: the MUTAG-style scenario from the paper's
+//! evaluation — classify small molecular graphs by structure alone,
+//! comparing GraphHD against a WL-kernel SVM under the paper's
+//! cross-validation protocol.
+//!
+//! By default this runs on the built-in MUTAG surrogate. Pass a directory
+//! containing real TUDataset files to run on the original data:
+//!
+//! ```text
+//! cargo run --release --example molecule_screening -- /data/MUTAG MUTAG
+//! ```
+
+use baselines::{WlSvmClassifier, WlSvmConfig};
+use datasets::harness::{evaluate_cv, CvProtocol, GraphClassifier};
+use datasets::{surrogate, GraphDataset};
+use graphhd::GraphHdClassifier;
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset: GraphDataset = match args.get(1) {
+        Some(dir) => {
+            let name = args.get(2).map_or("MUTAG", String::as_str);
+            println!("loading TUDataset {name} from {dir} ...");
+            let data = graphcore::io::load_tudataset(Path::new(dir), name)?;
+            GraphDataset::from_tu(name, data)?
+        }
+        None => {
+            println!("no dataset directory given; using the MUTAG surrogate");
+            surrogate::generate_surrogate_sized(
+                surrogate::spec_by_name("MUTAG").expect("known dataset"),
+                2022,
+                120,
+            )
+        }
+    };
+    let stats = dataset.stats();
+    println!("{stats}\n");
+
+    let protocol = CvProtocol {
+        folds: 5,
+        repetitions: 1,
+        seed: 7,
+    };
+    let mut methods: Vec<Box<dyn GraphClassifier>> = vec![
+        Box::new(GraphHdClassifier::default()),
+        Box::new(WlSvmClassifier::new(WlSvmConfig::fast_subtree())),
+    ];
+    println!("{:<10} {:>10} {:>14} {:>16}", "method", "accuracy", "train s/fold", "infer s/graph");
+    for method in methods.iter_mut() {
+        let report = evaluate_cv(method.as_mut(), &dataset, &protocol)?;
+        println!(
+            "{:<10} {:>10.3} {:>14.4} {:>16.3e}",
+            report.method,
+            report.accuracy().mean,
+            report.train_seconds().mean,
+            report.infer_seconds_per_graph().mean,
+        );
+    }
+    println!(
+        "\nGraphHD trades a little accuracy for a large training-speed win — \
+         the paper's core claim."
+    );
+    Ok(())
+}

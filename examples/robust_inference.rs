@@ -1,0 +1,47 @@
+//! Robustness curve: how GraphHD's accuracy degrades as the stored class
+//! vectors (or incoming query encodings) suffer random bit flips — the
+//! fault model of HDC hardware papers the paper builds its robustness
+//! claim on.
+//!
+//! Run with: `cargo run --release --example robust_inference`
+
+use datasets::{surrogate, StratifiedKFold};
+use graphcore::Graph;
+use graphhd::{noise, GraphHdConfig, GraphHdModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = surrogate::generate_surrogate_sized(
+        surrogate::spec_by_name("PROTEINS").expect("known dataset"),
+        2022,
+        160,
+    );
+    println!("{}\n", dataset.stats());
+
+    let folds = StratifiedKFold::new(5, 1).split(dataset.labels())?;
+    let fold = &folds[0];
+    let train_graphs: Vec<&Graph> = fold.train.iter().map(|&i| dataset.graph(i)).collect();
+    let train_labels: Vec<u32> = fold.train.iter().map(|&i| dataset.label(i)).collect();
+    let test_graphs: Vec<&Graph> = fold.test.iter().map(|&i| dataset.graph(i)).collect();
+    let test_labels: Vec<u32> = fold.test.iter().map(|&i| dataset.label(i)).collect();
+
+    let model = GraphHdModel::fit(
+        GraphHdConfig::default(),
+        &train_graphs,
+        &train_labels,
+        dataset.num_classes(),
+    )?;
+
+    println!("{:>10} {:>22} {:>22}", "flip rate", "class-vector noise", "query noise");
+    let rates = [0.0, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.45, 0.49];
+    for (rate, model_acc, query_acc) in
+        noise::noise_sweep(&model, &test_graphs, &test_labels, &rates, 7)
+    {
+        println!("{:>9.0}% {:>22.3} {:>22.3}", rate * 100.0, model_acc, query_acc);
+    }
+    println!(
+        "\nEvery dimension carries the same information (holographic \
+         representation), so accuracy falls gradually rather than cliff-like; \
+         at 50% flips the vectors are pure noise and accuracy reaches chance."
+    );
+    Ok(())
+}

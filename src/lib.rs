@@ -1,0 +1,47 @@
+//! # GraphHD reproduction suite
+//!
+//! An end-to-end, from-scratch Rust reproduction of *GraphHD: Efficient
+//! graph classification using hyperdimensional computing* (Nunes, Heddes,
+//! Givargis, Nicolau, Veidenbaum — DATE 2022), including every substrate
+//! the paper's evaluation depends on.
+//!
+//! This crate is an umbrella that re-exports the workspace members:
+//!
+//! - [`prng`] — deterministic randomness (SplitMix64, xoshiro256++);
+//! - [`hdvec`] — bit-packed bipolar hypervectors and the HDC operations;
+//! - [`graphcore`] — CSR graphs, random generators, PageRank, TUDataset
+//!   I/O;
+//! - [`datasets`] — benchmark surrogates, cross-validation, metrics and
+//!   the shared classifier harness;
+//! - [`wlkernels`] — 1-WL and WL-OA graph kernels;
+//! - [`kernelsvm`] — SMO-trained C-SVMs on precomputed kernels;
+//! - [`tinynn`] — tape autograd and the GIN-ε / GIN-ε-JK networks;
+//! - [`graphhd`] — the paper's contribution plus its future-work
+//!   extensions;
+//! - [`baselines`] — the four baselines under the shared harness.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! # Examples
+//!
+//! ```
+//! use graphhd_suite::graphhd::{GraphHdConfig, GraphHdModel};
+//! use graphhd_suite::graphcore::generate;
+//!
+//! let graphs = vec![generate::complete(8), generate::path(8)];
+//! let refs: Vec<_> = graphs.iter().collect();
+//! let model = GraphHdModel::fit(GraphHdConfig::default(), &refs, &[0, 1], 2)?;
+//! assert_eq!(model.predict(&generate::complete(10)), 0);
+//! # Ok::<(), graphhd_suite::graphhd::TrainError>(())
+//! ```
+
+pub use baselines;
+pub use datasets;
+pub use graphcore;
+pub use graphhd;
+pub use hdvec;
+pub use kernelsvm;
+pub use prng;
+pub use tinynn;
+pub use wlkernels;

@@ -1,0 +1,98 @@
+//! Integration: the paper's future-work extensions (Section VII) work
+//! end-to-end on benchmark surrogates.
+
+use datasets::{surrogate, StratifiedKFold};
+use graphcore::Graph;
+use graphhd::labeled::LabeledGraphEncoder;
+use graphhd::prototypes::{MultiPrototypeModel, PrototypeConfig};
+use graphhd::{GraphEncoder, GraphHdConfig, GraphHdModel};
+
+fn split(
+    dataset: &datasets::GraphDataset,
+) -> (Vec<usize>, Vec<usize>) {
+    let folds = StratifiedKFold::new(4, 3)
+        .split(dataset.labels())
+        .expect("splittable");
+    (folds[0].train.clone(), folds[0].test.clone())
+}
+
+#[test]
+fn retraining_never_hurts_training_accuracy() {
+    let dataset = surrogate::generate_surrogate_sized(
+        surrogate::spec_by_name("PROTEINS").expect("known dataset"),
+        21,
+        80,
+    );
+    let (train, _) = split(&dataset);
+    let graphs: Vec<&Graph> = train.iter().map(|&i| dataset.graph(i)).collect();
+    let labels: Vec<u32> = train.iter().map(|&i| dataset.label(i)).collect();
+
+    let config = GraphHdConfig::with_dim(4096);
+    let encoder = GraphEncoder::new(config).expect("valid config");
+    let encodings = encoder.encode_all(&graphs);
+    let mut model = GraphHdModel::fit_encoded(encoder, &encodings, &labels, 2);
+
+    let errors_before: usize = encodings
+        .iter()
+        .zip(&labels)
+        .filter(|(hv, &l)| model.predict_encoded(hv) != l)
+        .count();
+    let report = model.retrain(&encodings, &labels, 15);
+    let errors_after: usize = encodings
+        .iter()
+        .zip(&labels)
+        .filter(|(hv, &l)| model.predict_encoded(hv) != l)
+        .count();
+    assert!(
+        errors_after <= errors_before,
+        "retraining increased training errors: {errors_before} -> {errors_after}"
+    );
+    assert!(report.epoch_errors[0] >= *report.epoch_errors.last().expect("non-empty"));
+}
+
+#[test]
+fn multi_prototype_model_runs_on_surrogates() {
+    let dataset = surrogate::generate_surrogate_sized(
+        surrogate::spec_by_name("ENZYMES").expect("known dataset"),
+        22,
+        72,
+    );
+    let (train, test) = split(&dataset);
+    let graphs: Vec<&Graph> = train.iter().map(|&i| dataset.graph(i)).collect();
+    let labels: Vec<u32> = train.iter().map(|&i| dataset.label(i)).collect();
+    let config = PrototypeConfig {
+        base: GraphHdConfig::with_dim(4096),
+        ..PrototypeConfig::default()
+    };
+    let model = MultiPrototypeModel::fit(config, &graphs, &labels, dataset.num_classes())
+        .expect("valid dataset");
+    assert_eq!(model.prototype_counts().len(), 6);
+    let test_graphs: Vec<&Graph> = test.iter().map(|&i| dataset.graph(i)).collect();
+    let predictions = model.predict_all(&test_graphs);
+    assert_eq!(predictions.len(), test.len());
+    assert!(predictions.iter().all(|&p| p < 6));
+}
+
+#[test]
+fn label_aware_encoding_separates_label_patterns_topology_cannot() {
+    // Two "datasets" share identical topology; only vertex labels differ.
+    // The structural encoder is blind to this; the labeled one is not.
+    let structural = GraphEncoder::new(GraphHdConfig::with_dim(4096)).expect("valid");
+    let labeled = LabeledGraphEncoder::new(GraphHdConfig::with_dim(4096)).expect("valid");
+    let graph = graphcore::generate::cycle(12);
+    let pattern_a: Vec<u32> = (0..12).map(|v| v % 2).collect(); // alternating
+    let pattern_b: Vec<u32> = (0..12).map(|v| u32::from(v >= 6)).collect(); // halves
+
+    let s = structural.encode(&graph);
+    assert_eq!(s, structural.encode(&graph), "structure alone is fixed");
+
+    let a = labeled.encode(&graph, &pattern_a).expect("matching labels");
+    let b = labeled.encode(&graph, &pattern_b).expect("matching labels");
+    assert!(
+        a.cosine(&b) < 0.8,
+        "label patterns should separate: cosine {}",
+        a.cosine(&b)
+    );
+    // And each pattern is self-consistent.
+    assert_eq!(a, labeled.encode(&graph, &pattern_a).expect("matching"));
+}

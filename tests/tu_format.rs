@@ -1,0 +1,54 @@
+//! Integration: surrogate datasets round-trip through the TUDataset text
+//! format and feed back into the full GraphHD pipeline — the path real
+//! downloaded benchmark files would take.
+
+use datasets::{surrogate, GraphDataset};
+use graphhd::{GraphHdConfig, GraphHdModel};
+
+#[test]
+fn surrogate_roundtrips_through_tudataset_files_and_trains() {
+    let dataset = surrogate::generate_surrogate_sized(
+        surrogate::spec_by_name("MUTAG").expect("known dataset"),
+        13,
+        40,
+    );
+
+    // Write in TUDataset layout.
+    let dir = std::env::temp_dir().join("graphhd_suite_tu_test");
+    let labels: Vec<i64> = dataset.labels().iter().map(|&l| i64::from(l)).collect();
+    graphcore::io::save_tudataset(&dir, "SURROGATE", dataset.graphs(), &labels)
+        .expect("writable temp dir");
+
+    // Load back and compare.
+    let loaded = graphcore::io::load_tudataset(&dir, "SURROGATE").expect("files just written");
+    let roundtripped =
+        GraphDataset::from_tu("SURROGATE", loaded).expect("consistent files");
+    assert_eq!(roundtripped.graphs(), dataset.graphs());
+    assert_eq!(roundtripped.labels(), dataset.labels());
+
+    // The loaded dataset drives the pipeline exactly like the original.
+    let refs: Vec<&graphcore::Graph> = roundtripped.graphs().iter().collect();
+    let model = GraphHdModel::fit(
+        GraphHdConfig::with_dim(2048),
+        &refs,
+        roundtripped.labels(),
+        roundtripped.num_classes(),
+    )
+    .expect("valid dataset");
+    assert_eq!(model.num_classes(), 2);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn real_world_format_quirks_are_tolerated() {
+    // Real TUDataset files sometimes carry blank trailing lines and
+    // spaces after commas; the parser must shrug them off.
+    let adjacency = "1, 2\n2, 1\n\n3, 4\n4, 3\n\n";
+    let indicator = "1\n1\n2\n2\n\n";
+    let labels = "1\n2\n\n";
+    let data = graphcore::io::parse_tudataset(adjacency, indicator, labels)
+        .expect("tolerant parsing");
+    assert_eq!(data.graphs.len(), 2);
+    assert_eq!(data.labels, vec![0, 1]);
+}
