@@ -13,6 +13,14 @@ pub struct GinBaseline {
     inner: GinClassifier,
 }
 
+impl core::fmt::Debug for GinBaseline {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("GinBaseline")
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
 impl GinBaseline {
     /// Creates a baseline with an explicit configuration.
     #[must_use]

@@ -4,7 +4,9 @@ use datasets::harness::GraphClassifier;
 use datasets::{GraphDataset, StratifiedKFold};
 use graphcore::Graph;
 use kernelsvm::{MulticlassSvm, SvmConfig};
-use wlkernels::{compute_gram, wl_feature_series, GramMatrix, KernelKind, SparseCounts, WlRefinery};
+use wlkernels::{
+    compute_gram, wl_feature_series, GramMatrix, KernelKind, SparseCounts, WlRefinery,
+};
 
 /// Configuration of a WL-kernel SVM baseline.
 ///
@@ -129,8 +131,7 @@ impl WlSvmClassifier {
             seed,
             ..SvmConfig::default()
         };
-        let Ok(svm) = MulticlassSvm::train(&fit_labels, num_classes, kernel, &svm_config)
-        else {
+        let Ok(svm) = MulticlassSvm::train(&fit_labels, num_classes, kernel, &svm_config) else {
             return 0.0;
         };
         let mut hits = 0usize;

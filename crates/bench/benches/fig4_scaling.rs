@@ -17,8 +17,7 @@ fn bench_scaling(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(5));
 
     for &n in &[50usize, 200] {
-        let dataset =
-            surrogate::scaling_dataset(n, 40, 9).expect("valid scaling parameters");
+        let dataset = surrogate::scaling_dataset(n, 40, 9).expect("valid scaling parameters");
         let folds = StratifiedKFold::new(4, 1)
             .split(dataset.labels())
             .expect("splittable");

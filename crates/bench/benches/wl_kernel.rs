@@ -21,9 +21,7 @@ fn bench_wl(c: &mut Criterion) {
         bencher.iter(|| compute_gram(black_box(&features.maps), KernelKind::Subtree));
     });
     group.bench_function("gram_assignment_60", |bencher| {
-        bencher.iter(|| {
-            compute_gram(black_box(&features.maps), KernelKind::OptimalAssignment)
-        });
+        bencher.iter(|| compute_gram(black_box(&features.maps), KernelKind::OptimalAssignment));
     });
     group.finish();
 }

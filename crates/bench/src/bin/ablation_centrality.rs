@@ -26,8 +26,7 @@ fn main() {
                 ..GraphHdConfig::with_seed(options.seed)
             };
             let mut clf = GraphHdClassifier::new(config);
-            let report =
-                evaluate_cv(&mut clf, dataset, &protocol).expect("protocol fits datasets");
+            let report = evaluate_cv(&mut clf, dataset, &protocol).expect("protocol fits datasets");
             let accuracy = report.accuracy();
             eprintln!(
                 "  {:<10} acc {:.3} ± {:.3}  train {}s",

@@ -25,8 +25,7 @@ fn main() {
                 ..GraphHdConfig::with_seed(options.seed)
             };
             let mut clf = GraphHdClassifier::new(config);
-            let report =
-                evaluate_cv(&mut clf, dataset, &protocol).expect("protocol fits datasets");
+            let report = evaluate_cv(&mut clf, dataset, &protocol).expect("protocol fits datasets");
             let accuracy = report.accuracy();
             eprintln!(
                 "  d = {dim:<6} acc {:.3} ± {:.3}  train {}s",

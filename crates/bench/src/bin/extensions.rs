@@ -23,7 +23,9 @@ fn main() {
         let variants: Vec<(String, Box<dyn GraphClassifier>)> = vec![
             (
                 "baseline".into(),
-                Box::new(GraphHdClassifier::new(GraphHdConfig::with_seed(options.seed))),
+                Box::new(GraphHdClassifier::new(GraphHdConfig::with_seed(
+                    options.seed,
+                ))),
             ),
             (
                 "retrain-5".into(),
@@ -41,8 +43,7 @@ fn main() {
             ),
         ];
         for (label, mut clf) in variants {
-            let report =
-                evaluate_cv(clf.as_mut(), dataset, &protocol).expect("protocol fits");
+            let report = evaluate_cv(clf.as_mut(), dataset, &protocol).expect("protocol fits");
             let accuracy = report.accuracy();
             eprintln!(
                 "  {label:<12} acc {:.3} ± {:.3}  train {}s",

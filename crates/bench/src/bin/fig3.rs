@@ -90,8 +90,7 @@ fn main() {
 
 fn summarize_speedups(rows: &[Vec<String>], what: &str) {
     let mut ratios = Vec::new();
-    let datasets: std::collections::BTreeSet<&str> =
-        rows.iter().map(|r| r[0].as_str()).collect();
+    let datasets: std::collections::BTreeSet<&str> = rows.iter().map(|r| r[0].as_str()).collect();
     for dataset in datasets {
         let value = |method: &str| -> Option<f64> {
             rows.iter()

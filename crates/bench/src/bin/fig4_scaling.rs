@@ -36,10 +36,7 @@ fn main() {
     for &n in sizes {
         let dataset = surrogate::scaling_dataset(n, num_graphs, options.seed)
             .expect("valid scaling parameters");
-        eprintln!(
-            "== n = {n} (avg edges {:.1}) ==",
-            dataset.stats().avg_edges
-        );
+        eprintln!("== n = {n} (avg edges {:.1}) ==", dataset.stats().avg_edges);
         let mut methods: Vec<Box<dyn GraphClassifier>> = vec![
             Box::new(GraphHdClassifier::default()),
             Box::new(GinBaseline::new(GinConfig {
@@ -59,8 +56,8 @@ fn main() {
             })),
         ];
         for method in methods.iter_mut() {
-            let report = evaluate_cv(method.as_mut(), &dataset, &protocol)
-                .expect("100 graphs split fine");
+            let report =
+                evaluate_cv(method.as_mut(), &dataset, &protocol).expect("100 graphs split fine");
             let train = report.train_seconds();
             eprintln!(
                 "  {:<8} train {}s/fold (acc {:.2})",
@@ -92,8 +89,7 @@ fn main() {
             .find(|r| r[0] == largest && r[1] == method)
             .and_then(|r| r[2].parse().ok())
     };
-    if let (Some(hd), Some(gin), Some(oa)) = (value("GraphHD"), value("GIN-e"), value("WL-OA"))
-    {
+    if let (Some(hd), Some(gin), Some(oa)) = (value("GraphHD"), value("GIN-e"), value("WL-OA")) {
         println!(
             "at n = {largest}: GraphHD is {:.1}x faster than GIN-e, {:.1}x faster than WL-OA",
             gin / hd,

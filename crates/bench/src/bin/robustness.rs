@@ -22,8 +22,7 @@ fn main() {
             .split(dataset.labels())
             .expect("datasets are large enough");
         let fold = &folds[0];
-        let train_graphs: Vec<&Graph> =
-            fold.train.iter().map(|&i| dataset.graph(i)).collect();
+        let train_graphs: Vec<&Graph> = fold.train.iter().map(|&i| dataset.graph(i)).collect();
         let train_labels: Vec<u32> = fold.train.iter().map(|&i| dataset.label(i)).collect();
         let test_graphs: Vec<&Graph> = fold.test.iter().map(|&i| dataset.graph(i)).collect();
         let test_labels: Vec<u32> = fold.test.iter().map(|&i| dataset.label(i)).collect();

@@ -3,8 +3,8 @@
 //! Every binary regenerating a table or figure of the paper uses the same
 //! effort tiers, dataset loading, method roster and result writing, so
 //! that "who wins, by roughly what factor" comparisons are made under one
-//! protocol. See `DESIGN.md` (per-experiment index) for the mapping from
-//! paper artifact to binary.
+//! protocol. See `README.md` for the mapping from paper artifact to
+//! binary.
 
 use baselines::{GinBaseline, WlSvmClassifier, WlSvmConfig};
 use datasets::harness::{CvProtocol, GraphClassifier};
@@ -203,8 +203,7 @@ pub fn emit_results(options: &Options, name: &str, headers: &[&str], rows: &[Vec
     println!("{}", datasets::table::render_table(headers, rows));
     std::fs::create_dir_all(&options.out_dir).expect("create results directory");
     let path = options.out_dir.join(format!("{name}.csv"));
-    std::fs::write(&path, datasets::table::render_csv(headers, rows))
-        .expect("write results csv");
+    std::fs::write(&path, datasets::table::render_csv(headers, rows)).expect("write results csv");
     println!("wrote {}", path.display());
 }
 

@@ -72,7 +72,10 @@ impl GraphDataset {
     ///
     /// Returns [`DatasetError`] on internal inconsistency (which would
     /// indicate a bug in the parser).
-    pub fn from_tu(name: impl Into<String>, data: graphcore::io::TuData) -> Result<Self, DatasetError> {
+    pub fn from_tu(
+        name: impl Into<String>,
+        data: graphcore::io::TuData,
+    ) -> Result<Self, DatasetError> {
         let classes = data.num_classes();
         Self::new(name, data.graphs, data.labels, classes.max(1))
     }

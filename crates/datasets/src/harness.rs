@@ -190,8 +190,7 @@ mod tests {
     use graphcore::generate;
 
     fn toy_dataset(n: usize) -> GraphDataset {
-        let graphs: Vec<graphcore::Graph> =
-            (0..n).map(|i| generate::path(3 + (i % 4))).collect();
+        let graphs: Vec<graphcore::Graph> = (0..n).map(|i| generate::path(3 + (i % 4))).collect();
         // Two classes, 2:1 imbalance.
         let labels: Vec<u32> = (0..n as u32).map(|i| u32::from(i % 3 == 0)).collect();
         GraphDataset::new("toy", graphs, labels, 2).expect("valid dataset")

@@ -5,8 +5,8 @@
 //! - [`GraphDataset`] — an immutable labeled graph collection with
 //!   [`DatasetStats`] matching the columns of the paper's Table I.
 //! - [`surrogate`] — synthetic stand-ins for the six TUDataset benchmarks
-//!   (the evaluation machine has no network access; see `DESIGN.md` for the
-//!   substitution rationale) plus the Erdős–Rényi scaling datasets of the
+//!   (the evaluation machine has no network access, so experiments run on
+//!   statistics-matched synthetic stand-ins; see `README.md`) plus the Erdős–Rényi scaling datasets of the
 //!   paper's Fig. 4.
 //! - [`StratifiedKFold`] — the 10-fold cross-validation splitter of the
 //!   paper's protocol (Section V-A).

@@ -23,11 +23,7 @@ pub fn accuracy(truth: &[u32], predicted: &[u32]) -> f64 {
     if truth.is_empty() {
         return 0.0;
     }
-    let hits = truth
-        .iter()
-        .zip(predicted)
-        .filter(|(t, p)| t == p)
-        .count();
+    let hits = truth.iter().zip(predicted).filter(|(t, p)| t == p).count();
     hits as f64 / truth.len() as f64
 }
 
@@ -167,8 +163,8 @@ impl Summary {
         let std_dev = if count < 2 {
             0.0
         } else {
-            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-                / (count as f64 - 1.0);
+            let var =
+                samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0);
             var.sqrt()
         };
         Self {

@@ -92,9 +92,7 @@ pub const TU_SPECS: [SurrogateSpec; 6] = [
 /// Looks up a Table I spec by (case-insensitive) dataset name.
 #[must_use]
 pub fn spec_by_name(name: &str) -> Option<&'static SurrogateSpec> {
-    TU_SPECS
-        .iter()
-        .find(|s| s.name.eq_ignore_ascii_case(name))
+    TU_SPECS.iter().find(|s| s.name.eq_ignore_ascii_case(name))
 }
 
 /// Generates the surrogate for a Table I spec.
@@ -249,14 +247,17 @@ pub fn scaling_dataset(
     seed: u64,
 ) -> Result<GraphDataset, DatasetError> {
     assert!(num_graphs > 0, "scaling dataset needs graphs");
-    assert!(num_vertices >= 4, "scaling dataset needs at least 4 vertices");
+    assert!(
+        num_vertices >= 4,
+        "scaling dataset needs at least 4 vertices"
+    );
     let mut graphs = Vec::with_capacity(num_graphs);
     let mut labels = Vec::with_capacity(num_graphs);
     for index in 0..num_graphs {
         let class = (index % 2) as u32;
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(mix_seed(seed, index as u64));
-        let g = generate::erdos_renyi(num_vertices, 0.05, &mut rng)
-            .expect("fixed valid probability");
+        let g =
+            generate::erdos_renyi(num_vertices, 0.05, &mut rng).expect("fixed valid probability");
         let g = if class == 1 {
             generate::with_planted_triangles(&g, num_vertices / 20 + 1, &mut rng)
                 .expect("vertex count >= 4")
@@ -266,12 +267,7 @@ pub fn scaling_dataset(
         graphs.push(generate::shuffle_vertex_ids(&g, &mut rng));
         labels.push(class);
     }
-    GraphDataset::new(
-        format!("ER-n{num_vertices}"),
-        graphs,
-        labels,
-        2,
-    )
+    GraphDataset::new(format!("ER-n{num_vertices}"), graphs, labels, 2)
 }
 
 #[cfg(test)]
@@ -298,7 +294,11 @@ mod tests {
             let counts = ds.class_counts();
             let max = counts.iter().copied().max().unwrap();
             let min = counts.iter().copied().min().unwrap();
-            assert!(max - min <= 1, "{}: classes unbalanced {counts:?}", spec.name);
+            assert!(
+                max - min <= 1,
+                "{}: classes unbalanced {counts:?}",
+                spec.name
+            );
         }
     }
 

@@ -7,19 +7,18 @@ use proptest::prelude::*;
 
 /// Arbitrary label vectors: 2–4 classes, enough samples to split.
 fn arb_labels() -> impl Strategy<Value = (Vec<u32>, usize)> {
-    (2usize..5, 10usize..80, any::<u64>(), 2usize..6).prop_map(
-        |(classes, n, seed, k)| {
-            let mut rng = prng::Xoshiro256PlusPlus::seed_from_u64(seed);
-            use prng::WordRng;
-            let mut labels: Vec<u32> =
-                (0..n).map(|_| rng.u64_below(classes as u64) as u32).collect();
-            // Guarantee every class appears at least once.
-            for c in 0..classes as u32 {
-                labels[c as usize] = c;
-            }
-            (labels, k)
-        },
-    )
+    (2usize..5, 10usize..80, any::<u64>(), 2usize..6).prop_map(|(classes, n, seed, k)| {
+        let mut rng = prng::Xoshiro256PlusPlus::seed_from_u64(seed);
+        use prng::WordRng;
+        let mut labels: Vec<u32> = (0..n)
+            .map(|_| rng.u64_below(classes as u64) as u32)
+            .collect();
+        // Guarantee every class appears at least once.
+        for c in 0..classes as u32 {
+            labels[c as usize] = c;
+        }
+        (labels, k)
+    })
 }
 
 proptest! {

@@ -229,8 +229,7 @@ impl GraphBuilder {
     ///
     /// Panics if either endpoint is `>= n`.
     pub fn add_edge(&mut self, u: u32, v: u32) {
-        self.try_add_edge(u, v)
-            .expect("edge endpoint out of range");
+        self.try_add_edge(u, v).expect("edge endpoint out of range");
     }
 
     /// Adds the undirected edge `{u, v}`, validating endpoints.
@@ -362,8 +361,7 @@ mod tests {
         let tri = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
         assert_eq!(tri.triangle_count(), 1);
         // K4 has 4 triangles
-        let k4 =
-            Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let k4 = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         assert_eq!(k4.triangle_count(), 4);
         // Path has none
         let path = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
@@ -379,8 +377,7 @@ mod tests {
 
     #[test]
     fn density_of_complete_graph_is_one() {
-        let k4 =
-            Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let k4 = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         assert!((k4.density() - 1.0).abs() < 1e-12);
     }
 

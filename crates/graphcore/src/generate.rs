@@ -450,12 +450,8 @@ mod tests {
 
     #[test]
     fn sbm_respects_block_structure() {
-        let g = stochastic_block_model(
-            &[30, 30],
-            &[vec![0.5, 0.0], vec![0.0, 0.5]],
-            &mut rng(5),
-        )
-        .unwrap();
+        let g = stochastic_block_model(&[30, 30], &[vec![0.5, 0.0], vec![0.0, 0.5]], &mut rng(5))
+            .unwrap();
         // No cross-block edges.
         for (u, v) in g.edges() {
             assert_eq!(u < 30, v < 30, "edge ({u}, {v}) crosses blocks");
@@ -465,12 +461,8 @@ mod tests {
 
     #[test]
     fn sbm_cross_block_only() {
-        let g = stochastic_block_model(
-            &[10, 15],
-            &[vec![0.0, 1.0], vec![1.0, 0.0]],
-            &mut rng(6),
-        )
-        .unwrap();
+        let g = stochastic_block_model(&[10, 15], &[vec![0.0, 1.0], vec![1.0, 0.0]], &mut rng(6))
+            .unwrap();
         assert_eq!(g.edge_count(), 10 * 15);
     }
 
@@ -481,11 +473,7 @@ mod tests {
             Err(GraphError::InvalidBlockMatrix { .. })
         ));
         assert!(matches!(
-            stochastic_block_model(
-                &[5, 5],
-                &[vec![0.1, 0.2], vec![0.3, 0.1]],
-                &mut rng(7)
-            ),
+            stochastic_block_model(&[5, 5], &[vec![0.1, 0.2], vec![0.3, 0.1]], &mut rng(7)),
             Err(GraphError::InvalidBlockMatrix { .. })
         ));
     }
@@ -525,7 +513,10 @@ mod tests {
     #[test]
     fn planted_triangles_zero_is_identity() {
         let base = erdos_renyi(10, 0.3, &mut rng(13)).unwrap();
-        assert_eq!(with_planted_triangles(&base, 0, &mut rng(13)).unwrap(), base);
+        assert_eq!(
+            with_planted_triangles(&base, 0, &mut rng(13)).unwrap(),
+            base
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl TuData {
     /// Number of distinct classes.
     #[must_use]
     pub fn num_classes(&self) -> usize {
-        self.labels.iter().copied().max().map_or(0, |m| m as usize + 1)
+        self.labels
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1)
     }
 }
 
@@ -170,10 +174,8 @@ pub fn parse_tudataset(
         local_index.push(graph_sizes[g] as u32);
         graph_sizes[g] += 1;
     }
-    let mut builders: Vec<GraphBuilder> = graph_sizes
-        .iter()
-        .map(|&s| GraphBuilder::new(s))
-        .collect();
+    let mut builders: Vec<GraphBuilder> =
+        graph_sizes.iter().map(|&s| GraphBuilder::new(s)).collect();
 
     // --- adjacency ---------------------------------------------------------
     for (idx, line) in non_empty_lines(adjacency) {
@@ -245,9 +247,15 @@ pub fn parse_tudataset(
 /// from [`parse_tudataset`].
 pub fn load_tudataset(dir: &Path, name: &str) -> Result<TuData, TuError> {
     let read = |suffix: &str| -> Result<String, TuError> {
-        Ok(std::fs::read_to_string(dir.join(format!("{name}_{suffix}.txt")))?)
+        Ok(std::fs::read_to_string(
+            dir.join(format!("{name}_{suffix}.txt")),
+        )?)
     };
-    parse_tudataset(&read("A")?, &read("graph_indicator")?, &read("graph_labels")?)
+    parse_tudataset(
+        &read("A")?,
+        &read("graph_indicator")?,
+        &read("graph_labels")?,
+    )
 }
 
 /// Serialises graphs and labels to the three TUDataset file contents

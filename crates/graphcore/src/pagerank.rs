@@ -48,7 +48,10 @@ impl PageRankConfig {
             damping.is_finite() && (0.0..=1.0).contains(&damping),
             "damping must lie in [0, 1], got {damping}"
         );
-        Self { damping, iterations }
+        Self {
+            damping,
+            iterations,
+        }
     }
 }
 
@@ -273,9 +276,8 @@ mod tests {
         // 51 agree much more closely than 1 and 2.
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(77);
         let g = generate::erdos_renyi(30, 0.2, &mut rng).unwrap();
-        let diff = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let diff =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         let r1 = pagerank(&g, &PageRankConfig::new(0.85, 1));
         let r2 = pagerank(&g, &PageRankConfig::new(0.85, 2));
         let r50 = pagerank(&g, &PageRankConfig::new(0.85, 50));

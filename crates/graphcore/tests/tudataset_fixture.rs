@@ -1,0 +1,130 @@
+//! The TUDataset reader against small in-repo fixtures.
+//!
+//! `tests/fixtures/FIXT` is a hand-written three-graph dataset in the
+//! exact on-disk layout real TUDataset downloads use; `BROKEN` is its
+//! corrupted sibling. Every malformed input must surface as a typed
+//! [`TuError`], never a panic.
+
+use graphcore::io::{load_tudataset, parse_tudataset, TuError};
+use std::path::Path;
+
+fn fixture_dir(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn loads_fixture_from_disk() {
+    let data = load_tudataset(&fixture_dir("FIXT"), "FIXT").expect("fixture parses");
+    assert_eq!(data.graphs.len(), 3);
+    assert_eq!(data.num_classes(), 2);
+
+    // Graph 1: a triangle.
+    assert_eq!(data.graphs[0].vertex_count(), 3);
+    assert_eq!(data.graphs[0].edge_count(), 3);
+    // Graph 2: a single edge.
+    assert_eq!(data.graphs[1].vertex_count(), 2);
+    assert_eq!(data.graphs[1].edge_count(), 1);
+    // Graph 3: two isolated vertices — trailing edgeless graphs must not
+    // be dropped.
+    assert_eq!(data.graphs[2].vertex_count(), 2);
+    assert_eq!(data.graphs[2].edge_count(), 0);
+
+    // Labels −1/1 densify in sorted order to 0/1.
+    assert_eq!(data.original_labels, vec![1, -1, 1]);
+    assert_eq!(data.labels, vec![1, 0, 1]);
+}
+
+#[test]
+fn missing_labels_file_is_a_typed_io_error() {
+    let err = load_tudataset(&fixture_dir("BROKEN"), "BROKEN").expect_err("labels file is absent");
+    assert!(matches!(err, TuError::Io(_)), "got {err:?}");
+    // The Display impl names the failure for operators.
+    assert!(err.to_string().contains("i/o error"));
+}
+
+#[test]
+fn malformed_edge_list_is_a_typed_parse_error() {
+    let fixture = std::fs::read_to_string(fixture_dir("BROKEN").join("BROKEN_A.txt"))
+        .expect("fixture exists");
+    // Line 2 of the broken fixture is "2 1" — missing the comma.
+    let err = parse_tudataset(&fixture, "1\n1\n", "1\n").expect_err("malformed A file");
+    match err {
+        TuError::Parse { file, line, .. } => {
+            assert_eq!(file, "A");
+            assert_eq!(line, 2);
+        }
+        other => panic!("expected Parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_based_node_ids_are_rejected_as_parse_errors() {
+    // TUDataset node ids are 1-based; a 0 is the classic off-by-one.
+    let err = parse_tudataset("0, 1\n", "1\n1\n", "1\n").expect_err("0 is not a node id");
+    match err {
+        TuError::Parse { file, reason, .. } => {
+            assert_eq!(file, "A");
+            assert!(reason.contains("1-based"), "reason: {reason}");
+        }
+        other => panic!("expected Parse error, got {other:?}"),
+    }
+
+    let err = parse_tudataset("", "0\n", "1\n").expect_err("0 is not a graph id");
+    assert!(matches!(
+        err,
+        TuError::Parse {
+            file: "graph_indicator",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn missing_graph_labels_are_an_inconsistency_error() {
+    // Two graphs referenced by the indicator, only one label.
+    let err =
+        parse_tudataset("1, 2\n2, 1\n", "1\n1\n2\n", "1\n").expect_err("label count mismatch");
+    match err {
+        TuError::Inconsistent { reason } => {
+            assert!(reason.contains("1 graph labels"), "reason: {reason}");
+        }
+        other => panic!("expected Inconsistent error, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_and_cross_graph_arcs_are_inconsistency_errors() {
+    // Arc references node 9 of a 2-node dataset.
+    let err = parse_tudataset("1, 9\n", "1\n1\n", "1\n").expect_err("node out of range");
+    assert!(matches!(err, TuError::Inconsistent { .. }), "got {err:?}");
+
+    // Arc connects nodes of two different graphs.
+    let err = parse_tudataset("1, 2\n", "1\n2\n", "1\n1\n").expect_err("cross-graph arc");
+    assert!(matches!(err, TuError::Inconsistent { .. }), "got {err:?}");
+}
+
+#[test]
+fn garbage_never_panics() {
+    // A grab-bag of malformed inputs: each must return Err, not panic.
+    let cases: [(&str, &str, &str); 6] = [
+        ("a, b\n", "1\n", "1\n"),
+        ("1\n", "1\n", "1\n"),
+        ("1, 2, 3\n", "1\n1\n", "1\n"), // trailing field is ignored by split
+        ("", "x\n", "1\n"),
+        ("", "1\n", "x\n"),
+        ("1, 1\n", "½\n", "1\n"),
+    ];
+    for (a, ind, lab) in cases {
+        let result = parse_tudataset(a, ind, lab);
+        if let Ok(parsed) = &result {
+            // The only acceptable Ok is the lenient extra-field case.
+            assert_eq!(
+                parsed.graphs.len(),
+                1,
+                "unexpected Ok for ({a:?}, {ind:?}, {lab:?})"
+            );
+        }
+    }
+}

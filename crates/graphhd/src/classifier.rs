@@ -83,13 +83,8 @@ impl GraphClassifier for GraphHdClassifier {
     fn fit(&mut self, dataset: &GraphDataset, train: &[usize]) {
         let graphs: Vec<&Graph> = train.iter().map(|&i| dataset.graph(i)).collect();
         let labels: Vec<u32> = train.iter().map(|&i| dataset.label(i)).collect();
-        let mut model = GraphHdModel::fit(
-            self.config,
-            &graphs,
-            &labels,
-            dataset.num_classes(),
-        )
-        .expect("harness supplies consistent datasets");
+        let mut model = GraphHdModel::fit(self.config, &graphs, &labels, dataset.num_classes())
+            .expect("harness supplies consistent datasets");
         if self.retrain_epochs > 0 {
             let encodings = model.encoder().encode_all(&graphs);
             let _ = model.retrain(&encodings, &labels, self.retrain_epochs);

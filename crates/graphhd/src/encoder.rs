@@ -87,13 +87,13 @@ impl GraphEncoder {
         // that the paper cites; the result is bit-identical to the naive
         // accumulation (property-tested in tests/properties.rs).
         let ranks = self.vertex_ranks(graph);
-        let mut acc = BitSliceAccumulator::new(self.config.dim)
-            .expect("dimension validated at construction");
+        let mut acc =
+            BitSliceAccumulator::new(self.config.dim).expect("dimension validated at construction");
         // Per-graph cache: rank r's basis hypervector is reused by every
         // edge incident to the vertex of rank r.
         let mut cache: Vec<Option<Hypervector>> = vec![None; graph.vertex_count()];
-        let mut edge = Hypervector::positive(self.config.dim)
-            .expect("dimension validated at construction");
+        let mut edge =
+            Hypervector::positive(self.config.dim).expect("dimension validated at construction");
         for (u, v) in graph.edges() {
             let (u, v) = (u as usize, v as usize);
             if cache[u].is_none() {
@@ -196,7 +196,18 @@ mod tests {
             let mut b = GraphBuilder::new(8);
             // A "lollipop": K4 attached to a path, no automorphism mixing
             // path and clique ranks ambiguously.
-            for (u, v) in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)] {
+            for (u, v) in [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+            ] {
                 b.add_edge(u, v);
             }
             b.build()

@@ -89,11 +89,7 @@ impl LabeledGraphEncoder {
     ///
     /// Returns [`LabelCountError`] if `labels.len()` differs from the
     /// vertex count.
-    pub fn encode(
-        &self,
-        graph: &Graph,
-        labels: &[u32],
-    ) -> Result<Hypervector, LabelCountError> {
+    pub fn encode(&self, graph: &Graph, labels: &[u32]) -> Result<Hypervector, LabelCountError> {
         if labels.len() != graph.vertex_count() {
             return Err(LabelCountError {
                 vertices: graph.vertex_count(),
@@ -102,8 +98,7 @@ impl LabeledGraphEncoder {
         }
         let config = self.inner.config();
         let ranks = self.inner.vertex_ranks(graph);
-        let mut acc =
-            Accumulator::new(config.dim).expect("dimension validated at construction");
+        let mut acc = Accumulator::new(config.dim).expect("dimension validated at construction");
         let mut cache: Vec<Option<Hypervector>> = vec![None; graph.vertex_count()];
         for (u, v) in graph.edges() {
             let (u, v) = (u as usize, v as usize);

@@ -190,10 +190,7 @@ impl GraphHdModel {
     /// Cosine similarity of an already-encoded query to every class.
     #[must_use]
     pub fn scores_encoded(&self, query: &Hypervector) -> Vec<f64> {
-        self.class_vectors
-            .iter()
-            .map(|c| c.cosine(query))
-            .collect()
+        self.class_vectors.iter().map(|c| c.cosine(query)).collect()
     }
 
     /// Cosine similarity of a graph to every class vector.
@@ -315,13 +312,8 @@ mod tests {
     fn fit_toy(dim: usize) -> (GraphHdModel, Vec<Graph>, Vec<u32>) {
         let (graphs, labels) = toy();
         let refs: Vec<&Graph> = graphs.iter().collect();
-        let model = GraphHdModel::fit(
-            GraphHdConfig::with_dim(dim),
-            &refs,
-            &labels,
-            2,
-        )
-        .expect("valid inputs");
+        let model = GraphHdModel::fit(GraphHdConfig::with_dim(dim), &refs, &labels, 2)
+            .expect("valid inputs");
         (model, graphs, labels)
     }
 
@@ -335,7 +327,10 @@ mod tests {
         );
         assert_eq!(
             GraphHdModel::fit(config, &[&g], &[], 2).unwrap_err(),
-            TrainError::LengthMismatch { graphs: 1, labels: 0 }
+            TrainError::LengthMismatch {
+                graphs: 1,
+                labels: 0
+            }
         );
         assert_eq!(
             GraphHdModel::fit(config, &[&g], &[7], 2).unwrap_err(),
@@ -401,9 +396,7 @@ mod tests {
                 graphs.push(base);
                 labels.push(0u32);
             } else {
-                graphs.push(
-                    generate::with_planted_triangles(&base, 6, &mut rng).expect("n >= 3"),
-                );
+                graphs.push(generate::with_planted_triangles(&base, 6, &mut rng).expect("n >= 3"));
                 labels.push(1u32);
             }
         }

@@ -126,8 +126,8 @@ mod tests {
             labels.push(1);
         }
         let refs: Vec<&Graph> = graphs.iter().collect();
-        let model = GraphHdModel::fit(GraphHdConfig::default(), &refs, &labels, 2)
-            .expect("valid inputs");
+        let model =
+            GraphHdModel::fit(GraphHdConfig::default(), &refs, &labels, 2).expect("valid inputs");
         (model, graphs, labels)
     }
 

@@ -114,8 +114,7 @@ impl MultiPrototypeModel {
 
         let mut accumulators: Vec<Vec<Accumulator>> =
             (0..num_classes).map(|_| Vec::new()).collect();
-        let mut vectors: Vec<Vec<Hypervector>> =
-            (0..num_classes).map(|_| Vec::new()).collect();
+        let mut vectors: Vec<Vec<Hypervector>> = (0..num_classes).map(|_| Vec::new()).collect();
 
         for (hv, &label) in encodings.iter().zip(labels) {
             let class = label as usize;

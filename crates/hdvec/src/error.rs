@@ -37,10 +37,7 @@ impl core::fmt::Display for HdvError {
                 write!(f, "hypervector dimensions differ: {left} vs {right}")
             }
             HdvError::InvalidComponent { index, value } => {
-                write!(
-                    f,
-                    "component {index} has value {value}, expected +1 or -1"
-                )
+                write!(f, "component {index} has value {value}, expected +1 or -1")
             }
             HdvError::EmptyBundle => write!(f, "cannot bundle zero hypervectors"),
         }

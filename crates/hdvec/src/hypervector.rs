@@ -424,7 +424,12 @@ mod tests {
         let mut r = rng();
         let a = Hypervector::random(dim, &mut r).unwrap();
         let b = Hypervector::random(dim, &mut r).unwrap();
-        for v in [a.bind(&b), a.negated(), a.permute(13), a.with_noise(0.5, &mut r)] {
+        for v in [
+            a.bind(&b),
+            a.negated(),
+            a.permute(13),
+            a.with_noise(0.5, &mut r),
+        ] {
             let tail = v.words().last().copied().unwrap();
             assert_eq!(tail & !((1u64 << (dim % 64)) - 1), 0, "tail bits leaked");
         }

@@ -152,7 +152,10 @@ mod tests {
 
     #[test]
     fn zero_dimension_rejected() {
-        assert!(matches!(ItemMemory::new(0, 1), Err(HdvError::ZeroDimension)));
+        assert!(matches!(
+            ItemMemory::new(0, 1),
+            Err(HdvError::ZeroDimension)
+        ));
         assert!(matches!(
             CachedItemMemory::new(0, 1),
             Err(HdvError::ZeroDimension)
@@ -188,10 +191,7 @@ mod tests {
         for i in 0..items.len() {
             for j in (i + 1)..items.len() {
                 let sim = items[i].cosine(&items[j]);
-                assert!(
-                    sim.abs() < 0.06,
-                    "items {i} and {j} too similar: {sim}"
-                );
+                assert!(sim.abs() < 0.06, "items {i} and {j} too similar: {sim}");
             }
         }
     }

@@ -1,0 +1,145 @@
+//! Word-level regression tests for the per-bit hot paths of
+//! [`Hypervector::permute`] and [`Hypervector::with_noise`].
+//!
+//! Both operations currently walk one bit at a time. A planned
+//! optimization rewrites `permute` as word-granular shifts, where the
+//! classic mistake is mishandling the partially-filled last word (the
+//! tail mask). These tests pin the exact packed-word output — not just
+//! component-level semantics — at every dimension class a word-shift
+//! implementation must get right: single-bit, one-under/at/one-over a
+//! word boundary, two-word boundaries, and the paper's 10,000.
+
+use hdvec::{Hypervector, ItemMemory};
+use prng::{SplitMix64, WordRng};
+
+/// The word-boundary dimension grid from the optimization plan.
+const DIMS: [usize; 7] = [1, 63, 64, 65, 127, 128, 10_000];
+
+/// Shifts that exercise identity, ±1, word-multiples and wrap-around.
+fn shifts_for(dim: usize) -> Vec<usize> {
+    vec![
+        0,
+        1,
+        dim - 1,
+        dim,
+        dim + 1,
+        63 % dim,
+        64 % dim,
+        65 % dim,
+        (dim / 2).max(1),
+        2 * dim + 7,
+    ]
+}
+
+/// Reference permutation: rebuild the vector component by component.
+/// Output dimension `(i + shift) % dim` takes input component `i`.
+fn naive_permute(v: &Hypervector, shift: usize) -> Hypervector {
+    let dim = v.dim();
+    let components = v.to_components();
+    let mut out = vec![1i8; dim];
+    for (i, &c) in components.iter().enumerate() {
+        out[(i + shift) % dim] = c;
+    }
+    Hypervector::from_components(&out).expect("non-empty")
+}
+
+fn tail_is_clear(v: &Hypervector) -> bool {
+    let dim = v.dim();
+    let last = *v.words().last().expect("non-empty");
+    match dim % 64 {
+        0 => true,
+        r => last & !((1u64 << r) - 1) == 0,
+    }
+}
+
+#[test]
+fn permute_matches_naive_reference_word_for_word() {
+    for dim in DIMS {
+        let memory = ItemMemory::new(dim, 0xC0FFEE).expect("valid dimension");
+        for index in 0..4u64 {
+            let v = memory.hypervector(index);
+            for shift in shifts_for(dim) {
+                let fast = v.permute(shift);
+                let reference = naive_permute(&v, shift);
+                // Word-level equality: equal components AND a clear tail,
+                // which `from_components` guarantees for the reference.
+                assert_eq!(
+                    fast.words(),
+                    reference.words(),
+                    "permute({shift}) diverged from reference at dim {dim}"
+                );
+                assert!(
+                    tail_is_clear(&fast),
+                    "permute({shift}) leaked tail bits at dim {dim}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn permute_full_rotation_is_identity_on_words() {
+    for dim in DIMS {
+        let memory = ItemMemory::new(dim, 7).expect("valid dimension");
+        let v = memory.hypervector(0);
+        assert_eq!(v.permute(0).words(), v.words());
+        assert_eq!(v.permute(dim).words(), v.words());
+        for shift in shifts_for(dim) {
+            let back = v.permute(shift).permute(dim - shift % dim);
+            assert_eq!(back.words(), v.words(), "round trip failed at dim {dim}");
+        }
+    }
+}
+
+#[test]
+fn permute_against_all_ones_pattern_keeps_popcount_and_tail() {
+    // The all-(−1) vector makes tail-mask leaks maximally visible: every
+    // stored bit is set, so any word-shift that drags tail garbage in
+    // changes the popcount.
+    for dim in DIMS {
+        let v = Hypervector::negative(dim).expect("valid dimension");
+        for shift in shifts_for(dim) {
+            let rotated = v.permute(shift);
+            assert_eq!(rotated.count_negative(), dim, "popcount changed");
+            assert!(tail_is_clear(&rotated), "tail bits leaked at dim {dim}");
+            assert_eq!(rotated.words(), v.words(), "rotation of constant vector");
+        }
+    }
+}
+
+#[test]
+fn with_noise_preserves_tail_invariant_and_determinism() {
+    for dim in DIMS {
+        let memory = ItemMemory::new(dim, 99).expect("valid dimension");
+        let v = memory.hypervector(0);
+        for rate in [0.0, 0.1, 0.5, 1.0] {
+            let mut rng_a = SplitMix64::new(0xAB);
+            let mut rng_b = SplitMix64::new(0xAB);
+            let noisy_a = v.with_noise(rate, &mut rng_a);
+            let noisy_b = v.with_noise(rate, &mut rng_b);
+            assert_eq!(
+                noisy_a.words(),
+                noisy_b.words(),
+                "noise must be a pure function of (vector, rate, rng state)"
+            );
+            assert!(
+                tail_is_clear(&noisy_a),
+                "noise leaked tail bits at dim {dim}"
+            );
+        }
+        // Exactly one rng draw per dimension: the word-level draw budget a
+        // future word-granular rewrite must reproduce or explicitly change.
+        let mut counting = CountingRng(SplitMix64::new(1), 0);
+        let _ = v.with_noise(0.3, &mut counting);
+        assert_eq!(counting.1, dim, "with_noise draws once per component");
+    }
+}
+
+struct CountingRng(SplitMix64, usize);
+
+impl WordRng for CountingRng {
+    fn next_u64(&mut self) -> u64 {
+        self.1 += 1;
+        self.0.next_u64()
+    }
+}

@@ -105,11 +105,7 @@ impl BinarySvm {
         if n == 0 {
             return Err(SvmError::EmptyTrainingSet);
         }
-        if let Some((index, &value)) = labels
-            .iter()
-            .enumerate()
-            .find(|(_, &l)| l != 1 && l != -1)
-        {
+        if let Some((index, &value)) = labels.iter().enumerate().find(|(_, &l)| l != 1 && l != -1) {
             return Err(SvmError::InvalidLabel { index, value });
         }
         if !labels.contains(&1) || !labels.contains(&-1) {
@@ -163,9 +159,7 @@ impl BinarySvm {
                         }
                     };
                 }
-                if Self::optimize_pair(
-                    i, j, &y, &kernel, c, &mut alpha, &mut bias, &mut errors,
-                ) {
+                if Self::optimize_pair(i, j, &y, &kernel, c, &mut alpha, &mut bias, &mut errors) {
                     changed += 1;
                 }
             }
@@ -366,8 +360,7 @@ mod tests {
             vec![1.0, 0.0],
         ];
         let labels = [-1i8, -1, 1, 1];
-        let svm = BinarySvm::train(&labels, rbf(&points, 2.0), &SvmConfig::with_c(10.0))
-            .unwrap();
+        let svm = BinarySvm::train(&labels, rbf(&points, 2.0), &SvmConfig::with_c(10.0)).unwrap();
         for (idx, &label) in labels.iter().enumerate() {
             let pred = svm.predict(rbf_to(&points, &points[idx], 2.0));
             assert_eq!(pred, label, "training point {idx} misclassified");
@@ -382,8 +375,7 @@ mod tests {
             .collect();
         let labels: Vec<i8> = (0..20).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
         let c = 5.0;
-        let svm =
-            BinarySvm::train(&labels, rbf(&points, 1.0), &SvmConfig::with_c(c)).unwrap();
+        let svm = BinarySvm::train(&labels, rbf(&points, 1.0), &SvmConfig::with_c(c)).unwrap();
         let sum: f64 = svm.alpha_y().iter().sum();
         assert!(sum.abs() < 1e-6, "sum alpha*y = {sum}");
         for (&s, &ay) in svm.support().iter().zip(svm.alpha_y()) {

@@ -87,11 +87,8 @@ impl MulticlassSvm {
                     // split; skip the pair (votes from other pairs decide).
                     continue;
                 }
-                let svm = BinarySvm::train(
-                    &pair_labels,
-                    |p, q| kernel(subset[p], subset[q]),
-                    config,
-                )?;
+                let svm =
+                    BinarySvm::train(&pair_labels, |p, q| kernel(subset[p], subset[q]), config)?;
                 machines.push(PairMachine {
                     positive: a,
                     negative: b,
@@ -181,18 +178,13 @@ mod tests {
     #[test]
     fn three_cluster_problem_is_solved() {
         let (points, labels) = cluster_points();
-        let svm =
-            MulticlassSvm::train(&labels, 3, rbf(&points), &SvmConfig::with_c(10.0)).unwrap();
+        let svm = MulticlassSvm::train(&labels, 3, rbf(&points), &SvmConfig::with_c(10.0)).unwrap();
         assert_eq!(svm.machine_count(), 3);
         // Training points classify correctly.
         for (i, &label) in labels.iter().enumerate() {
             let x = points[i].clone();
             let pred = svm.predict(|t| {
-                let d2: f64 = points[t]
-                    .iter()
-                    .zip(&x)
-                    .map(|(a, b)| (a - b).powi(2))
-                    .sum();
+                let d2: f64 = points[t].iter().zip(&x).map(|(a, b)| (a - b).powi(2)).sum();
                 (-0.5 * d2).exp()
             });
             assert_eq!(pred, label, "point {i}");

@@ -135,16 +135,44 @@ impl AdjCsr {
 
 enum Op {
     Input,
-    Param { index: usize },
-    MatMul { a: NodeId, b: NodeId },
-    AddBias { a: NodeId, bias: NodeId },
-    Add { a: NodeId, b: NodeId },
-    Relu { a: NodeId },
-    ScaleOnePlus { a: NodeId, scalar: NodeId },
-    SpMm { adj: Rc<AdjCsr>, a: NodeId },
-    SegmentSum { a: NodeId, segments: Rc<Vec<usize>> },
-    ConcatCols { a: NodeId, b: NodeId },
-    MeanCrossEntropy { logits: NodeId, targets: Rc<Vec<u32>> },
+    Param {
+        index: usize,
+    },
+    MatMul {
+        a: NodeId,
+        b: NodeId,
+    },
+    AddBias {
+        a: NodeId,
+        bias: NodeId,
+    },
+    Add {
+        a: NodeId,
+        b: NodeId,
+    },
+    Relu {
+        a: NodeId,
+    },
+    ScaleOnePlus {
+        a: NodeId,
+        scalar: NodeId,
+    },
+    SpMm {
+        adj: Rc<AdjCsr>,
+        a: NodeId,
+    },
+    SegmentSum {
+        a: NodeId,
+        segments: Rc<Vec<usize>>,
+    },
+    ConcatCols {
+        a: NodeId,
+        b: NodeId,
+    },
+    MeanCrossEntropy {
+        logits: NodeId,
+        targets: Rc<Vec<u32>>,
+    },
 }
 
 struct Node {
@@ -175,6 +203,14 @@ struct Node {
 #[derive(Default)]
 pub struct Graph {
     nodes: Vec<Node>,
+}
+
+impl core::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Graph")
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
 }
 
 impl Graph {
@@ -289,12 +325,7 @@ impl Graph {
     ///
     /// Panics if `segments.len() != a.rows()` or a segment id is
     /// `>= groups`.
-    pub fn segment_sum(
-        &mut self,
-        a: NodeId,
-        segments: Rc<Vec<usize>>,
-        groups: usize,
-    ) -> NodeId {
+    pub fn segment_sum(&mut self, a: NodeId, segments: Rc<Vec<usize>>, groups: usize) -> NodeId {
         let av = self.value(a);
         assert_eq!(segments.len(), av.rows(), "segment count mismatch");
         let mut value = Tensor::zeros(groups, av.cols());
@@ -340,10 +371,7 @@ impl Graph {
         assert_eq!(targets.len(), lv.rows(), "target count mismatch");
         let mut total = 0.0f64;
         for (r, &target) in targets.iter().enumerate() {
-            assert!(
-                (target as usize) < lv.cols(),
-                "target class out of range"
-            );
+            assert!((target as usize) < lv.cols(), "target class out of range");
             let row = lv.row(r);
             let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let log_sum: f64 = row.iter().map(|&x| (x - max).exp()).sum::<f64>().ln() + max;
@@ -498,8 +526,7 @@ impl Graph {
                         for (c, &e) in exps.iter().enumerate() {
                             let softmax = e / denom;
                             let indicator = f64::from(c == target as usize);
-                            let updated =
-                                gl.get(r, c) + scale * (softmax - indicator);
+                            let updated = gl.get(r, c) + scale * (softmax - indicator);
                             gl.set(r, c, updated);
                         }
                     }
@@ -615,9 +642,8 @@ mod tests {
     #[test]
     fn segment_sum_pools_per_graph() {
         let mut g = Graph::new();
-        let x = g.input(
-            Tensor::from_vec(4, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap(),
-        );
+        let x =
+            g.input(Tensor::from_vec(4, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap());
         let segments = Rc::new(vec![0usize, 0, 1, 1]);
         let pooled = g.segment_sum(x, segments, 2);
         assert_eq!(g.value(pooled).row(0), &[4.0, 6.0]);

@@ -107,6 +107,15 @@ pub struct GinClassifier {
     model: Option<GinModel>,
 }
 
+impl core::fmt::Debug for GinClassifier {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("GinClassifier")
+            .field("config", &self.config)
+            .field("trained", &self.model.is_some())
+            .finish()
+    }
+}
+
 impl GinClassifier {
     /// Creates an untrained classifier.
     #[must_use]
@@ -356,7 +365,11 @@ impl GinClassifier {
             .expect("gin classifier must be fitted before inspecting");
         let d = model.input_dim;
         let h = self.config.hidden;
-        let r = if self.config.jumping_knowledge { d + h } else { h };
+        let r = if self.config.jumping_knowledge {
+            d + h
+        } else {
+            h
+        };
         d * h + h + h * h + h + 1 + r * model.num_classes + model.num_classes
     }
 }

@@ -135,7 +135,10 @@ impl PlateauScheduler {
     /// Panics if `factor` is not in `(0, 1)` or `min_lr` is negative.
     #[must_use]
     pub fn new(patience: usize, factor: f64, min_lr: f64) -> Self {
-        assert!(factor > 0.0 && factor < 1.0, "decay factor must be in (0, 1)");
+        assert!(
+            factor > 0.0 && factor < 1.0,
+            "decay factor must be in (0, 1)"
+        );
         assert!(min_lr >= 0.0, "minimum learning rate must be non-negative");
         Self {
             patience,
@@ -192,12 +195,8 @@ mod tests {
         let mut adam = Adam::new(0.05);
         for _ in 0..2000 {
             let value = params.value(w).clone();
-            let grad = Tensor::from_vec(
-                1,
-                2,
-                vec![2.0 * value.get(0, 0), 2.0 * value.get(0, 1)],
-            )
-            .unwrap();
+            let grad =
+                Tensor::from_vec(1, 2, vec![2.0 * value.get(0, 0), 2.0 * value.get(0, 1)]).unwrap();
             adam.step(&mut params, &[Some(grad)]);
         }
         assert!(params.value(w).get(0, 0).abs() < 1e-3);

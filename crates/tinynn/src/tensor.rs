@@ -228,9 +228,7 @@ impl Tensor {
                 let row = self.row(r);
                 row.iter()
                     .enumerate()
-                    .max_by(|(_, a), (_, b)| {
-                        a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal)
-                    })
+                    .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(core::cmp::Ordering::Equal))
                     .map(|(i, _)| i)
                     .unwrap_or(0)
             })
@@ -286,7 +284,11 @@ mod tests {
     #[test]
     fn matmul_nt_matches_explicit_transpose() {
         let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-        let b = t(4, 3, &[1.0, 0.0, 2.0, 0.0, 1.0, 1.0, 3.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let b = t(
+            4,
+            3,
+            &[1.0, 0.0, 2.0, 0.0, 1.0, 1.0, 3.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+        );
         let nt = a.matmul_nt(&b);
         // bᵀ is 3x4
         let mut bt = Tensor::zeros(3, 4);

@@ -37,12 +37,10 @@ where
                 let lp = build_loss(&plus, &mut tape_p);
                 let mut tape_m = Tape::new();
                 let lm = build_loss(&minus, &mut tape_m);
-                let numeric = (tape_p.value(lp).get(0, 0) - tape_m.value(lm).get(0, 0))
-                    / (2.0 * epsilon);
+                let numeric =
+                    (tape_p.value(lp).get(0, 0) - tape_m.value(lm).get(0, 0)) / (2.0 * epsilon);
 
-                let analytic_value = analytic[index]
-                    .as_ref()
-                    .map_or(0.0, |g| g.get(r, c));
+                let analytic_value = analytic[index].as_ref().map_or(0.0, |g| g.get(r, c));
                 let scale = numeric.abs().max(analytic_value.abs()).max(1.0);
                 assert!(
                     (numeric - analytic_value).abs() / scale < tolerance,
@@ -133,8 +131,7 @@ fn gradcheck_spmm_segment_sum_concat() {
                 7,
                 2,
                 &[
-                    1.0, 0.5, -0.2, 0.8, 0.3, -0.6, 0.9, 0.1, -0.7, 0.4, 0.2, -0.3, 0.6,
-                    0.7,
+                    1.0, 0.5, -0.2, 0.8, 0.3, -0.6, 0.9, 0.1, -0.7, 0.4, 0.2, -0.3, 0.6, 0.7,
                 ],
             ));
             let w = tape.param(p, ParamId::from_index(0));
@@ -172,22 +169,28 @@ fn gradcheck_full_gin_architecture() {
         &[0.31, -0.23, 0.52, 0.17, -0.41, 0.63, 0.29, -0.13],
     ));
     let _b1 = params.add(tensor(1, hidden, &[0.011, -0.027, 0.033, 0.041]));
-    let _w2 = params.add(Tensor::from_vec(
-        hidden,
-        hidden,
-        (0..hidden * hidden)
-            .map(|i| 0.097 * ((i % 5) as f64 - 1.71))
-            .collect(),
-    )
-    .expect("valid shape"));
+    let _w2 = params.add(
+        Tensor::from_vec(
+            hidden,
+            hidden,
+            (0..hidden * hidden)
+                .map(|i| 0.097 * ((i % 5) as f64 - 1.71))
+                .collect(),
+        )
+        .expect("valid shape"),
+    );
     let _b2 = params.add(tensor(1, hidden, &[0.023, 0.051, -0.047, 0.019]));
     let _eps = params.add(tensor(1, 1, &[0.11]));
-    let _w_out = params.add(Tensor::from_vec(
-        2 + hidden,
-        2,
-        (0..(2 + hidden) * 2).map(|i| 0.2 - 0.05 * i as f64).collect(),
-    )
-    .expect("valid shape"));
+    let _w_out = params.add(
+        Tensor::from_vec(
+            2 + hidden,
+            2,
+            (0..(2 + hidden) * 2)
+                .map(|i| 0.2 - 0.05 * i as f64)
+                .collect(),
+        )
+        .expect("valid shape"),
+    );
     let _b_out = params.add(tensor(1, 2, &[0.0, 0.0]));
 
     check_gradients(
@@ -196,7 +199,9 @@ fn gradcheck_full_gin_architecture() {
             let x = tape.input(tensor(
                 7,
                 2,
-                &[1.0, 0.9, 1.0, 0.3, 1.0, 0.3, 1.0, 0.3, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+                &[
+                    1.0, 0.9, 1.0, 0.3, 1.0, 0.3, 1.0, 0.3, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0,
+                ],
             ));
             let w1 = tape.param(p, ParamId::from_index(0));
             let b1 = tape.param(p, ParamId::from_index(1));

@@ -112,8 +112,7 @@ pub fn compute_gram_with_threads(
     }
     {
         // Hand out disjoint row slices to worker threads.
-        let mut buckets: Vec<Vec<(usize, &mut [f64])>> =
-            (0..threads).map(|_| Vec::new()).collect();
+        let mut buckets: Vec<Vec<(usize, &mut [f64])>> = (0..threads).map(|_| Vec::new()).collect();
         for (i, row) in values.chunks_mut(n).enumerate() {
             buckets[i % threads].push((i, row));
         }

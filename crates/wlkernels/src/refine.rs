@@ -205,8 +205,7 @@ impl WlRefinery {
 pub fn wl_features<G: Borrow<Graph>>(graphs: &[G], iterations: usize) -> WlFeatures {
     let mut dictionary = HashMap::new();
     let mut next_id = 1u32;
-    let (all_labels, final_labels) =
-        refine_into(graphs, iterations, &mut dictionary, &mut next_id);
+    let (all_labels, final_labels) = refine_into(graphs, iterations, &mut dictionary, &mut next_id);
     WlFeatures {
         maps: all_labels
             .into_iter()

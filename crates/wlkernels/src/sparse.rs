@@ -45,7 +45,10 @@ impl SparseCounts {
             entries.windows(2).all(|w| w[0].0 < w[1].0),
             "entries must be strictly sorted by label"
         );
-        debug_assert!(entries.iter().all(|&(_, c)| c > 0), "counts must be positive");
+        debug_assert!(
+            entries.iter().all(|&(_, c)| c > 0),
+            "counts must be positive"
+        );
         Self { entries }
     }
 

@@ -10,8 +10,7 @@ fn arb_graphs() -> impl Strategy<Value = Vec<Graph>> {
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
         (0..count)
             .map(|i| {
-                generate::erdos_renyi(4 + (i % 5) * 3, 0.3, &mut rng)
-                    .expect("valid parameters")
+                generate::erdos_renyi(4 + (i % 5) * 3, 0.3, &mut rng).expect("valid parameters")
             })
             .collect()
     })

@@ -53,12 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Cold start: a small bootstrap sample labeled by the security team.
     let (boot_graphs, boot_labels) = batch(&mut rng, 30);
     let boot_refs: Vec<&Graph> = boot_graphs.iter().collect();
-    let mut model = GraphHdModel::fit(
-        GraphHdConfig::default(),
-        &boot_refs,
-        &boot_labels,
-        2,
-    )?;
+    let mut model = GraphHdModel::fit(GraphHdConfig::default(), &boot_refs, &boot_labels, 2)?;
     println!("bootstrap model trained on {} graphs", boot_refs.len());
 
     // Online operation: batches stream in; the hub encodes once and
@@ -83,8 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (eval_graphs, eval_labels) = batch(&mut rng, 100);
     let eval_refs: Vec<&Graph> = eval_graphs.iter().collect();
     let clean = accuracy(&model, &eval_refs, &eval_labels);
-    let noisy =
-        noise::accuracy_under_model_noise(&model, &eval_refs, &eval_labels, 0.10, 7);
+    let noisy = noise::accuracy_under_model_noise(&model, &eval_refs, &eval_labels, 0.10, 7);
     println!("\nfresh-traffic accuracy: clean {clean:.2}, with 10% flipped bits {noisy:.2}");
     println!("holographic representations degrade gracefully — the HDC robustness claim.");
     Ok(())

@@ -46,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Box::new(GraphHdClassifier::default()),
         Box::new(WlSvmClassifier::new(WlSvmConfig::fast_subtree())),
     ];
-    println!("{:<10} {:>10} {:>14} {:>16}", "method", "accuracy", "train s/fold", "infer s/graph");
+    println!(
+        "{:<10} {:>10} {:>14} {:>16}",
+        "method", "accuracy", "train s/fold", "infer s/graph"
+    );
     for method in methods.iter_mut() {
         let report = evaluate_cv(method.as_mut(), &dataset, &protocol)?;
         println!(

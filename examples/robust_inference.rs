@@ -31,12 +31,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dataset.num_classes(),
     )?;
 
-    println!("{:>10} {:>22} {:>22}", "flip rate", "class-vector noise", "query noise");
+    println!(
+        "{:>10} {:>22} {:>22}",
+        "flip rate", "class-vector noise", "query noise"
+    );
     let rates = [0.0, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.45, 0.49];
     for (rate, model_acc, query_acc) in
         noise::noise_sweep(&model, &test_graphs, &test_labels, &rates, 7)
     {
-        println!("{:>9.0}% {:>22.3} {:>22.3}", rate * 100.0, model_acc, query_acc);
+        println!(
+            "{:>9.0}% {:>22.3} {:>22.3}",
+            rate * 100.0,
+            model_acc,
+            query_acc
+        );
     }
     println!(
         "\nEvery dimension carries the same information (holographic \

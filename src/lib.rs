@@ -20,8 +20,8 @@
 //!   extensions;
 //! - [`baselines`] — the four baselines under the shared harness.
 //!
-//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
-//! `EXPERIMENTS.md` for paper-vs-measured results.
+//! See `README.md` for a tour of the workspace, build/test/bench
+//! instructions and the crate dependency map.
 //!
 //! # Examples
 //!

@@ -74,8 +74,7 @@ fn kernel_training_scales_worse_than_graphhd_in_dataset_size() {
     // kernel methods have inferior scaling"): kernel training carries an
     // O(N²) Gram matrix + model selection, GraphHD is linear in N. At
     // small N our Rust kernels are actually *faster* than GraphHD —
-    // honest divergence from the paper's Python baselines, recorded in
-    // EXPERIMENTS.md — but their growth rate must be visibly worse.
+    // an honest divergence from the paper's Python baselines — but their growth rate must be visibly worse.
     // Measured in release mode, the paper-grid 1-WL pipeline takes 1.6x
     // GraphHD's training time at N = 80 and 4.2x at N = 1280 — a
     // monotonically widening gap. The assertion uses a wide size contrast
@@ -89,13 +88,10 @@ fn kernel_training_scales_worse_than_graphhd_in_dataset_size() {
             .train_seconds()
             .mean
     };
-    let paper_wl = || {
-        WlSvmClassifier::new(WlSvmConfig::paper(wlkernels::KernelKind::Subtree))
-    };
+    let paper_wl = || WlSvmClassifier::new(WlSvmConfig::paper(wlkernels::KernelKind::Subtree));
     let hd_ratio = run(&mut GraphHdClassifier::default(), &large)
         / run(&mut GraphHdClassifier::default(), &small).max(1e-9);
-    let wl_ratio =
-        run(&mut paper_wl(), &large) / run(&mut paper_wl(), &small).max(1e-9);
+    let wl_ratio = run(&mut paper_wl(), &large) / run(&mut paper_wl(), &small).max(1e-9);
     assert!(
         wl_ratio > hd_ratio * 1.1,
         "kernel growth {wl_ratio:.1}x should exceed GraphHD growth {hd_ratio:.1}x"

@@ -7,9 +7,7 @@ use graphhd::labeled::LabeledGraphEncoder;
 use graphhd::prototypes::{MultiPrototypeModel, PrototypeConfig};
 use graphhd::{GraphEncoder, GraphHdConfig, GraphHdModel};
 
-fn split(
-    dataset: &datasets::GraphDataset,
-) -> (Vec<usize>, Vec<usize>) {
+fn split(dataset: &datasets::GraphDataset) -> (Vec<usize>, Vec<usize>) {
     let folds = StratifiedKFold::new(4, 3)
         .split(dataset.labels())
         .expect("splittable");

@@ -21,8 +21,7 @@ fn surrogate_roundtrips_through_tudataset_files_and_trains() {
 
     // Load back and compare.
     let loaded = graphcore::io::load_tudataset(&dir, "SURROGATE").expect("files just written");
-    let roundtripped =
-        GraphDataset::from_tu("SURROGATE", loaded).expect("consistent files");
+    let roundtripped = GraphDataset::from_tu("SURROGATE", loaded).expect("consistent files");
     assert_eq!(roundtripped.graphs(), dataset.graphs());
     assert_eq!(roundtripped.labels(), dataset.labels());
 
@@ -47,8 +46,8 @@ fn real_world_format_quirks_are_tolerated() {
     let adjacency = "1, 2\n2, 1\n\n3, 4\n4, 3\n\n";
     let indicator = "1\n1\n2\n2\n\n";
     let labels = "1\n2\n\n";
-    let data = graphcore::io::parse_tudataset(adjacency, indicator, labels)
-        .expect("tolerant parsing");
+    let data =
+        graphcore::io::parse_tudataset(adjacency, indicator, labels).expect("tolerant parsing");
     assert_eq!(data.graphs.len(), 2);
     assert_eq!(data.labels, vec![0, 1]);
 }

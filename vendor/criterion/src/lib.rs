@@ -1,0 +1,360 @@
+//! Minimal, self-contained stand-in for the `criterion` crate.
+//!
+//! The evaluation environment has no network access, so the real
+//! `criterion` cannot be fetched from a registry. This shim implements
+//! the subset of the API the workspace's benches use — [`Criterion`],
+//! benchmark groups with `sample_size` / `measurement_time`,
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with a
+//! warmup-then-sample measurement loop that prints one
+//! `name  time: [.. median ..]`-style line per benchmark.
+//!
+//! `cargo bench` passes `--bench`, which is accepted and ignored;
+//! `cargo bench -- --test` (or `cargo test --benches`) runs every
+//! benchmark body exactly once as a smoke test, matching the real
+//! crate's behaviour. Because the shim is a path dependency *named*
+//! `criterion`, swapping in the real crate later is a one-line manifest
+//! change.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    sample_size: usize,
+    measurement_time: Duration,
+    matched: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            test_mode: false,
+            filter: None,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            matched: 0,
+        }
+    }
+}
+
+impl Drop for Criterion {
+    /// A filter that matched nothing is almost always a mistyped name
+    /// (or the stray value of an unrecognized flag); don't let the run
+    /// end silently.
+    fn drop(&mut self) {
+        if let Some(filter) = &self.filter {
+            if self.matched == 0 {
+                eprintln!("warning: benchmark filter {filter:?} matched no benchmarks");
+            }
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments: `--test` switches to one-shot
+    /// smoke mode, a bare string filters benchmarks by substring, and
+    /// harness flags such as `--bench` are ignored (with a warning for
+    /// flags this shim does not know).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" | "--quick" => self.test_mode = true,
+                // Flags (with value) the real harness accepts; skip them.
+                "--sample-size" | "--measurement-time" | "--warm-up-time" | "--save-baseline"
+                | "--baseline" | "--profile-time" => {
+                    let _ = args.next();
+                }
+                // Valueless flags cargo or the real harness pass.
+                "--bench" | "--verbose" | "--noplot" | "--discard-baseline" => {}
+                other if other.starts_with('-') => {
+                    eprintln!(
+                        "warning: criterion shim ignoring unknown flag {other:?}; if it \
+                         takes a value, that value will be treated as a name filter"
+                    );
+                }
+                other => {
+                    eprintln!("filtering benchmarks matching {other:?}");
+                    self.filter = Some(other.to_string());
+                }
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (test_mode, sample_size, measurement_time) =
+            (self.test_mode, self.sample_size, self.measurement_time);
+        self.run_one(&id.into(), test_mode, sample_size, measurement_time, f);
+    }
+
+    fn run_one<F>(
+        &mut self,
+        id: &str,
+        test_mode: bool,
+        sample_size: usize,
+        measurement_time: Duration,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.matched += 1;
+        let mut bencher = Bencher {
+            test_mode,
+            sample_size,
+            measurement_time,
+            median_ns: None,
+        };
+        f(&mut bencher);
+        if test_mode {
+            println!("{id}: ok (smoke)");
+        } else if let Some(ns) = bencher.median_ns {
+            println!("{id}  time: [{}]", format_ns(ns));
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `GROUP/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let (test_mode, n, t) = (
+            self.criterion.test_mode,
+            self.sample_size,
+            self.measurement_time,
+        );
+        self.criterion.run_one(&full, test_mode, n, t, &mut f);
+    }
+
+    /// Benchmarks `f` under `GROUP/id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let (test_mode, n, t) = (
+            self.criterion.test_mode,
+            self.sample_size,
+            self.measurement_time,
+        );
+        self.criterion
+            .run_one(&full, test_mode, n, t, |b| f(b, input));
+    }
+
+    /// Ends the group (accepted for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier with a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id rendered as the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of `&str` / `String` / [`BenchmarkId`] into an id string.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Times a closure; handed to every benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`: one warmup/calibration phase sizing the batch so a
+    /// sample takes roughly `measurement_time / sample_size`, then
+    /// `sample_size` timed batches; records the median ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Calibrate: double the batch until it runs long enough to trust.
+        let mut batch: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || batch >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / batch as f64;
+            }
+            batch *= 2;
+        };
+        let sample_target_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = (sample_target_ns / per_iter_ns.max(1.0)).ceil().max(1.0) as u64;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.median_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Defines `pub fn $name()` running each target against a fresh
+/// [`Criterion`] configured from the command line.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `fn main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(
+            BenchmarkId::new("bind", 1024).into_benchmark_id(),
+            "bind/1024"
+        );
+        assert_eq!(BenchmarkId::from_parameter(7).into_benchmark_id(), "7");
+    }
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion::default();
+        c.test_mode = true;
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(1));
+        group.bench_function("once", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measurement_records_a_median() {
+        let mut c = Criterion::default();
+        c.sample_size = 3;
+        c.measurement_time = Duration::from_millis(30);
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("add", 1), &1u64, |b, &x| {
+            b.iter(|| x.wrapping_mul(3))
+        });
+        group.finish();
+    }
+}

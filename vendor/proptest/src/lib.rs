@@ -1,0 +1,541 @@
+//! Minimal, self-contained stand-in for the `proptest` crate.
+//!
+//! The evaluation environment has no network access, so the real
+//! `proptest` cannot be fetched from a registry. This shim implements the
+//! subset of the API the workspace's property tests use — the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//! header), the [`Strategy`] trait with `prop_map`, ranges, tuples,
+//! [`Just`], [`prop_oneof!`], `prop::collection::vec`, [`any`] and the
+//! `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Case generation is deterministic: the RNG stream is a pure function of
+//! the test's module path and name, so failures reproduce across runs and
+//! machines. There is no shrinking; a failing case panics with the
+//! ordinary assertion message. Because the shim is a path dependency
+//! *named* `proptest`, swapping in the real crate later is a one-line
+//! manifest change.
+
+use prng::{SplitMix64, WordRng, Xoshiro256PlusPlus};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Everything a property test normally imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Deterministic RNG driving test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(Xoshiro256PlusPlus);
+
+impl TestRng {
+    /// Creates a generator whose stream is a pure function of `label`
+    /// (the test's `module_path!::name`), so every run explores the same
+    /// cases.
+    #[must_use]
+    pub fn deterministic(label: &str) -> Self {
+        let mut seed = 0xA076_1D64_78BD_642Fu64;
+        for &b in label.as_bytes() {
+            seed = SplitMix64::new(seed ^ u64::from(b)).next_u64();
+        }
+        Self(Xoshiro256PlusPlus::seed_from_u64(seed))
+    }
+}
+
+impl WordRng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases, overridable through the `PROPTEST_CASES` environment
+    /// variable (the same knob the real crate honours).
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Self { cases }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced value through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The `prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always produces a clone of its value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Values uniformly sampleable from a half-open or inclusive range.
+pub trait SampleUniform: Copy {
+    /// Draws uniformly from `[start, end)`, or `[start, end]` when
+    /// `inclusive`.
+    fn sample_range(rng: &mut TestRng, start: Self, end: Self, inclusive: bool) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut TestRng, start: Self, end: Self, inclusive: bool) -> Self {
+                let width = (end as u64) - (start as u64);
+                // Full 64-bit domain (`0..=MAX` for a 64-bit type): the
+                // span would wrap to 0, so draw a raw word instead.
+                if inclusive && width == u64::MAX {
+                    return start.wrapping_add(rng.next_u64() as $t);
+                }
+                let span = width + u64::from(inclusive);
+                assert!(span > 0, "empty range strategy");
+                start + rng.u64_below(span) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut TestRng, start: Self, end: Self, inclusive: bool) -> Self {
+                let width = (i128::from(end) - i128::from(start)) as u64;
+                // Full 64-bit domain (`MIN..=MAX` for a 64-bit type): the
+                // span would wrap to 0, so draw a raw word instead.
+                if inclusive && width == u64::MAX {
+                    return start.wrapping_add(rng.next_u64() as $t);
+                }
+                let span = width + u64::from(inclusive);
+                assert!(span > 0, "empty range strategy");
+                (i128::from(start) + i128::from(rng.u64_below(span))) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, usize, u64);
+impl_sample_uniform_int!(i8, i16, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_range(rng: &mut TestRng, start: Self, end: Self, _inclusive: bool) -> Self {
+        start + rng.next_f64() * (end - start)
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident . $idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing any value of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Uniform choice between boxed strategies; built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("options", &self.options.len())
+            .finish()
+    }
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.usize_below(self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Mirror of the real crate's `proptest::prop` module tree.
+pub mod prop {
+    /// Strategies for collections.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use prng::WordRng;
+
+        /// Strategy for `Vec`s with element strategy `S`; see [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        /// A `Vec` of `size.start..size.end` elements drawn from
+        /// `element`.
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(!size.is_empty(), "empty size range for collection::vec");
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let span = self.size.end - self.size.start;
+                let len = self.size.start + rng.usize_below(span.max(1));
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Support runtime shared by the [`proptest!`] and [`prop_assume!`]
+/// macros (macro hygiene prevents them from sharing a local variable).
+#[doc(hidden)]
+pub mod __rt {
+    use std::cell::Cell;
+
+    thread_local! {
+        static REJECTIONS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Clears the rejection counter at the start of a test.
+    pub fn reset_rejections() {
+        REJECTIONS.with(|r| r.set(0));
+    }
+
+    /// Records one `prop_assume!` rejection.
+    pub fn record_rejection() {
+        REJECTIONS.with(|r| r.set(r.get() + 1));
+    }
+
+    /// Total rejections recorded since the last reset.
+    #[must_use]
+    pub fn rejections() -> u64 {
+        REJECTIONS.with(Cell::get)
+    }
+}
+
+/// Defines property tests. Supports an optional
+/// `#![proptest_config(expr)]` header and any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+///
+/// Cases rejected by [`prop_assume!`] are retried rather than counted;
+/// like the real crate, the test aborts if the assumption rejects too
+/// many candidates (here: `max(1024, 16 × cases)` rejections).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $($(#[$meta:meta])* fn $name:ident ($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut proptest_case_rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                $crate::__rt::reset_rejections();
+                let max_rejects = u64::from(config.cases).saturating_mul(16).max(1024);
+                let mut proptest_cases_done: u32 = 0;
+                while proptest_cases_done < config.cases {
+                    assert!(
+                        $crate::__rt::rejections() <= max_rejects,
+                        "prop_assume! rejected {} candidate cases (cap {max_rejects}); \
+                         the assumption is too strict to explore the strategy",
+                        $crate::__rt::rejections(),
+                    );
+                    let ($($pat,)+) = (
+                        $($crate::Strategy::generate(&($strat), &mut proptest_case_rng),)+
+                    );
+                    $body
+                    proptest_cases_done += 1;
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Retries the current case when `cond` does not hold.
+///
+/// Must appear directly inside a `proptest!` body (it expands to
+/// `continue` targeting the case loop). Rejections do not consume the
+/// case budget, but the test aborts past a global rejection cap.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            $crate::__rt::record_rejection();
+            continue;
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use prng::WordRng;
+
+    #[test]
+    fn deterministic_rng_reproduces() {
+        let mut a = TestRng::deterministic("label");
+        let mut b = TestRng::deterministic("label");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let u = Strategy::generate(&(3usize..7), &mut rng);
+            assert!((3..7).contains(&u));
+            let i = Strategy::generate(&(-2i32..3), &mut rng);
+            assert!((-2..3).contains(&i));
+            let f = Strategy::generate(&(0.25f64..=0.75), &mut rng);
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_ranges_do_not_overflow() {
+        let mut rng = TestRng::deterministic("full-domain");
+        let mut seen_high_bit = false;
+        for _ in 0..64 {
+            let _ = Strategy::generate(&(i64::MIN..=i64::MAX), &mut rng);
+            let u = Strategy::generate(&(0u64..=u64::MAX), &mut rng);
+            seen_high_bit |= u >> 63 == 1;
+            let _ = Strategy::generate(&(0usize..=usize::MAX), &mut rng);
+        }
+        assert!(seen_high_bit, "full-domain draws must cover the upper half");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_wires_strategies((a, b) in (0usize..5, any::<u64>()), c in prop_oneof![Just(1usize), 2usize..4]) {
+            prop_assume!(b != 0);
+            prop_assert!(a < 5);
+            prop_assert!((1..4).contains(&c));
+            prop_assert_ne!(b, 0);
+        }
+
+        #[test]
+        fn rejected_cases_are_retried_not_consumed(x in 0usize..10) {
+            // Roughly half the draws are rejected; the cap (>= 1024) is
+            // far above 16 cases' worth of retries, so the test must
+            // still complete its full case budget.
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        #[should_panic(expected = "prop_assume! rejected")]
+        fn impossible_assumption_aborts_instead_of_passing_empty(x in 0usize..10) {
+            prop_assume!(x > 10);
+            prop_assert!(false, "unreachable: the assumption can never hold");
+        }
+
+        #[test]
+        fn collections_have_requested_sizes(v in prop::collection::vec((0u32..4, 0u32..4), 1..60)) {
+            prop_assert!(!v.is_empty() && v.len() < 60);
+        }
+    }
+}
