@@ -168,8 +168,9 @@ impl GraphClassifier for WlSvmClassifier {
         let series = wl_feature_series(&train_graphs, max_h);
 
         // Inner model selection over (h, C) on the training fold only.
-        let splitter = StratifiedKFold::new(self.config.inner_folds, self.config.seed);
-        let inner = splitter.split(&train_labels).ok();
+        let inner = StratifiedKFold::new(self.config.inner_folds, self.config.seed)
+            .ok()
+            .and_then(|splitter| splitter.split(&train_labels).ok());
 
         let mut best: Option<(f64, usize, f64)> = None;
         for &h in &self.config.iteration_grid {

@@ -14,6 +14,7 @@ fn bench_training(c: &mut Criterion) {
     let spec = surrogate::spec_by_name("MUTAG").expect("known dataset");
     let dataset = surrogate::generate_surrogate_sized(spec, 11, 60);
     let folds = StratifiedKFold::new(3, 1)
+        .expect("at least two folds")
         .split(dataset.labels())
         .expect("splittable");
     let train = folds[0].train.clone();

@@ -19,6 +19,7 @@ fn bench_scaling(c: &mut Criterion) {
     for &n in &[50usize, 200] {
         let dataset = surrogate::scaling_dataset(n, 40, 9).expect("valid scaling parameters");
         let folds = StratifiedKFold::new(4, 1)
+            .expect("at least two folds")
             .split(dataset.labels())
             .expect("splittable");
         let train = folds[0].train.clone();

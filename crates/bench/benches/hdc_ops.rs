@@ -3,7 +3,8 @@
 //! hypervector dimensionality.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hdvec::{bundle, Hypervector, ItemMemory, TieBreak};
+use hdvec::{bundle, Accumulator, Hypervector, ItemMemory, TieBreak};
+use prng::Xoshiro256PlusPlus;
 use std::hint::black_box;
 
 fn bench_hdc_ops(c: &mut Criterion) {
@@ -23,9 +24,67 @@ fn bench_hdc_ops(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("permute", dim), &dim, |bencher, _| {
             bencher.iter(|| black_box(&a).permute(black_box(13)));
         });
+        // A shift near d/2 (crossing many words, odd intra-word offset):
+        // the funnel-shift kernel must cost the same as shift 13.
+        group.bench_with_input(BenchmarkId::new("permute_half", dim), &dim, |bencher, _| {
+            bencher.iter(|| black_box(&a).permute(black_box(dim / 2 + 1)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("permute_assign", dim),
+            &dim,
+            |bencher, _| {
+                let mut v = a.clone();
+                bencher.iter(|| {
+                    v.permute_assign(black_box(13));
+                    black_box(v.words()[0])
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("with_noise_1pct", dim),
+            &dim,
+            |bencher, _| {
+                let mut rng = Xoshiro256PlusPlus::seed_from_u64(11);
+                bencher.iter(|| black_box(&a).with_noise(black_box(0.01), &mut rng));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("with_noise_10pct", dim),
+            &dim,
+            |bencher, _| {
+                let mut rng = Xoshiro256PlusPlus::seed_from_u64(12);
+                bencher.iter(|| black_box(&a).with_noise(black_box(0.1), &mut rng));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("bundle16", dim), &dim, |bencher, _| {
             bencher.iter(|| bundle(black_box(&sixteen), TieBreak::default()));
         });
+        group.bench_with_input(
+            BenchmarkId::new("accumulator_add", dim),
+            &dim,
+            |bencher, _| {
+                let mut acc = Accumulator::new(dim).expect("valid dimension");
+                bencher.iter(|| {
+                    acc.add(black_box(&a));
+                    black_box(acc.added())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("to_components", dim),
+            &dim,
+            |bencher, _| {
+                bencher.iter(|| black_box(&a).to_components());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("from_components", dim),
+            &dim,
+            |bencher, _| {
+                let components = a.to_components();
+                bencher.iter(|| Hypervector::from_components(black_box(&components)));
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("item_memory_generate", dim),
             &dim,

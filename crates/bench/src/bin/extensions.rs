@@ -88,6 +88,7 @@ fn main() {
 
 fn multi_prototype_accuracy(dataset: &GraphDataset, seed: u64) -> f64 {
     let folds = StratifiedKFold::new(5, seed)
+        .expect("at least two folds")
         .split(dataset.labels())
         .expect("datasets are large enough");
     let fold = &folds[0];

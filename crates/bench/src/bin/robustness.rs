@@ -19,6 +19,7 @@ fn main() {
         // One stratified 80/20 split per dataset (noise is swept on the
         // same trained model, isolating the fault-injection variable).
         let folds = StratifiedKFold::new(5, options.seed)
+            .expect("at least two folds")
             .split(dataset.labels())
             .expect("datasets are large enough");
         let fold = &folds[0];

@@ -25,12 +25,14 @@ pub struct Fold {
 /// use datasets::StratifiedKFold;
 ///
 /// let labels = vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1];
-/// let folds = StratifiedKFold::new(5, 42).split(&labels)?;
+/// let folds = StratifiedKFold::new(5, 42)?.split(&labels)?;
 /// assert_eq!(folds.len(), 5);
 /// for fold in &folds {
 ///     assert_eq!(fold.test.len(), 2);
 ///     assert_eq!(fold.train.len(), 8);
 /// }
+/// // Fewer than two folds is rejected at construction, not at split time.
+/// assert!(StratifiedKFold::new(1, 42).is_err());
 /// # Ok::<(), datasets::SplitError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,12 +44,20 @@ pub struct StratifiedKFold {
 impl StratifiedKFold {
     /// Creates a splitter producing `k` folds with shuffling seeded by
     /// `seed`.
-    #[must_use]
-    pub fn new(k: usize, seed: u64) -> Self {
-        Self { k, seed }
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SplitError::TooFewFolds`] if `k < 2` — cross-validation
+    /// needs at least one held-out and one training fold, and catching a
+    /// misconfigured harness here beats failing later at `split` time.
+    pub fn new(k: usize, seed: u64) -> Result<Self, SplitError> {
+        if k < 2 {
+            return Err(SplitError::TooFewFolds { k });
+        }
+        Ok(Self { k, seed })
     }
 
-    /// The number of folds.
+    /// The number of folds (always ≥ 2).
     #[must_use]
     pub fn k(&self) -> usize {
         self.k
@@ -57,12 +67,9 @@ impl StratifiedKFold {
     ///
     /// # Errors
     ///
-    /// Returns [`SplitError`] if `k < 2` or there are fewer samples than
-    /// folds.
+    /// Returns [`SplitError::TooFewSamples`] if there are fewer samples
+    /// than folds.
     pub fn split(&self, labels: &[u32]) -> Result<Vec<Fold>, SplitError> {
-        if self.k < 2 {
-            return Err(SplitError::TooFewFolds { k: self.k });
-        }
         if labels.len() < self.k {
             return Err(SplitError::TooFewSamples {
                 samples: labels.len(),
@@ -106,7 +113,8 @@ impl StratifiedKFold {
     }
 }
 
-/// Errors produced by [`StratifiedKFold::split`].
+/// Errors produced by [`StratifiedKFold::new`] and
+/// [`StratifiedKFold::split`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SplitError {
@@ -153,14 +161,26 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_parameters() {
-        assert!(StratifiedKFold::new(1, 0).split(&[0, 1]).is_err());
-        assert!(StratifiedKFold::new(5, 0).split(&[0, 1, 0]).is_err());
+        // k < 2 fails at construction …
+        assert_eq!(
+            StratifiedKFold::new(0, 0),
+            Err(SplitError::TooFewFolds { k: 0 })
+        );
+        assert_eq!(
+            StratifiedKFold::new(1, 0),
+            Err(SplitError::TooFewFolds { k: 1 })
+        );
+        // … and too few samples still fails at split time.
+        assert_eq!(
+            StratifiedKFold::new(5, 0).unwrap().split(&[0, 1, 0]),
+            Err(SplitError::TooFewSamples { samples: 3, k: 5 })
+        );
     }
 
     #[test]
     fn folds_partition_the_dataset() {
         let labels = labels(&[17, 13]);
-        let folds = StratifiedKFold::new(5, 7).split(&labels).unwrap();
+        let folds = StratifiedKFold::new(5, 7).unwrap().split(&labels).unwrap();
         let mut seen = vec![false; labels.len()];
         for fold in &folds {
             for &i in &fold.test {
@@ -178,7 +198,7 @@ mod tests {
     #[test]
     fn folds_are_stratified() {
         let labels = labels(&[50, 50]);
-        let folds = StratifiedKFold::new(10, 3).split(&labels).unwrap();
+        let folds = StratifiedKFold::new(10, 3).unwrap().split(&labels).unwrap();
         for fold in &folds {
             let ones = fold.test.iter().filter(|&&i| labels[i] == 1).count();
             assert_eq!(fold.test.len(), 10);
@@ -190,7 +210,7 @@ mod tests {
     fn uneven_classes_spread_over_folds() {
         // 3 samples of class 1 over 3 folds: each fold sees exactly one.
         let labels = labels(&[9, 3]);
-        let folds = StratifiedKFold::new(3, 11).split(&labels).unwrap();
+        let folds = StratifiedKFold::new(3, 11).unwrap().split(&labels).unwrap();
         for fold in &folds {
             let minority = fold.test.iter().filter(|&&i| labels[i] == 1).count();
             assert_eq!(minority, 1);
@@ -200,9 +220,9 @@ mod tests {
     #[test]
     fn deterministic_per_seed_and_distinct_across_seeds() {
         let labels = labels(&[20, 20]);
-        let a = StratifiedKFold::new(5, 1).split(&labels).unwrap();
-        let b = StratifiedKFold::new(5, 1).split(&labels).unwrap();
-        let c = StratifiedKFold::new(5, 2).split(&labels).unwrap();
+        let a = StratifiedKFold::new(5, 1).unwrap().split(&labels).unwrap();
+        let b = StratifiedKFold::new(5, 1).unwrap().split(&labels).unwrap();
+        let c = StratifiedKFold::new(5, 2).unwrap().split(&labels).unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -210,7 +230,7 @@ mod tests {
     #[test]
     fn works_when_a_class_is_smaller_than_k() {
         let labels = labels(&[20, 2]);
-        let folds = StratifiedKFold::new(5, 5).split(&labels).unwrap();
+        let folds = StratifiedKFold::new(5, 5).unwrap().split(&labels).unwrap();
         let total_minority: usize = folds
             .iter()
             .map(|f| f.test.iter().filter(|&&i| labels[i] == 1).count())

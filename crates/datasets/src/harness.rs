@@ -128,7 +128,7 @@ pub fn evaluate_cv(
 ) -> Result<CvReport, SplitError> {
     let mut outcomes = Vec::with_capacity(protocol.folds * protocol.repetitions);
     for rep in 0..protocol.repetitions {
-        let splitter = StratifiedKFold::new(protocol.folds, protocol.seed + rep as u64);
+        let splitter = StratifiedKFold::new(protocol.folds, protocol.seed + rep as u64)?;
         for fold in splitter.split(dataset.labels())? {
             let started = Instant::now();
             classifier.fit(dataset, &fold.train);

@@ -24,7 +24,7 @@ fn arb_labels() -> impl Strategy<Value = (Vec<u32>, usize)> {
 proptest! {
     #[test]
     fn folds_partition_any_dataset((labels, k) in arb_labels()) {
-        let folds = StratifiedKFold::new(k, 3).split(&labels).expect("n >= k");
+        let folds = StratifiedKFold::new(k, 3).expect("k >= 2").split(&labels).expect("n >= k");
         prop_assert_eq!(folds.len(), k);
         let mut test_seen = vec![0usize; labels.len()];
         for fold in &folds {
@@ -43,7 +43,7 @@ proptest! {
 
     #[test]
     fn fold_sizes_are_balanced((labels, k) in arb_labels()) {
-        let folds = StratifiedKFold::new(k, 5).split(&labels).expect("n >= k");
+        let folds = StratifiedKFold::new(k, 5).expect("k >= 2").split(&labels).expect("n >= k");
         let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
         let max = sizes.iter().copied().max().expect("non-empty");
         let min = sizes.iter().copied().min().expect("non-empty");
@@ -54,7 +54,7 @@ proptest! {
 
     #[test]
     fn stratification_bounds_class_counts((labels, k) in arb_labels()) {
-        let folds = StratifiedKFold::new(k, 7).split(&labels).expect("n >= k");
+        let folds = StratifiedKFold::new(k, 7).expect("k >= 2").split(&labels).expect("n >= k");
         let classes = labels.iter().copied().max().unwrap_or(0) + 1;
         for class in 0..classes {
             let total = labels.iter().filter(|&&l| l == class).count();

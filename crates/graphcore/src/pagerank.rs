@@ -126,6 +126,12 @@ pub fn degree_centrality(graph: &Graph) -> Vec<f64> {
 /// vertex. Ties are broken deterministically by vertex id (ascending), the
 /// convention this suite adopts since the paper does not specify one.
 ///
+/// Scores are ordered by [`f64::total_cmp`], so the result is a
+/// deterministic total order even for pathological score vectors:
+/// positive NaN sorts above +∞ (taking the *best* ranks), negative NaN
+/// below −∞, and −0.0 below +0.0 — instead of depending on sort
+/// internals the way a `partial_cmp`-with-fallback comparison would.
+///
 /// # Examples
 ///
 /// ```
@@ -137,8 +143,7 @@ pub fn ranks_by_score(scores: &[f64]) -> Vec<u32> {
     let mut order: Vec<u32> = (0..scores.len() as u32).collect();
     order.sort_by(|&a, &b| {
         scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .unwrap_or(core::cmp::Ordering::Equal)
+            .total_cmp(&scores[a as usize])
             .then(a.cmp(&b))
     });
     let mut ranks = vec![0u32; scores.len()];
@@ -261,6 +266,23 @@ mod tests {
     #[test]
     fn ranks_of_empty_scores() {
         assert!(ranks_by_score(&[]).is_empty());
+    }
+
+    #[test]
+    fn ranks_are_total_even_with_nan_and_signed_zero() {
+        // Regression: `partial_cmp(..).unwrap_or(Equal)` made NaN compare
+        // equal to *everything*, so the ranks depended on sort internals.
+        // Under total_cmp the order is pinned: NaN > +inf > 1.0 > +0.0 >
+        // -0.0 > -1.0, with index-ascending tie-breaks.
+        let scores = [f64::NAN, 1.0, -0.0, 0.0, f64::INFINITY, -1.0, f64::NAN];
+        let ranks = ranks_by_score(&scores);
+        assert_eq!(ranks, vec![0, 3, 5, 4, 2, 6, 1]);
+        // Determinism: identical inputs yield identical ranks.
+        assert_eq!(ranks, ranks_by_score(&scores));
+        // And the result stays a permutation.
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..scores.len() as u32).collect::<Vec<_>>());
     }
 
     #[test]

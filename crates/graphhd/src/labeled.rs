@@ -14,7 +14,7 @@
 
 use crate::{GraphEncoder, GraphHdConfig};
 use graphcore::Graph;
-use hdvec::{Accumulator, HdvError, Hypervector, ItemMemory};
+use hdvec::{BitSliceAccumulator, HdvError, Hypervector, ItemMemory};
 use prng::mix_seed;
 
 /// Encoder combining centrality ranks with vertex labels.
@@ -98,8 +98,12 @@ impl LabeledGraphEncoder {
         }
         let config = self.inner.config();
         let ranks = self.inner.vertex_ranks(graph);
-        let mut acc = Accumulator::new(config.dim).expect("dimension validated at construction");
+        // Same fast path as the structural encoder: bit-sliced bundling
+        // and a reused edge buffer instead of per-edge allocations.
+        let mut acc =
+            BitSliceAccumulator::new(config.dim).expect("dimension validated at construction");
         let mut cache: Vec<Option<Hypervector>> = vec![None; graph.vertex_count()];
+        let mut edge = Hypervector::positive(config.dim).expect("dimension validated");
         for (u, v) in graph.edges() {
             let (u, v) = (u as usize, v as usize);
             for w in [u, v] {
@@ -109,13 +113,11 @@ impl LabeledGraphEncoder {
                     cache[w] = Some(rank_hv.bind(&label_hv));
                 }
             }
-            let edge = cache[u]
-                .as_ref()
-                .expect("filled above")
-                .bind(cache[v].as_ref().expect("filled above"));
+            edge.clone_from(cache[u].as_ref().expect("filled above"));
+            edge.bind_assign(cache[v].as_ref().expect("filled above"));
             acc.add(&edge);
         }
-        Ok(acc.to_hypervector(config.tie_break))
+        Ok(acc.to_accumulator().to_hypervector(config.tie_break))
     }
 }
 

@@ -282,11 +282,9 @@ impl GraphHdModel {
     #[must_use]
     pub fn with_noisy_class_vectors<R: prng::WordRng>(&self, rate: f64, rng: &mut R) -> Self {
         let mut noisy = self.clone();
-        noisy.class_vectors = self
-            .class_vectors
-            .iter()
-            .map(|c| c.with_noise(rate, rng))
-            .collect();
+        for class_vector in &mut noisy.class_vectors {
+            class_vector.add_noise(rate, rng);
+        }
         noisy
     }
 }

@@ -65,9 +65,14 @@ pub fn accuracy_under_query_noise(
     assert_eq!(graphs.len(), labels.len(), "graph/label count mismatch");
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(mix_seed(seed, 0x9E_11));
     let encodings = model.encoder().encode_all(graphs);
+    // The encodings are owned here, so corrupt them in place instead of
+    // copying each one through `with_noise`.
     let predictions: Vec<u32> = encodings
-        .iter()
-        .map(|hv| model.predict_encoded(&hv.with_noise(rate, &mut rng)))
+        .into_iter()
+        .map(|mut hv| {
+            hv.add_noise(rate, &mut rng);
+            model.predict_encoded(&hv)
+        })
         .collect();
     correct_fraction(&predictions, labels)
 }

@@ -141,15 +141,34 @@ impl Accumulator {
             hv.dim(),
             self.dim()
         );
-        // Walk the packed words and update counters per bit; bit=1 ⇔ −1.
+        // Per packed word (bit=1 ⇔ −1): credit every counter with +weight
+        // in a branch-free (vectorizable) pass, then walk only the set
+        // bits to turn their +weight into −weight. Constant words skip a
+        // pass entirely.
         for (word_idx, &word) in hv.words().iter().enumerate() {
             let base = word_idx * 64;
             let upper = usize::min(base + 64, self.counts.len());
-            for (bit, count) in self.counts[base..upper].iter_mut().enumerate() {
-                if (word >> bit) & 1 == 1 {
-                    *count -= weight;
-                } else {
+            let chunk = &mut self.counts[base..upper];
+            if word == 0 {
+                for count in chunk.iter_mut() {
                     *count += weight;
+                }
+            } else if word == !0u64 && chunk.len() == 64 {
+                for count in chunk.iter_mut() {
+                    *count -= weight;
+                }
+            } else {
+                for count in chunk.iter_mut() {
+                    *count += weight;
+                }
+                let mut bits = word;
+                while bits != 0 {
+                    // The storage invariant keeps tail bits clear, so every
+                    // set bit indexes a valid counter of this chunk.
+                    let bit = bits.trailing_zeros() as usize;
+                    chunk[bit] -= weight;
+                    chunk[bit] -= weight;
+                    bits &= bits - 1;
                 }
             }
         }
@@ -166,8 +185,8 @@ impl Accumulator {
             self.dim(),
             other.dim(),
             "cannot merge accumulators of dimensions {} and {}",
-            other.dim(),
-            self.dim()
+            self.dim(),
+            other.dim()
         );
         for (c, o) in self.counts.iter_mut().zip(&other.counts) {
             *c += o;
@@ -192,22 +211,29 @@ impl Accumulator {
             TieBreak::Negative => None,
             TieBreak::Seeded(seed) => Some(Hypervector::tie_pattern(dim, seed)),
         };
-        let mut out = Hypervector::positive(dim).expect("dimension already validated");
-        for (i, &c) in self.counts.iter().enumerate() {
-            let negative = match c.cmp(&0) {
-                core::cmp::Ordering::Less => true,
-                core::cmp::Ordering::Greater => false,
-                core::cmp::Ordering::Equal => match (&tie, tie_break) {
-                    (Some(pattern), _) => pattern.component(i) == -1,
-                    (None, TieBreak::Negative) => true,
-                    (None, _) => false,
-                },
+        // Assemble 64 thresholded dimensions per word; ties take the word
+        // of the tie pattern (or a constant word for Positive/Negative).
+        let mut words = Vec::with_capacity(dim.div_ceil(64));
+        for (word_idx, chunk) in self.counts.chunks(64).enumerate() {
+            let tie_word = match (&tie, tie_break) {
+                (Some(pattern), _) => pattern.words()[word_idx],
+                (None, TieBreak::Negative) => !0u64,
+                (None, _) => 0u64,
             };
-            if negative {
-                out.set_component(i, -1);
+            let mut word = 0u64;
+            for (bit, &c) in chunk.iter().enumerate() {
+                let negative = match c.cmp(&0) {
+                    core::cmp::Ordering::Less => true,
+                    core::cmp::Ordering::Greater => false,
+                    core::cmp::Ordering::Equal => (tie_word >> bit) & 1 == 1,
+                };
+                word |= u64::from(negative) << bit;
             }
+            words.push(word);
         }
-        out
+        // The last chunk is `dim % 64` counters long, so tail bits beyond
+        // `dim` are never set and the storage invariant holds by shape.
+        Hypervector::from_raw(dim, words)
     }
 }
 
@@ -341,6 +367,47 @@ mod tests {
         let memory = ItemMemory::new(64, 13).unwrap();
         let mut acc = Accumulator::new(128).unwrap();
         acc.add(&memory.hypervector(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge accumulators of dimensions 128 and 64")]
+    fn merge_mismatch_reports_dimensions_in_receiver_argument_order() {
+        // Regression: the message used to print `other` before `self`,
+        // reporting the dimensions swapped relative to the call.
+        let mut acc = Accumulator::new(128).unwrap();
+        let other = Accumulator::new(64).unwrap();
+        acc.merge(&other);
+    }
+
+    #[test]
+    fn add_weighted_matches_per_bit_reference() {
+        // Per-bit reference for the word-level update, covering mixed,
+        // all-clear and all-set words plus a partial tail word.
+        fn reference_add(counts: &mut [i32], hv: &Hypervector, weight: i32) {
+            for (i, count) in counts.iter_mut().enumerate() {
+                if hv.component(i) == -1 {
+                    *count -= weight;
+                } else {
+                    *count += weight;
+                }
+            }
+        }
+        for dim in [1usize, 63, 64, 65, 130, 500] {
+            let memory = ItemMemory::new(dim, 21).unwrap();
+            let mut acc = Accumulator::new(dim).unwrap();
+            let mut expected = vec![0i32; dim];
+            let vectors = [
+                memory.hypervector(0),
+                Hypervector::positive(dim).unwrap(),
+                Hypervector::negative(dim).unwrap(),
+                memory.hypervector(1),
+            ];
+            for (hv, weight) in vectors.iter().zip([1, -2, 5, 3]) {
+                acc.add_weighted(hv, weight);
+                reference_add(&mut expected, hv, weight);
+            }
+            assert_eq!(acc.counts(), expected.as_slice(), "dim {dim}");
+        }
     }
 
     #[test]

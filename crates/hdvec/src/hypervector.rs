@@ -50,6 +50,14 @@ impl Hypervector {
         }
     }
 
+    /// Assembles a hypervector from already-packed words. The caller must
+    /// uphold the storage invariant (word count and clear tail bits).
+    pub(crate) fn from_raw(dim: usize, words: Vec<u64>) -> Self {
+        debug_assert_eq!(words.len(), Self::word_count(dim));
+        debug_assert!(words.last().is_none_or(|w| w & !Self::tail_mask(dim) == 0));
+        Self { dim, words }
+    }
+
     /// Creates the all-(+1) hypervector, the identity element of binding.
     ///
     /// # Errors
@@ -103,20 +111,27 @@ impl Hypervector {
     /// [`HdvError::InvalidComponent`] if any value is not +1 or −1.
     pub fn from_components(components: &[i8]) -> Result<Self, HdvError> {
         Self::check_dim(components.len())?;
-        let mut out = Self::positive(components.len())?;
-        for (i, &c) in components.iter().enumerate() {
-            match c {
-                1 => {}
-                -1 => out.set_component(i, -1),
-                other => {
-                    return Err(HdvError::InvalidComponent {
-                        index: i,
-                        value: other,
-                    })
+        let dim = components.len();
+        let mut words = Vec::with_capacity(Self::word_count(dim));
+        // Build 64 components per word: the sign bits accumulate in a
+        // register instead of read-modify-write cycles through the vector.
+        for (word_idx, chunk) in components.chunks(64).enumerate() {
+            let mut word = 0u64;
+            for (bit, &c) in chunk.iter().enumerate() {
+                match c {
+                    1 => {}
+                    -1 => word |= 1u64 << bit,
+                    other => {
+                        return Err(HdvError::InvalidComponent {
+                            index: word_idx * 64 + bit,
+                            value: other,
+                        })
+                    }
                 }
             }
+            words.push(word);
         }
-        Ok(out)
+        Ok(Self { dim, words })
     }
 
     /// Builds a hypervector from a predicate over dimensions; `true` maps
@@ -127,13 +142,18 @@ impl Hypervector {
     /// Returns [`HdvError::ZeroDimension`] if `dim == 0`.
     pub fn from_fn<F: FnMut(usize) -> bool>(dim: usize, mut f: F) -> Result<Self, HdvError> {
         Self::check_dim(dim)?;
-        let mut out = Self::positive(dim)?;
-        for i in 0..dim {
-            if f(i) {
-                out.set_component(i, -1);
+        let mut words = Vec::with_capacity(Self::word_count(dim));
+        for base in (0..dim).step_by(64) {
+            let take = usize::min(64, dim - base);
+            let mut word = 0u64;
+            for bit in 0..take {
+                if f(base + bit) {
+                    word |= 1u64 << bit;
+                }
             }
+            words.push(word);
         }
-        Ok(out)
+        Ok(Self { dim, words })
     }
 
     /// The dimensionality d.
@@ -192,12 +212,24 @@ impl Hypervector {
     /// Returns the components as `i8` values (+1/−1).
     #[must_use]
     pub fn to_components(&self) -> Vec<i8> {
-        (0..self.dim).map(|i| self.component(i)).collect()
+        let mut out = Vec::with_capacity(self.dim);
+        for (word_idx, &word) in self.words.iter().enumerate() {
+            let take = usize::min(64, self.dim - word_idx * 64);
+            out.extend((0..take).map(|bit| 1 - 2 * ((word >> bit) & 1) as i8));
+        }
+        out
     }
 
     /// Iterates over components as +1/−1 values.
     pub fn iter(&self) -> impl Iterator<Item = i8> + '_ {
-        (0..self.dim).map(move |i| self.component(i))
+        let dim = self.dim;
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(move |(word_idx, &word)| {
+                let take = usize::min(64, dim - word_idx * 64);
+                (0..take).map(move |bit| 1 - 2 * ((word >> bit) & 1) as i8)
+            })
     }
 
     /// Binds two hypervectors (element-wise multiplication; XOR on the
@@ -246,21 +278,93 @@ impl Hypervector {
     /// Circularly shifts components by `shift` positions (Kanerva's
     /// permutation operation ρ): output dimension `(i + shift) mod d` takes
     /// the value of input dimension `i`. `permute(0)` is the identity.
+    ///
+    /// Runs word-at-a-time: the rotation of the d-bit ring decomposes into
+    /// an upward shift by `shift` OR-ed with a downward shift by
+    /// `d − shift`, each a funnel shift stitching adjacent words, so the
+    /// cost is ~2 passes over the packed words regardless of `shift`.
     #[must_use]
     pub fn permute(&self, shift: usize) -> Self {
         let shift = shift % self.dim;
         if shift == 0 {
             return self.clone();
         }
-        let mut out = Self {
+        Self {
             dim: self.dim,
-            words: vec![0u64; self.words.len()],
-        };
-        for i in 0..self.dim {
-            if (self.words[i / 64] >> (i % 64)) & 1 == 1 {
-                let j = (i + shift) % self.dim;
-                out.words[j / 64] |= 1u64 << (j % 64);
+            words: self.rotated_words(shift),
+        }
+    }
+
+    /// In-place [`permute`](Self::permute): replaces this vector's storage
+    /// with the rotation. The rotation itself still builds one scratch
+    /// word buffer (a true in-place bit-ring rotation would cost extra
+    /// passes), so the win over `permute` is skipping the result-object
+    /// construction — and `permute_assign(0)` is entirely free where
+    /// `permute(0)` clones.
+    pub fn permute_assign(&mut self, shift: usize) {
+        let shift = shift % self.dim;
+        if shift == 0 {
+            return;
+        }
+        self.words = self.rotated_words(shift);
+    }
+
+    /// Rotates the d-bit ring upward by `shift` (`0 < shift < dim`),
+    /// returning the new packed words.
+    ///
+    /// Output bit `j` is input bit `(j − shift) mod d`: bits `j ≥ shift`
+    /// come from the upward funnel shift by `shift`, bits `j < shift` wrap
+    /// around from the top of the ring, i.e. the downward funnel shift by
+    /// `d − shift`. The two contributions cannot overlap because bits
+    /// beyond `dim` in the last source word are zero (storage invariant);
+    /// bits the upward shift pushes past `dim` are cut by the tail mask.
+    fn rotated_words(&self, shift: usize) -> Vec<u64> {
+        debug_assert!(shift > 0 && shift < self.dim);
+        let src = &self.words;
+        let n = src.len();
+        let mut out = vec![0u64; n];
+
+        // Upward part: out[w] takes src[w − off] stitched with the spill
+        // of src[w − off − 1] (split the shift into whole words + bits).
+        let off = shift / 64;
+        let bits = shift % 64;
+        if bits == 0 {
+            out[off..n].copy_from_slice(&src[..n - off]);
+        } else {
+            for w in off..n {
+                let lo = src[w - off] << bits;
+                let hi = if w > off {
+                    src[w - off - 1] >> (64 - bits)
+                } else {
+                    0
+                };
+                out[w] = lo | hi;
             }
+        }
+
+        // Wrap-around part: the top `shift` bits of the ring land at the
+        // bottom — a downward shift by `back = d − shift`.
+        let back = self.dim - shift;
+        let off = back / 64;
+        let bits = back % 64;
+        if bits == 0 {
+            for w in 0..n - off {
+                out[w] |= src[w + off];
+            }
+        } else {
+            for w in 0..n - off {
+                let lo = src[w + off] >> bits;
+                let hi = if w + off + 1 < n {
+                    src[w + off + 1] << (64 - bits)
+                } else {
+                    0
+                };
+                out[w] |= lo | hi;
+            }
+        }
+
+        if let Some(last) = out.last_mut() {
+            *last &= Self::tail_mask(self.dim);
         }
         out
     }
@@ -328,22 +432,53 @@ impl Hypervector {
     /// Returns a copy with each component independently flipped with
     /// probability `rate`, modelling bit-level faults in an HDC memory.
     ///
+    /// Flip positions are drawn by geometric skip-sampling — the gap
+    /// between consecutive flipped bits of an independent-Bernoulli
+    /// process is geometric — so the cost is ~`d·rate` RNG draws instead
+    /// of one draw per dimension. The flip-count distribution is exactly
+    /// Binomial(d, rate); only the RNG consumption pattern differs from a
+    /// per-bit implementation.
+    ///
     /// # Panics
     ///
     /// Panics if `rate` is not a finite value in `[0, 1]`.
     #[must_use]
     pub fn with_noise<R: WordRng>(&self, rate: f64, rng: &mut R) -> Self {
+        let mut out = self.clone();
+        out.add_noise(rate, rng);
+        out
+    }
+
+    /// In-place [`with_noise`](Self::with_noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not a finite value in `[0, 1]`.
+    pub fn add_noise<R: WordRng>(&mut self, rate: f64, rng: &mut R) {
         assert!(
             rate.is_finite() && (0.0..=1.0).contains(&rate),
             "noise rate must lie in [0, 1], got {rate}"
         );
-        let mut out = self.clone();
-        for i in 0..self.dim {
-            if rng.bernoulli(rate) {
-                out.words[i / 64] ^= 1u64 << (i % 64);
-            }
+        if rate == 0.0 {
+            return;
         }
-        out
+        if rate >= 1.0 {
+            for w in self.words.iter_mut() {
+                *w = !*w;
+            }
+            if let Some(last) = self.words.last_mut() {
+                *last &= Self::tail_mask(self.dim);
+            }
+            return;
+        }
+        // Skip-sample: jump straight to the next flipped bit. Gaps can
+        // exceed any index for tiny rates, hence the saturating walk.
+        let dim = self.dim as u64;
+        let mut index = rng.geometric(rate);
+        while index < dim {
+            self.words[(index / 64) as usize] ^= 1u64 << (index % 64);
+            index = index.saturating_add(1).saturating_add(rng.geometric(rate));
+        }
     }
 
     /// Flips the components at the given indices in place.
@@ -391,6 +526,102 @@ mod tests {
 
     fn rng() -> Xoshiro256PlusPlus {
         Xoshiro256PlusPlus::seed_from_u64(1234)
+    }
+
+    /// Exhaustive per-bit reference implementations of the word-level
+    /// kernels. They exist only under `#[cfg(test)]`: equivalence with the
+    /// fast paths is property-checked here and in `tests/word_kernels.rs`,
+    /// never assumed.
+    mod reference {
+        use super::*;
+
+        pub fn permute(v: &Hypervector, shift: usize) -> Hypervector {
+            let dim = v.dim();
+            let mut out = Hypervector::positive(dim).expect("non-zero dimension");
+            for i in 0..dim {
+                out.set_component((i + shift) % dim, v.component(i));
+            }
+            out
+        }
+
+        pub fn from_components(components: &[i8]) -> Result<Hypervector, HdvError> {
+            Hypervector::check_dim(components.len())?;
+            let mut out = Hypervector::positive(components.len())?;
+            for (i, &c) in components.iter().enumerate() {
+                match c {
+                    1 => {}
+                    -1 => out.set_component(i, -1),
+                    other => {
+                        return Err(HdvError::InvalidComponent {
+                            index: i,
+                            value: other,
+                        })
+                    }
+                }
+            }
+            Ok(out)
+        }
+
+        pub fn to_components(v: &Hypervector) -> Vec<i8> {
+            (0..v.dim()).map(|i| v.component(i)).collect()
+        }
+    }
+
+    #[test]
+    fn permute_matches_per_bit_reference() {
+        let mut r = rng();
+        for dim in [1usize, 5, 63, 64, 65, 127, 128, 200, 1000] {
+            let v = Hypervector::random(dim, &mut r).unwrap();
+            for shift in [0, 1, 13, 63, 64, 65, dim - 1, dim, dim + 7] {
+                assert_eq!(
+                    v.permute(shift).words(),
+                    reference::permute(&v, shift % dim).words(),
+                    "dim {dim} shift {shift}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn permute_assign_matches_permute() {
+        let mut r = rng();
+        let v = Hypervector::random(300, &mut r).unwrap();
+        for shift in [0usize, 1, 64, 77, 299, 300, 613] {
+            let mut w = v.clone();
+            w.permute_assign(shift);
+            assert_eq!(w, v.permute(shift));
+        }
+    }
+
+    #[test]
+    fn component_ops_match_per_bit_reference() {
+        let mut r = rng();
+        for dim in [1usize, 63, 64, 65, 130, 500] {
+            let v = Hypervector::random(dim, &mut r).unwrap();
+            let comps = reference::to_components(&v);
+            assert_eq!(v.to_components(), comps);
+            assert_eq!(v.iter().collect::<Vec<_>>(), comps);
+            assert_eq!(
+                Hypervector::from_components(&comps).unwrap(),
+                reference::from_components(&comps).unwrap()
+            );
+            let built = Hypervector::from_fn(dim, |i| comps[i] == -1).unwrap();
+            assert_eq!(built, v);
+        }
+    }
+
+    #[test]
+    fn add_noise_matches_with_noise() {
+        let mut r = rng();
+        let v = Hypervector::random(777, &mut r).unwrap();
+        for rate in [0.0, 0.05, 0.5, 1.0] {
+            let mut a = Xoshiro256PlusPlus::seed_from_u64(9);
+            let mut b = Xoshiro256PlusPlus::seed_from_u64(9);
+            let copied = v.with_noise(rate, &mut a);
+            let mut in_place = v.clone();
+            in_place.add_noise(rate, &mut b);
+            assert_eq!(copied, in_place);
+        }
     }
 
     #[test]

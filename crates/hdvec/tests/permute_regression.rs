@@ -1,13 +1,13 @@
-//! Word-level regression tests for the per-bit hot paths of
+//! Word-level regression tests for the hot paths of
 //! [`Hypervector::permute`] and [`Hypervector::with_noise`].
 //!
-//! Both operations currently walk one bit at a time. A planned
-//! optimization rewrites `permute` as word-granular shifts, where the
-//! classic mistake is mishandling the partially-filled last word (the
-//! tail mask). These tests pin the exact packed-word output — not just
-//! component-level semantics — at every dimension class a word-shift
-//! implementation must get right: single-bit, one-under/at/one-over a
-//! word boundary, two-word boundaries, and the paper's 10,000.
+//! `permute` runs as word-granular funnel shifts and `with_noise` as
+//! geometric skip-sampling; the classic mistake in both is mishandling
+//! the partially-filled last word (the tail mask). These tests pin the
+//! exact packed-word output — not just component-level semantics — at
+//! every dimension class a word-shift implementation must get right:
+//! single-bit, one-under/at/one-over a word boundary, two-word
+//! boundaries, and the paper's 10,000.
 
 use hdvec::{Hypervector, ItemMemory};
 use prng::{SplitMix64, WordRng};
@@ -127,12 +127,30 @@ fn with_noise_preserves_tail_invariant_and_determinism() {
                 "noise leaked tail bits at dim {dim}"
             );
         }
-        // Exactly one rng draw per dimension: the word-level draw budget a
-        // future word-granular rewrite must reproduce or explicitly change.
+        // Geometric skip-sampling draws once per *flipped* bit (plus the
+        // final draw that walks off the end), so the budget is the flip
+        // count + 1 — ~d·rate in expectation, never the d of the old
+        // per-bit Bernoulli loop.
         let mut counting = CountingRng(SplitMix64::new(1), 0);
-        let _ = v.with_noise(0.3, &mut counting);
-        assert_eq!(counting.1, dim, "with_noise draws once per component");
+        let noisy = v.with_noise(0.3, &mut counting);
+        let flips = v.hamming(&noisy);
+        assert_eq!(
+            counting.1,
+            flips + 1,
+            "with_noise draws once per flip plus one terminal draw (dim {dim})"
+        );
+        assert!(counting.1 <= dim + 1, "draw budget regressed past d");
     }
+    // At the paper's d = 10,000 the budget must track d·rate, not d.
+    let memory = ItemMemory::new(10_000, 99).expect("valid dimension");
+    let v = memory.hypervector(0);
+    let mut counting = CountingRng(SplitMix64::new(2), 0);
+    let _ = v.with_noise(0.01, &mut counting);
+    assert!(
+        counting.1 < 400,
+        "expected ~100 draws at rate 0.01, got {}",
+        counting.1
+    );
 }
 
 struct CountingRng(SplitMix64, usize);

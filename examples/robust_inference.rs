@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}\n", dataset.stats());
 
-    let folds = StratifiedKFold::new(5, 1).split(dataset.labels())?;
+    let folds = StratifiedKFold::new(5, 1)?.split(dataset.labels())?;
     let fold = &folds[0];
     let train_graphs: Vec<&Graph> = fold.train.iter().map(|&i| dataset.graph(i)).collect();
     let train_labels: Vec<u32> = fold.train.iter().map(|&i| dataset.label(i)).collect();

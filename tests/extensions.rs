@@ -9,6 +9,7 @@ use graphhd::{GraphEncoder, GraphHdConfig, GraphHdModel};
 
 fn split(dataset: &datasets::GraphDataset) -> (Vec<usize>, Vec<usize>) {
     let folds = StratifiedKFold::new(4, 3)
+        .expect("at least two folds")
         .split(dataset.labels())
         .expect("splittable");
     (folds[0].train.clone(), folds[0].test.clone())
