@@ -7,7 +7,8 @@
 //! of the paper's evaluation apples-to-apples.
 
 use crate::metrics::{accuracy, Summary};
-use crate::{GraphDataset, SplitError, StratifiedKFold};
+use crate::{Fold, GraphDataset, SplitError, StratifiedKFold};
+use parallel::Pool;
 use std::time::Instant;
 
 /// A graph classification method under the paper's protocol.
@@ -114,6 +115,40 @@ impl Default for CvProtocol {
     }
 }
 
+/// All folds of the protocol, in the deterministic (repetition, fold)
+/// order both evaluators share.
+fn protocol_folds(dataset: &GraphDataset, protocol: &CvProtocol) -> Result<Vec<Fold>, SplitError> {
+    let mut folds = Vec::with_capacity(protocol.folds * protocol.repetitions);
+    for rep in 0..protocol.repetitions {
+        let splitter = StratifiedKFold::new(protocol.folds, protocol.seed + rep as u64)?;
+        folds.extend(splitter.split(dataset.labels())?);
+    }
+    Ok(folds)
+}
+
+/// Fits and scores one fold, timing both phases.
+fn run_fold(
+    classifier: &mut dyn GraphClassifier,
+    dataset: &GraphDataset,
+    fold: &Fold,
+) -> FoldOutcome {
+    let started = Instant::now();
+    classifier.fit(dataset, &fold.train);
+    let train_seconds = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    let predicted = classifier.predict(dataset, &fold.test);
+    let infer_seconds = started.elapsed().as_secs_f64();
+
+    let truth: Vec<u32> = fold.test.iter().map(|&i| dataset.label(i)).collect();
+    FoldOutcome {
+        accuracy: accuracy(&truth, &predicted),
+        train_seconds,
+        infer_seconds,
+        test_size: fold.test.len(),
+    }
+}
+
 /// Runs the paper's repeated stratified CV protocol for one classifier on
 /// one dataset, timing training and inference per fold.
 ///
@@ -126,27 +161,44 @@ pub fn evaluate_cv(
     dataset: &GraphDataset,
     protocol: &CvProtocol,
 ) -> Result<CvReport, SplitError> {
-    let mut outcomes = Vec::with_capacity(protocol.folds * protocol.repetitions);
-    for rep in 0..protocol.repetitions {
-        let splitter = StratifiedKFold::new(protocol.folds, protocol.seed + rep as u64)?;
-        for fold in splitter.split(dataset.labels())? {
-            let started = Instant::now();
-            classifier.fit(dataset, &fold.train);
-            let train_seconds = started.elapsed().as_secs_f64();
+    let outcomes = protocol_folds(dataset, protocol)?
+        .iter()
+        .map(|fold| run_fold(classifier, dataset, fold))
+        .collect();
+    Ok(CvReport {
+        method: classifier.name().to_string(),
+        dataset: dataset.name().to_string(),
+        folds: outcomes,
+    })
+}
 
-            let started = Instant::now();
-            let predicted = classifier.predict(dataset, &fold.test);
-            let infer_seconds = started.elapsed().as_secs_f64();
-
-            let truth: Vec<u32> = fold.test.iter().map(|&i| dataset.label(i)).collect();
-            outcomes.push(FoldOutcome {
-                accuracy: accuracy(&truth, &predicted),
-                train_seconds,
-                infer_seconds,
-                test_size: fold.test.len(),
-            });
-        }
-    }
+/// [`evaluate_cv`] with folds × repetitions evaluated concurrently on
+/// `pool`: every fold fits and scores its own clone of `classifier`, so
+/// methods whose training is deterministic (all of this suite's) produce
+/// **exactly the serial report's accuracies, in the same fold order** —
+/// only the wall-clock timings differ, since folds now contend for cores.
+///
+/// Fold-level parallelism composes with the classifier's own: a GraphHD
+/// fold pinned to the same pool trains its batches as nested regions.
+///
+/// # Errors
+///
+/// Returns [`SplitError`] if the dataset cannot be split into the
+/// requested number of folds.
+pub fn evaluate_cv_parallel<C>(
+    classifier: &C,
+    dataset: &GraphDataset,
+    protocol: &CvProtocol,
+    pool: &Pool,
+) -> Result<CvReport, SplitError>
+where
+    C: GraphClassifier + Clone + Sync,
+{
+    let folds = protocol_folds(dataset, protocol)?;
+    let outcomes = pool.par_map(&folds, |fold| {
+        let mut fold_classifier = classifier.clone();
+        run_fold(&mut fold_classifier, dataset, fold)
+    });
     Ok(CvReport {
         method: classifier.name().to_string(),
         dataset: dataset.name().to_string(),
@@ -224,6 +276,48 @@ mod tests {
         // Timings are measured and non-negative.
         assert!(report.train_seconds().mean >= 0.0);
         assert!(report.infer_seconds_per_graph().mean >= 0.0);
+    }
+
+    #[test]
+    fn evaluate_cv_parallel_reproduces_serial_accuracies() {
+        let ds = toy_dataset(40);
+        let protocol = CvProtocol {
+            folds: 4,
+            repetitions: 2,
+            seed: 1,
+        };
+        let serial =
+            evaluate_cv(&mut MajorityClassifier::default(), &ds, &protocol).expect("splittable");
+        for threads in [1usize, 2, 7] {
+            let pool = Pool::with_threads(threads);
+            let parallel =
+                evaluate_cv_parallel(&MajorityClassifier::default(), &ds, &protocol, &pool)
+                    .expect("splittable");
+            assert_eq!(parallel.method, serial.method);
+            assert_eq!(parallel.dataset, serial.dataset);
+            assert_eq!(parallel.folds.len(), serial.folds.len());
+            for (p, s) in parallel.folds.iter().zip(&serial.folds) {
+                assert_eq!(p.accuracy, s.accuracy, "threads {threads}");
+                assert_eq!(p.test_size, s.test_size, "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_cv_parallel_propagates_split_errors() {
+        let ds = toy_dataset(3);
+        let protocol = CvProtocol {
+            folds: 10,
+            repetitions: 1,
+            seed: 1,
+        };
+        assert!(evaluate_cv_parallel(
+            &MajorityClassifier::default(),
+            &ds,
+            &protocol,
+            Pool::global()
+        )
+        .is_err());
     }
 
     #[test]

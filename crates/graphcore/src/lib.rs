@@ -37,4 +37,7 @@ mod pagerank;
 
 pub use csr::{Graph, GraphBuilder};
 pub use error::GraphError;
-pub use pagerank::{degree_centrality, pagerank, pagerank_ranks, ranks_by_score, PageRankConfig};
+pub use pagerank::{
+    degree_centrality, pagerank, pagerank_ranks, pagerank_ranks_batch,
+    pagerank_ranks_batch_with_pool, ranks_by_score, PageRankConfig,
+};

@@ -1,9 +1,11 @@
 //! GraphHD under the suite-wide [`GraphClassifier`] harness.
 
-use crate::{GraphHdConfig, GraphHdModel};
+use crate::{GraphEncoder, GraphHdConfig, GraphHdModel};
 use datasets::harness::GraphClassifier;
 use datasets::GraphDataset;
 use graphcore::Graph;
+use parallel::{Pool, PoolHandle};
+use std::sync::Arc;
 
 /// GraphHD as a [`GraphClassifier`], with optional retraining epochs (the
 /// paper's future-work extension, off by default to match the baseline
@@ -31,6 +33,7 @@ use graphcore::Graph;
 pub struct GraphHdClassifier {
     config: GraphHdConfig,
     retrain_epochs: usize,
+    pool: PoolHandle,
     model: Option<GraphHdModel>,
 }
 
@@ -41,6 +44,7 @@ impl GraphHdClassifier {
         Self {
             config,
             retrain_epochs: 0,
+            pool: PoolHandle::Global,
             model: None,
         }
     }
@@ -49,6 +53,15 @@ impl GraphHdClassifier {
     #[must_use]
     pub fn with_retraining(mut self, epochs: usize) -> Self {
         self.retrain_epochs = epochs;
+        self
+    }
+
+    /// Pins training and inference to an explicit [`Pool`] (the default
+    /// is the process-wide global pool). Results are bit-identical either
+    /// way; this only controls the parallelism degree.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<Pool>) -> Self {
+        self.pool = PoolHandle::Owned(pool);
         self
     }
 
@@ -83,12 +96,25 @@ impl GraphClassifier for GraphHdClassifier {
     fn fit(&mut self, dataset: &GraphDataset, train: &[usize]) {
         let graphs: Vec<&Graph> = train.iter().map(|&i| dataset.graph(i)).collect();
         let labels: Vec<u32> = train.iter().map(|&i| dataset.label(i)).collect();
-        let mut model = GraphHdModel::fit(self.config, &graphs, &labels, dataset.num_classes())
-            .expect("harness supplies consistent datasets");
-        if self.retrain_epochs > 0 {
-            let encodings = model.encoder().encode_all(&graphs);
+        let encoder = GraphEncoder::new(self.config)
+            .expect("harness supplies valid configurations")
+            .with_pool_handle(self.pool.clone());
+        let model = if self.retrain_epochs > 0 {
+            // Encode once and reuse the encodings for the retraining
+            // epochs — encoding dominates training cost, so routing the
+            // retrain path through `fit_with_encoder` would pay it twice.
+            // Validation stays identical to the non-retraining branch.
+            GraphHdModel::validate_inputs(graphs.len(), &labels, dataset.num_classes())
+                .expect("harness supplies consistent datasets");
+            let encodings = encoder.encode_all(&graphs);
+            let mut model =
+                GraphHdModel::fit_encoded(encoder, &encodings, &labels, dataset.num_classes());
             let _ = model.retrain(&encodings, &labels, self.retrain_epochs);
-        }
+            model
+        } else {
+            GraphHdModel::fit_with_encoder(encoder, &graphs, &labels, dataset.num_classes())
+                .expect("harness supplies consistent datasets")
+        };
         self.model = Some(model);
     }
 
@@ -125,6 +151,21 @@ mod tests {
             accuracy > chance + 0.10,
             "accuracy {accuracy} vs chance {chance}"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "harness supplies consistent datasets")]
+    fn retraining_fit_validates_like_the_plain_path() {
+        // Regression: the encode-once retraining branch must reject bad
+        // input (here: an empty training selection) exactly like the
+        // validated non-retraining branch, not silently fit a noise model.
+        let dataset = surrogate::generate_surrogate_sized(
+            surrogate::spec_by_name("MUTAG").expect("known"),
+            4,
+            12,
+        );
+        let mut clf = GraphHdClassifier::default().with_retraining(2);
+        clf.fit(&dataset, &[]);
     }
 
     #[test]

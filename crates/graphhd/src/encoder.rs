@@ -3,6 +3,9 @@
 use crate::{CentralityKind, GraphHdConfig};
 use graphcore::{degree_centrality, pagerank_ranks, ranks_by_score, Graph};
 use hdvec::{Accumulator, BitSliceAccumulator, HdvError, Hypervector, ItemMemory};
+use parallel::{Pool, PoolHandle};
+use std::borrow::Borrow;
+use std::sync::Arc;
 
 /// Encodes graphs into hypervectors: PageRank ranks select basis vertex
 /// hypervectors, edges bind their endpoints, and the edge hypervectors are
@@ -30,10 +33,15 @@ use hdvec::{Accumulator, BitSliceAccumulator, HdvError, Hypervector, ItemMemory}
 pub struct GraphEncoder {
     config: GraphHdConfig,
     memory: ItemMemory,
+    pool: PoolHandle,
 }
 
 impl GraphEncoder {
-    /// Creates an encoder from a configuration.
+    /// Creates an encoder from a configuration. Batch operations run on
+    /// the process-wide [`Pool::global`] unless [`with_pool`] selects an
+    /// explicit one.
+    ///
+    /// [`with_pool`]: Self::with_pool
     ///
     /// # Errors
     ///
@@ -42,7 +50,37 @@ impl GraphEncoder {
         Ok(Self {
             memory: ItemMemory::new(config.dim, config.seed)?,
             config,
+            pool: PoolHandle::Global,
         })
+    }
+
+    /// Pins batch operations (and those of every model fitted from this
+    /// encoder) to an explicit pool — the deterministic-thread-count knob
+    /// behind the `BENCH_*` scaling tables.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<Pool>) -> Self {
+        self.pool = PoolHandle::Owned(pool);
+        self
+    }
+
+    /// As [`with_pool`](Self::with_pool), but taking a [`PoolHandle`]
+    /// (for callers that may want to restore the global default).
+    #[must_use]
+    pub fn with_pool_handle(mut self, pool: PoolHandle) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The pool batch operations run on.
+    #[must_use]
+    pub fn pool(&self) -> &Pool {
+        self.pool.get()
+    }
+
+    /// The pool selection (shared with models fitted from this encoder).
+    #[must_use]
+    pub fn pool_handle(&self) -> &PoolHandle {
+        &self.pool
     }
 
     /// The configuration.
@@ -117,42 +155,18 @@ impl GraphEncoder {
             .to_hypervector(self.config.tie_break)
     }
 
-    /// Encodes many graphs, parallelised across all available cores.
+    /// Encodes many graphs, parallelised on the encoder's pool. Accepts
+    /// both owned slices (`&[Graph]`) and reference slices (`&[&Graph]`).
     ///
     /// The result is identical to mapping [`encode`](Self::encode) — the
     /// parallelism is an implementation detail mirroring the paper's
-    /// observation that HDC encoding is trivially parallel.
+    /// observation that HDC encoding is trivially parallel, and the
+    /// work-stealing pool keeps skewed graph sizes balanced (the old
+    /// round-robin static dealing did not).
     #[must_use]
-    pub fn encode_all(&self, graphs: &[&Graph]) -> Vec<Hypervector> {
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(graphs.len().max(1));
-        // Thread spawn overhead dwarfs the win on small batches.
-        if threads <= 1 || graphs.len() < 16 {
-            return graphs.iter().map(|g| self.encode(g)).collect();
-        }
-        let mut slots: Vec<Option<Hypervector>> = vec![None; graphs.len()];
-        {
-            let mut buckets: Vec<Vec<(usize, &mut Option<Hypervector>)>> =
-                (0..threads).map(|_| Vec::new()).collect();
-            for (i, slot) in slots.iter_mut().enumerate() {
-                buckets[i % threads].push((i, slot));
-            }
-            std::thread::scope(|scope| {
-                for bucket in buckets {
-                    scope.spawn(move || {
-                        for (i, slot) in bucket {
-                            *slot = Some(self.encode(graphs[i]));
-                        }
-                    });
-                }
-            });
-        }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every slot filled by a worker"))
-            .collect()
+    pub fn encode_all<G: Borrow<Graph> + Sync>(&self, graphs: &[G]) -> Vec<Hypervector> {
+        self.pool()
+            .par_map(graphs, |graph| self.encode(graph.borrow()))
     }
 }
 
@@ -270,6 +284,21 @@ mod tests {
         let parallel = e.encode_all(&refs);
         let sequential: Vec<_> = refs.iter().map(|g| e.encode(g)).collect();
         assert_eq!(parallel, sequential);
+        // Owned slices encode identically to reference slices.
+        assert_eq!(e.encode_all(&graphs), sequential);
+    }
+
+    #[test]
+    fn encode_all_is_identical_across_pinned_thread_counts() {
+        let graphs: Vec<_> = (3..40).map(|n| generate::star(n % 17 + 3)).collect();
+        let serial = encoder(512)
+            .with_pool(Arc::new(Pool::with_threads(1)))
+            .encode_all(&graphs);
+        for threads in [2usize, 3, 8] {
+            let e = encoder(512).with_pool(Arc::new(Pool::with_threads(threads)));
+            assert_eq!(e.pool().threads(), threads);
+            assert_eq!(e.encode_all(&graphs), serial, "threads {threads}");
+        }
     }
 
     #[test]

@@ -34,10 +34,9 @@
 //! let graphs: Vec<_> = (5..15)
 //!     .flat_map(|n| [generate::complete(n), generate::path(n)])
 //!     .collect();
-//! let refs: Vec<&graphcore::Graph> = graphs.iter().collect();
-//! let labels: Vec<u32> = (0..refs.len()).map(|i| (i % 2) as u32).collect();
+//! let labels: Vec<u32> = (0..graphs.len()).map(|i| (i % 2) as u32).collect();
 //!
-//! let model = GraphHdModel::fit(GraphHdConfig::default(), &refs, &labels, 2)?;
+//! let model = GraphHdModel::fit(GraphHdConfig::default(), &graphs, &labels, 2)?;
 //! let dense = generate::complete(9);
 //! assert_eq!(model.predict(&dense), 0);
 //! # Ok::<(), graphhd::TrainError>(())

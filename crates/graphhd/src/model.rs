@@ -4,6 +4,16 @@
 use crate::{GraphEncoder, GraphHdConfig};
 use graphcore::Graph;
 use hdvec::{Accumulator, Hypervector};
+use std::borrow::Borrow;
+
+/// Below this many samples per chunk, sharding the class accumulators
+/// costs more (one `num_classes × dim` counter block per chunk) than the
+/// parallel bundling saves.
+const FIT_MIN_CHUNK: usize = 16;
+
+/// Scoring one query against the class vectors is cheap (a few popcount
+/// sweeps), so prediction maps batch several queries per stealable unit.
+const PREDICT_MIN_CHUNK: usize = 8;
 
 /// Errors produced when fitting a [`GraphHdModel`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,18 +95,42 @@ pub struct GraphHdModel {
 
 impl GraphHdModel {
     /// Trains per Algorithm 1: encode every training graph, bundle the
-    /// graph hypervectors of each class into its class vector.
+    /// graph hypervectors of each class into its class vector. Accepts
+    /// both `&[Graph]` and `&[&Graph]`.
+    ///
+    /// Encoding and bundling run on the global pool; see
+    /// [`fit_with_encoder`](Self::fit_with_encoder) to pin a pool. The
+    /// result is bit-identical to a serial fit at every thread count
+    /// (bundling is order-independent integer addition).
     ///
     /// # Errors
     ///
     /// Returns [`TrainError`] for inconsistent inputs.
-    pub fn fit(
+    pub fn fit<G: Borrow<Graph> + Sync>(
         config: GraphHdConfig,
-        graphs: &[&Graph],
+        graphs: &[G],
         labels: &[u32],
         num_classes: usize,
     ) -> Result<Self, TrainError> {
         let encoder = GraphEncoder::new(config).map_err(|_| TrainError::ZeroDimension)?;
+        Self::fit_with_encoder(encoder, graphs, labels, num_classes)
+    }
+
+    /// As [`fit`](Self::fit), but training through an existing encoder —
+    /// the entry point for pinning an explicit
+    /// [`Pool`](parallel::Pool) via
+    /// [`GraphEncoder::with_pool`]: the fitted model inherits the
+    /// encoder's pool for all batch operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] for inconsistent inputs.
+    pub fn fit_with_encoder<G: Borrow<Graph> + Sync>(
+        encoder: GraphEncoder,
+        graphs: &[G],
+        labels: &[u32],
+        num_classes: usize,
+    ) -> Result<Self, TrainError> {
         let encodings = Self::validate_and_encode(&encoder, graphs, labels, num_classes)?;
         Ok(Self::fit_encoded(encoder, &encodings, labels, num_classes))
     }
@@ -118,12 +152,32 @@ impl GraphHdModel {
     ) -> Self {
         assert_eq!(encodings.len(), labels.len(), "encoding/label mismatch");
         let dim = encoder.config().dim;
-        let mut class_accumulators: Vec<Accumulator> = (0..num_classes)
-            .map(|_| Accumulator::new(dim).expect("validated dimension"))
-            .collect();
-        for (hv, &label) in encodings.iter().zip(labels) {
-            class_accumulators[label as usize].add(hv);
-        }
+        let fresh = || -> Vec<Accumulator> {
+            (0..num_classes)
+                .map(|_| Accumulator::new(dim).expect("validated dimension"))
+                .collect()
+        };
+        // Sharded parallel bundling: each chunk folds its samples into its
+        // own set of class accumulators, and the shards are merged with
+        // `Accumulator::merge` in chunk order. Bundling is integer
+        // addition, so the merged counters — and therefore the class
+        // vectors — are bit-identical to the serial loop at every thread
+        // count.
+        let class_accumulators = encoder.pool().par_fold_reduce(
+            encodings,
+            FIT_MIN_CHUNK,
+            fresh,
+            |mut shard, index, hv| {
+                shard[labels[index] as usize].add(hv);
+                shard
+            },
+            |mut left, right| {
+                for (acc, other) in left.iter_mut().zip(&right) {
+                    acc.merge(other);
+                }
+                left
+            },
+        );
         let tie = encoder.config().tie_break;
         let class_vectors = class_accumulators
             .iter()
@@ -136,21 +190,23 @@ impl GraphHdModel {
         }
     }
 
-    fn validate_and_encode(
-        encoder: &GraphEncoder,
-        graphs: &[&Graph],
+    /// The validation half of [`fit`](Self::fit), shared with callers
+    /// (e.g. the harness classifier) that encode themselves and go
+    /// through [`fit_encoded`](Self::fit_encoded).
+    pub(crate) fn validate_inputs(
+        graph_count: usize,
         labels: &[u32],
         num_classes: usize,
-    ) -> Result<Vec<Hypervector>, TrainError> {
+    ) -> Result<(), TrainError> {
         if num_classes == 0 {
             return Err(TrainError::ZeroClasses);
         }
-        if graphs.is_empty() {
+        if graph_count == 0 {
             return Err(TrainError::EmptyTrainingSet);
         }
-        if graphs.len() != labels.len() {
+        if graph_count != labels.len() {
             return Err(TrainError::LengthMismatch {
-                graphs: graphs.len(),
+                graphs: graph_count,
                 labels: labels.len(),
             });
         }
@@ -165,6 +221,16 @@ impl GraphHdModel {
                 num_classes,
             });
         }
+        Ok(())
+    }
+
+    fn validate_and_encode<G: Borrow<Graph> + Sync>(
+        encoder: &GraphEncoder,
+        graphs: &[G],
+        labels: &[u32],
+        num_classes: usize,
+    ) -> Result<Vec<Hypervector>, TrainError> {
+        Self::validate_inputs(graphs.len(), labels, num_classes)?;
         Ok(encoder.encode_all(graphs))
     }
 
@@ -219,14 +285,29 @@ impl GraphHdModel {
         self.predict_encoded(&self.encoder.encode(graph))
     }
 
-    /// Predicts many graphs, encoding in parallel.
+    /// Predicts many graphs: encoding and scoring both run in parallel on
+    /// the model's pool. Accepts both `&[Graph]` and `&[&Graph]`; the
+    /// result is identical to mapping [`predict`](Self::predict).
     #[must_use]
-    pub fn predict_all(&self, graphs: &[&Graph]) -> Vec<u32> {
+    pub fn predict_all<G: Borrow<Graph> + Sync>(&self, graphs: &[G]) -> Vec<u32> {
+        let encodings = self.encoder.encode_all(graphs);
+        self.predict_encoded_all(&encodings)
+    }
+
+    /// Predicts a batch of owned graphs — the ergonomic entry point for
+    /// callers holding a `Vec<Graph>`, who previously had to build a
+    /// `Vec<&Graph>` just to call [`predict_all`](Self::predict_all).
+    #[must_use]
+    pub fn predict_batch(&self, graphs: &[Graph]) -> Vec<u32> {
+        self.predict_all(graphs)
+    }
+
+    /// Scores and classifies many already-encoded queries in parallel.
+    #[must_use]
+    pub fn predict_encoded_all(&self, queries: &[Hypervector]) -> Vec<u32> {
         self.encoder
-            .encode_all(graphs)
-            .iter()
-            .map(|hv| self.predict_encoded(hv))
-            .collect()
+            .pool()
+            .par_map_chunked(queries, PREDICT_MIN_CHUNK, |hv| self.predict_encoded(hv))
     }
 
     /// The retraining extension (Section VII, direction 1): perceptron-
@@ -234,6 +315,20 @@ impl GraphHdModel {
     /// sample is *added* to its true class accumulator and *subtracted*
     /// from the wrongly predicted one; class vectors are re-thresholded
     /// after each mistake.
+    ///
+    /// The training loop is inherently sequential (each update changes
+    /// the model the next sample is scored against), so parallelism here
+    /// is *speculative*: a block of queries is scored concurrently against
+    /// the frozen model, the predictions are consumed in order, and on the
+    /// first mistake the rest of the block is discarded and re-scored
+    /// against the updated model. The block size adapts — it resets to 1
+    /// after a block containing a mistake and doubles after each clean
+    /// block — so dense-error phases (early epochs) cost the same as the
+    /// plain serial loop while sparse-error phases speculate at full
+    /// width; on a 1-thread pool the width is pinned to 1 (speculation
+    /// can never pay there). The sequence of updates — and therefore the
+    /// report and the final model — is bit-identical to the serial loop
+    /// at every thread count.
     ///
     /// Returns the per-epoch mistake counts. Stops early when an epoch is
     /// mistake-free.
@@ -253,20 +348,49 @@ impl GraphHdModel {
             "label out of range"
         );
         let tie = self.encoder.config().tie_break;
+        let threads = self.encoder.pool().threads();
+        let max_speculation = if threads <= 1 {
+            1
+        } else {
+            (threads * PREDICT_MIN_CHUNK).max(16)
+        };
         let mut epoch_errors = Vec::with_capacity(epochs);
         for _ in 0..epochs {
             let mut errors = 0usize;
-            for (hv, &label) in encodings.iter().zip(labels) {
-                let predicted = self.predict_encoded(hv);
-                if predicted != label {
-                    errors += 1;
-                    self.class_accumulators[label as usize].add(hv);
-                    self.class_accumulators[predicted as usize].sub(hv);
-                    self.class_vectors[label as usize] =
-                        self.class_accumulators[label as usize].to_hypervector(tie);
-                    self.class_vectors[predicted as usize] =
-                        self.class_accumulators[predicted as usize].to_hypervector(tie);
+            let mut index = 0usize;
+            // Window of 1 is exactly the serial loop; it widens only while
+            // predictions keep coming back correct.
+            let mut window = 1usize;
+            while index < encodings.len() {
+                let end = usize::min(index + window, encodings.len());
+                let predictions = self.predict_encoded_all(&encodings[index..end]);
+                let mut advanced = end;
+                let mut block_was_clean = true;
+                for (offset, predicted) in predictions.into_iter().enumerate() {
+                    let sample = index + offset;
+                    let label = labels[sample];
+                    if predicted != label {
+                        errors += 1;
+                        let hv = &encodings[sample];
+                        self.class_accumulators[label as usize].add(hv);
+                        self.class_accumulators[predicted as usize].sub(hv);
+                        self.class_vectors[label as usize] =
+                            self.class_accumulators[label as usize].to_hypervector(tie);
+                        self.class_vectors[predicted as usize] =
+                            self.class_accumulators[predicted as usize].to_hypervector(tie);
+                        // The model changed: predictions speculated past
+                        // this sample are stale. Resume after it.
+                        advanced = sample + 1;
+                        block_was_clean = false;
+                        break;
+                    }
                 }
+                window = if block_was_clean {
+                    (window * 2).min(max_speculation)
+                } else {
+                    1
+                };
+                index = advanced;
             }
             epoch_errors.push(errors);
             if errors == 0 {
@@ -309,8 +433,7 @@ mod tests {
 
     fn fit_toy(dim: usize) -> (GraphHdModel, Vec<Graph>, Vec<u32>) {
         let (graphs, labels) = toy();
-        let refs: Vec<&Graph> = graphs.iter().collect();
-        let model = GraphHdModel::fit(GraphHdConfig::with_dim(dim), &refs, &labels, 2)
+        let model = GraphHdModel::fit(GraphHdConfig::with_dim(dim), &graphs, &labels, 2)
             .expect("valid inputs");
         (model, graphs, labels)
     }
@@ -320,7 +443,7 @@ mod tests {
         let g = generate::path(3);
         let config = GraphHdConfig::default();
         assert_eq!(
-            GraphHdModel::fit(config, &[], &[], 2).unwrap_err(),
+            GraphHdModel::fit::<&Graph>(config, &[], &[], 2).unwrap_err(),
             TrainError::EmptyTrainingSet
         );
         assert_eq!(
@@ -351,8 +474,7 @@ mod tests {
     #[test]
     fn separable_task_is_learned() {
         let (model, graphs, labels) = fit_toy(10_000);
-        let refs: Vec<&Graph> = graphs.iter().collect();
-        let predictions = model.predict_all(&refs);
+        let predictions = model.predict_batch(&graphs);
         let accuracy = predictions
             .iter()
             .zip(&labels)
@@ -398,10 +520,9 @@ mod tests {
                 labels.push(1u32);
             }
         }
-        let refs: Vec<&Graph> = graphs.iter().collect();
         let config = GraphHdConfig::with_dim(4096);
         let encoder = GraphEncoder::new(config).expect("valid config");
-        let encodings = encoder.encode_all(&refs);
+        let encodings = encoder.encode_all(&graphs);
         let mut model = GraphHdModel::fit_encoded(encoder, &encodings, &labels, 2);
 
         let before: usize = encodings
@@ -425,10 +546,112 @@ mod tests {
     #[test]
     fn retrain_converged_flag() {
         let (mut model, graphs, labels) = fit_toy(4096);
-        let refs: Vec<&Graph> = graphs.iter().collect();
-        let encodings = model.encoder().encode_all(&refs);
+        let encodings = model.encoder().encode_all(&graphs);
         let report = model.retrain(&encodings, &labels, 50);
         assert!(report.converged(), "separable task should converge");
+    }
+
+    #[test]
+    fn predict_batch_equals_predict_all_refs() {
+        let (model, graphs, _) = fit_toy(2048);
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        assert_eq!(model.predict_batch(&graphs), model.predict_all(&refs));
+        let serial: Vec<u32> = graphs.iter().map(|g| model.predict(g)).collect();
+        assert_eq!(model.predict_batch(&graphs), serial);
+    }
+
+    #[test]
+    fn fit_and_predict_are_bit_identical_across_thread_counts() {
+        use parallel::Pool;
+        use std::sync::Arc;
+        let (graphs, labels) = toy();
+        let config = GraphHdConfig::with_dim(2048);
+        let fit_at = |threads: usize| {
+            let encoder = crate::GraphEncoder::new(config)
+                .expect("valid config")
+                .with_pool(Arc::new(Pool::with_threads(threads)));
+            GraphHdModel::fit_with_encoder(encoder, &graphs, &labels, 2).expect("valid inputs")
+        };
+        let serial = fit_at(1);
+        let serial_predictions = serial.predict_batch(&graphs);
+        for threads in [2usize, 3, 8] {
+            let parallel = fit_at(threads);
+            assert_eq!(
+                parallel.class_vectors(),
+                serial.class_vectors(),
+                "fit diverged at {threads} threads"
+            );
+            assert_eq!(
+                parallel.predict_batch(&graphs),
+                serial_predictions,
+                "predict diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn speculative_retrain_matches_serial_reference() {
+        use parallel::Pool;
+        use std::sync::Arc;
+        // A hard (non-separable at this dimension) task so retraining
+        // makes many updates — the worst case for speculation.
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(31);
+        let mut graphs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let base = generate::erdos_renyi(16, 0.2, &mut rng).expect("valid p");
+            if i % 2 == 0 {
+                graphs.push(base);
+                labels.push(0u32);
+            } else {
+                graphs.push(generate::with_planted_triangles(&base, 4, &mut rng).expect("n >= 3"));
+                labels.push(1u32);
+            }
+        }
+        let config = GraphHdConfig::with_dim(1024);
+        let encoder = crate::GraphEncoder::new(config).expect("valid config");
+        let encodings = encoder.encode_all(&graphs);
+
+        // Serial reference: the pre-speculation perceptron loop, verbatim.
+        let mut reference = GraphHdModel::fit_encoded(encoder.clone(), &encodings, &labels, 2);
+        let tie = config.tie_break;
+        let mut reference_errors = Vec::new();
+        for _ in 0..8 {
+            let mut errors = 0usize;
+            for (hv, &label) in encodings.iter().zip(&labels) {
+                let predicted = reference.predict_encoded(hv);
+                if predicted != label {
+                    errors += 1;
+                    reference.class_accumulators[label as usize].add(hv);
+                    reference.class_accumulators[predicted as usize].sub(hv);
+                    reference.class_vectors[label as usize] =
+                        reference.class_accumulators[label as usize].to_hypervector(tie);
+                    reference.class_vectors[predicted as usize] =
+                        reference.class_accumulators[predicted as usize].to_hypervector(tie);
+                }
+            }
+            reference_errors.push(errors);
+            if errors == 0 {
+                break;
+            }
+        }
+
+        for threads in [1usize, 2, 3, 8] {
+            let pooled = encoder
+                .clone()
+                .with_pool(Arc::new(Pool::with_threads(threads)));
+            let mut model = GraphHdModel::fit_encoded(pooled, &encodings, &labels, 2);
+            let report = model.retrain(&encodings, &labels, 8);
+            assert_eq!(
+                report.epoch_errors, reference_errors,
+                "epoch errors diverged at {threads} threads"
+            );
+            assert_eq!(
+                model.class_vectors(),
+                reference.class_vectors(),
+                "class vectors diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]
@@ -448,10 +671,9 @@ mod tests {
         // The HDC robustness claim: 10% of flipped class-vector bits
         // barely moves accuracy on a separable task.
         let (model, graphs, labels) = fit_toy(10_000);
-        let refs: Vec<&Graph> = graphs.iter().collect();
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
         let noisy = model.with_noisy_class_vectors(0.10, &mut rng);
-        let predictions = noisy.predict_all(&refs);
+        let predictions = noisy.predict_batch(&graphs);
         let accuracy = predictions
             .iter()
             .zip(&labels)

@@ -9,6 +9,7 @@
 use crate::GraphHdModel;
 use graphcore::Graph;
 use prng::{mix_seed, Xoshiro256PlusPlus};
+use std::borrow::Borrow;
 
 /// Accuracy of `model` on `(graphs, labels)` when `rate` of the class
 /// vectors' bits are flipped. Deterministic in `seed`.
@@ -26,17 +27,16 @@ use prng::{mix_seed, Xoshiro256PlusPlus};
 /// let graphs: Vec<_> = (6..12)
 ///     .flat_map(|n| [generate::complete(n), generate::path(n)])
 ///     .collect();
-/// let refs: Vec<&graphcore::Graph> = graphs.iter().collect();
-/// let labels: Vec<u32> = (0..refs.len()).map(|i| (i % 2) as u32).collect();
-/// let model = GraphHdModel::fit(GraphHdConfig::default(), &refs, &labels, 2)?;
-/// let clean = noise::accuracy_under_model_noise(&model, &refs, &labels, 0.0, 1);
+/// let labels: Vec<u32> = (0..graphs.len()).map(|i| (i % 2) as u32).collect();
+/// let model = GraphHdModel::fit(GraphHdConfig::default(), &graphs, &labels, 2)?;
+/// let clean = noise::accuracy_under_model_noise(&model, &graphs, &labels, 0.0, 1);
 /// assert_eq!(clean, 1.0);
 /// # Ok::<(), graphhd::TrainError>(())
 /// ```
 #[must_use]
-pub fn accuracy_under_model_noise(
+pub fn accuracy_under_model_noise<G: Borrow<Graph> + Sync>(
     model: &GraphHdModel,
-    graphs: &[&Graph],
+    graphs: &[G],
     labels: &[u32],
     rate: f64,
     seed: u64,
@@ -55,9 +55,9 @@ pub fn accuracy_under_model_noise(
 ///
 /// Panics if `graphs.len() != labels.len()` or `rate` is outside `[0, 1]`.
 #[must_use]
-pub fn accuracy_under_query_noise(
+pub fn accuracy_under_query_noise<G: Borrow<Graph> + Sync>(
     model: &GraphHdModel,
-    graphs: &[&Graph],
+    graphs: &[G],
     labels: &[u32],
     rate: f64,
     seed: u64,
@@ -84,9 +84,9 @@ pub fn accuracy_under_query_noise(
 ///
 /// Panics if `graphs.len() != labels.len()` or a rate is outside `[0, 1]`.
 #[must_use]
-pub fn noise_sweep(
+pub fn noise_sweep<G: Borrow<Graph> + Sync>(
     model: &GraphHdModel,
-    graphs: &[&Graph],
+    graphs: &[G],
     labels: &[u32],
     rates: &[f64],
     seed: u64,
@@ -130,23 +130,21 @@ mod tests {
             graphs.push(generate::path(n));
             labels.push(1);
         }
-        let refs: Vec<&Graph> = graphs.iter().collect();
         let model =
-            GraphHdModel::fit(GraphHdConfig::default(), &refs, &labels, 2).expect("valid inputs");
+            GraphHdModel::fit(GraphHdConfig::default(), &graphs, &labels, 2).expect("valid inputs");
         (model, graphs, labels)
     }
 
     #[test]
     fn zero_noise_is_clean_accuracy() {
         let (model, graphs, labels) = separable_model();
-        let refs: Vec<&Graph> = graphs.iter().collect();
-        let clean = correct_fraction(&model.predict_all(&refs), &labels);
+        let clean = correct_fraction(&model.predict_batch(&graphs), &labels);
         assert_eq!(
-            accuracy_under_model_noise(&model, &refs, &labels, 0.0, 7),
+            accuracy_under_model_noise(&model, &graphs, &labels, 0.0, 7),
             clean
         );
         assert_eq!(
-            accuracy_under_query_noise(&model, &refs, &labels, 0.0, 7),
+            accuracy_under_query_noise(&model, &graphs, &labels, 0.0, 7),
             clean
         );
     }
@@ -154,9 +152,8 @@ mod tests {
     #[test]
     fn graceful_degradation_up_to_heavy_noise() {
         let (model, graphs, labels) = separable_model();
-        let refs: Vec<&Graph> = graphs.iter().collect();
-        let at_10 = accuracy_under_model_noise(&model, &refs, &labels, 0.10, 7);
-        let at_45 = accuracy_under_model_noise(&model, &refs, &labels, 0.45, 7);
+        let at_10 = accuracy_under_model_noise(&model, &graphs, &labels, 0.10, 7);
+        let at_45 = accuracy_under_model_noise(&model, &graphs, &labels, 0.45, 7);
         assert!(at_10 >= 0.9, "10% noise accuracy {at_10}");
         // At 45% flipped bits the signal is nearly gone but must stay
         // defined; at 50% it is chance by construction.
@@ -166,8 +163,7 @@ mod tests {
     #[test]
     fn sweep_returns_aligned_rows() {
         let (model, graphs, labels) = separable_model();
-        let refs: Vec<&Graph> = graphs.iter().collect();
-        let rows = noise_sweep(&model, &refs, &labels, &[0.0, 0.2], 3);
+        let rows = noise_sweep(&model, &graphs, &labels, &[0.0, 0.2], 3);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].0, 0.0);
         assert!(rows[0].1 >= rows[1].1 - 0.2, "monotone-ish degradation");
@@ -176,9 +172,8 @@ mod tests {
     #[test]
     fn determinism_per_seed() {
         let (model, graphs, labels) = separable_model();
-        let refs: Vec<&Graph> = graphs.iter().collect();
-        let a = accuracy_under_model_noise(&model, &refs, &labels, 0.3, 42);
-        let b = accuracy_under_model_noise(&model, &refs, &labels, 0.3, 42);
+        let a = accuracy_under_model_noise(&model, &graphs, &labels, 0.3, 42);
+        let b = accuracy_under_model_noise(&model, &graphs, &labels, 0.3, 42);
         assert_eq!(a, b);
     }
 }

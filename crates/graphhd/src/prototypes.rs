@@ -11,6 +11,7 @@
 use crate::{GraphEncoder, GraphHdConfig, TrainError};
 use graphcore::Graph;
 use hdvec::{Accumulator, Hypervector};
+use std::borrow::Borrow;
 
 /// Configuration of the multi-prototype extension.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,9 +57,8 @@ impl Default for PrototypeConfig {
 ///     graphs.push(generate::path(n));
 ///     labels.push(1);
 /// }
-/// let refs: Vec<&graphcore::Graph> = graphs.iter().collect();
 /// let model = MultiPrototypeModel::fit(
-///     PrototypeConfig::default(), &refs, &labels, 2,
+///     PrototypeConfig::default(), &graphs, &labels, 2,
 /// )?;
 /// assert_eq!(model.predict(&generate::star(14)), 0);
 /// assert_eq!(model.predict(&generate::path(14)), 1);
@@ -79,9 +79,9 @@ impl MultiPrototypeModel {
     ///
     /// Returns [`TrainError`] for inconsistent inputs or a zero
     /// `max_prototypes`.
-    pub fn fit(
+    pub fn fit<G: Borrow<Graph> + Sync>(
         config: PrototypeConfig,
-        graphs: &[&Graph],
+        graphs: &[G],
         labels: &[u32],
         num_classes: usize,
     ) -> Result<Self, TrainError> {
@@ -188,27 +188,32 @@ impl MultiPrototypeModel {
         best_class
     }
 
-    /// Predicts many graphs.
+    /// Predicts many graphs, encoding and scoring in parallel on the
+    /// encoder's pool. Accepts both `&[Graph]` and `&[&Graph]`.
     #[must_use]
-    pub fn predict_all(&self, graphs: &[&Graph]) -> Vec<u32> {
-        self.encoder
-            .encode_all(graphs)
-            .iter()
-            .map(|hv| {
-                let mut best_class = 0u32;
-                let mut best_similarity = f64::NEG_INFINITY;
-                for (class, prototypes) in self.vectors.iter().enumerate() {
-                    for prototype in prototypes {
-                        let similarity = prototype.cosine(hv);
-                        if similarity > best_similarity {
-                            best_similarity = similarity;
-                            best_class = class as u32;
-                        }
+    pub fn predict_all<G: Borrow<Graph> + Sync>(&self, graphs: &[G]) -> Vec<u32> {
+        let encodings = self.encoder.encode_all(graphs);
+        self.encoder.pool().par_map_chunked(&encodings, 8, |hv| {
+            let mut best_class = 0u32;
+            let mut best_similarity = f64::NEG_INFINITY;
+            for (class, prototypes) in self.vectors.iter().enumerate() {
+                for prototype in prototypes {
+                    let similarity = prototype.cosine(hv);
+                    if similarity > best_similarity {
+                        best_similarity = similarity;
+                        best_class = class as u32;
                     }
                 }
-                best_class
-            })
-            .collect()
+            }
+            best_class
+        })
+    }
+
+    /// Batch prediction over owned graphs (see
+    /// [`predict_all`](Self::predict_all)).
+    #[must_use]
+    pub fn predict_batch(&self, graphs: &[Graph]) -> Vec<u32> {
+        self.predict_all(graphs)
     }
 }
 
@@ -239,33 +244,33 @@ mod tests {
             ..PrototypeConfig::default()
         };
         assert!(MultiPrototypeModel::fit(bad, &[&g], &[0], 1).is_err());
-        assert!(MultiPrototypeModel::fit(PrototypeConfig::default(), &[], &[], 1).is_err());
+        assert!(
+            MultiPrototypeModel::fit::<&Graph>(PrototypeConfig::default(), &[], &[], 1).is_err()
+        );
         assert!(MultiPrototypeModel::fit(PrototypeConfig::default(), &[&g], &[5], 2).is_err());
     }
 
     #[test]
     fn single_prototype_reduces_to_baseline_shape() {
         let (graphs, labels) = bimodal();
-        let refs: Vec<&Graph> = graphs.iter().collect();
         let config = PrototypeConfig {
             base: GraphHdConfig::with_dim(2048),
             max_prototypes: 1,
             spawn_threshold: -1.0,
         };
-        let model = MultiPrototypeModel::fit(config, &refs, &labels, 2).expect("valid");
+        let model = MultiPrototypeModel::fit(config, &graphs, &labels, 2).expect("valid");
         assert_eq!(model.prototype_counts(), vec![1, 1]);
     }
 
     #[test]
     fn bimodal_class_allocates_multiple_prototypes() {
         let (graphs, labels) = bimodal();
-        let refs: Vec<&Graph> = graphs.iter().collect();
         let config = PrototypeConfig {
             base: GraphHdConfig::with_dim(4096),
             max_prototypes: 4,
             spawn_threshold: 0.5,
         };
-        let model = MultiPrototypeModel::fit(config, &refs, &labels, 2).expect("valid");
+        let model = MultiPrototypeModel::fit(config, &graphs, &labels, 2).expect("valid");
         let counts = model.prototype_counts();
         assert!(
             counts[0] >= 2,
@@ -278,14 +283,13 @@ mod tests {
     #[test]
     fn predictions_beat_single_vector_on_bimodal_task() {
         let (graphs, labels) = bimodal();
-        let refs: Vec<&Graph> = graphs.iter().collect();
         let config = PrototypeConfig {
             base: GraphHdConfig::with_dim(4096),
             max_prototypes: 4,
             spawn_threshold: 0.5,
         };
-        let model = MultiPrototypeModel::fit(config, &refs, &labels, 2).expect("valid");
-        let predictions = model.predict_all(&refs);
+        let model = MultiPrototypeModel::fit(config, &graphs, &labels, 2).expect("valid");
+        let predictions = model.predict_batch(&graphs);
         let accuracy = predictions
             .iter()
             .zip(&labels)

@@ -73,10 +73,9 @@ proptest! {
         let graphs: Vec<Graph> = (0..count)
             .map(|i| generate::erdos_renyi(5 + i % 7, 0.3, &mut rng).expect("valid"))
             .collect();
-        let refs: Vec<&Graph> = graphs.iter().collect();
         let encoder = GraphEncoder::new(GraphHdConfig::with_dim(256)).expect("valid");
-        let parallel = encoder.encode_all(&refs);
-        let serial: Vec<_> = refs.iter().map(|g| encoder.encode(g)).collect();
+        let parallel = encoder.encode_all(&graphs);
+        let serial: Vec<_> = graphs.iter().map(|g| encoder.encode(g)).collect();
         prop_assert_eq!(parallel, serial);
     }
 }

@@ -1,0 +1,247 @@
+//! Data-parallel operations built on [`Pool::par_for_ranges`].
+//!
+//! Every operation here carries the same guarantee: for closures meeting
+//! the documented contract, the result is **bit-identical to the serial
+//! evaluation** at every thread count. The implementations keep that
+//! guarantee structurally — outputs are keyed by index or chunk start and
+//! re-assembled in input order, never in completion order.
+
+use crate::pool::Pool;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// Out-of-order chunk results, keyed by the chunk's starting index so the
+/// caller can restore input order.
+type Pieces<S> = Mutex<Vec<(usize, S)>>;
+
+fn into_ordered<S>(pieces: Pieces<S>) -> Vec<S> {
+    let mut pieces = pieces.into_inner().expect("piece lock");
+    pieces.sort_unstable_by_key(|&(start, _)| start);
+    pieces.into_iter().map(|(_, piece)| piece).collect()
+}
+
+impl Pool {
+    /// Calls `f(i)` for every `i in 0..n`, in parallel.
+    ///
+    /// `f` must tolerate concurrent invocation on distinct indices; each
+    /// index is visited exactly once.
+    pub fn par_for<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.par_for_ranges(n, 1, |range| {
+            for index in range {
+                f(index);
+            }
+        });
+    }
+
+    /// Maps `f` over `items`, returning results in input order — the
+    /// parallel equivalent of `items.iter().map(f).collect()`.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_chunked(items, 1, f)
+    }
+
+    /// [`par_map`](Self::par_map) with a minimum chunk size, for maps whose
+    /// per-item cost is too small to justify per-item scheduling.
+    pub fn par_map_chunked<T, R, F>(&self, items: &[T], min_chunk: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let pieces: Pieces<Vec<R>> = Mutex::new(Vec::new());
+        self.par_for_ranges(items.len(), min_chunk, |range: Range<usize>| {
+            let mapped: Vec<R> = items[range.clone()].iter().map(&f).collect();
+            pieces
+                .lock()
+                .expect("piece lock")
+                .push((range.start, mapped));
+        });
+        let mut result = Vec::with_capacity(items.len());
+        for mut piece in into_ordered(pieces) {
+            result.append(&mut piece);
+        }
+        result
+    }
+
+    /// Folds `items` into per-chunk states in parallel, then reduces the
+    /// chunk states **in chunk order** on the calling thread.
+    ///
+    /// Contract for bit-identity with the serial fold at every thread
+    /// count (and every chunking): `reduce(a, b)` must equal folding the
+    /// items behind `b` into `a` — i.e. `reduce` is the fold's
+    /// homomorphism, the usual fold/reduce pairing (integer accumulator
+    /// merges, sums, histogram additions all qualify). `fold` receives the
+    /// item's index in `items`, so zipped side-tables (e.g. labels) need
+    /// no interleaving.
+    ///
+    /// Returns `identity()` for empty input.
+    pub fn par_fold_reduce<T, S, I, F, M>(
+        &self,
+        items: &[T],
+        min_chunk: usize,
+        identity: I,
+        fold: F,
+        reduce: M,
+    ) -> S
+    where
+        T: Sync,
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(S, usize, &T) -> S + Sync,
+        M: Fn(S, S) -> S,
+    {
+        if items.is_empty() {
+            return identity();
+        }
+        let pieces: Pieces<S> = Mutex::new(Vec::new());
+        self.par_for_ranges(items.len(), min_chunk, |range: Range<usize>| {
+            let mut state = identity();
+            for index in range.clone() {
+                state = fold(state, index, &items[index]);
+            }
+            pieces
+                .lock()
+                .expect("piece lock")
+                .push((range.start, state));
+        });
+        let mut states = into_ordered(pieces).into_iter();
+        let first = states.next().expect("non-empty input yields a chunk");
+        states.fold(first, reduce)
+    }
+
+    /// Splits `data` into consecutive chunks of `chunk_len` elements (the
+    /// last may be shorter) and calls `f(chunk_index, chunk)` for each, in
+    /// parallel — the safe way to fill disjoint slices of one output
+    /// buffer (e.g. the rows of a Gram matrix) from many threads.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let chunk_len = chunk_len.max(1);
+        // Each chunk's `&mut` is parked in a Mutex slot and taken exactly
+        // once by whichever thread claims that chunk — disjointness is
+        // enforced by `take`, not by pointer arithmetic.
+        let slots: Vec<Mutex<Option<&mut [T]>>> = data
+            .chunks_mut(chunk_len)
+            .map(|chunk| Mutex::new(Some(chunk)))
+            .collect();
+        self.par_for_ranges(slots.len(), 1, |range| {
+            for index in range {
+                let chunk = slots[index]
+                    .lock()
+                    .expect("slot lock")
+                    .take()
+                    .expect("each chunk is claimed exactly once");
+                f(index, chunk);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_for_visits_every_index_once() {
+        let pool = Pool::with_threads(3);
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        pool.par_for(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        for threads in [1usize, 2, 7] {
+            let pool = Pool::with_threads(threads);
+            let items: Vec<u64> = (0..1000).collect();
+            let expected: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(31) ^ 7).collect();
+            assert_eq!(
+                pool.par_map(&items, |&x| x.wrapping_mul(31) ^ 7),
+                expected,
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_chunked_matches_par_map() {
+        let pool = Pool::with_threads(4);
+        let items: Vec<u32> = (0..500).collect();
+        assert_eq!(
+            pool.par_map_chunked(&items, 64, |&x| x + 1),
+            pool.par_map(&items, |&x| x + 1)
+        );
+    }
+
+    #[test]
+    fn par_map_empty_input() {
+        let pool = Pool::with_threads(2);
+        let out: Vec<u8> = pool.par_map(&[] as &[u8], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_fold_reduce_empty_is_identity() {
+        let pool = Pool::with_threads(2);
+        let sum = pool.par_fold_reduce(
+            &[] as &[u64],
+            1,
+            || 42u64,
+            |s, _, &x| s.wrapping_add(x),
+            |a, b| a.wrapping_add(b),
+        );
+        assert_eq!(sum, 42);
+    }
+
+    #[test]
+    fn par_fold_reduce_sees_correct_indices() {
+        let pool = Pool::with_threads(4);
+        let items: Vec<u64> = (0..777).map(|i| i * 3).collect();
+        // Fold checks each item sits at its own index; result is the count.
+        let count = pool.par_fold_reduce(
+            &items,
+            1,
+            || 0usize,
+            |s, index, &item| {
+                assert_eq!(item, index as u64 * 3);
+                s + 1
+            },
+            |a, b| a + b,
+        );
+        assert_eq!(count, items.len());
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_element() {
+        for threads in [1usize, 2, 5] {
+            let pool = Pool::with_threads(threads);
+            let mut data = vec![0usize; 103];
+            pool.par_chunks_mut(&mut data, 10, |chunk_index, chunk| {
+                for (offset, cell) in chunk.iter_mut().enumerate() {
+                    *cell = chunk_index * 10 + offset;
+                }
+            });
+            let expected: Vec<usize> = (0..103).collect();
+            assert_eq!(data, expected, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_empty_data() {
+        let pool = Pool::with_threads(2);
+        let mut data: Vec<u8> = Vec::new();
+        pool.par_chunks_mut(&mut data, 4, |_, _| panic!("no chunks expected"));
+    }
+}

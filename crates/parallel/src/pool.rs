@@ -1,0 +1,578 @@
+//! The persistent work-stealing pool and its scheduling machinery.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// How many chunks each executor should get on average. Oversubscribing
+/// the chunk count lets stealing rebalance skewed per-chunk costs (e.g.
+/// Gram-matrix row `i` costs `O(n − i)`).
+const CHUNKS_PER_EXECUTOR: usize = 4;
+
+/// Environment variable overriding the global pool's thread count.
+pub const THREADS_ENV: &str = "GRAPHHD_THREADS";
+
+/// The borrowed region closure with its lifetime erased so queue entries
+/// can live in the pool's `'static` worker deques. Soundness is argued in
+/// [`Pool::run_region`], the only place the erasure happens.
+type ErasedTask = &'static (dyn Fn(Range<usize>) + Sync);
+
+/// Mutable completion state of one parallel region.
+struct RegionStatus {
+    /// Chunks fully processed (executed, skipped after cancellation, or
+    /// panicked). The region is complete when this reaches `total`.
+    done: usize,
+    /// Set on the first panic; chunks claimed afterwards are skipped.
+    cancelled: bool,
+    /// The first panic payload, re-thrown on the submitting thread.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// One `run_region` call: a shared chunk closure plus completion tracking.
+/// Heap-allocated behind an [`Arc`] so workers can outlive the *stack* of
+/// the submitting call without touching freed memory — the erased `task`
+/// reference itself is only ever dereferenced before a chunk's `done`
+/// increment, and the submitter blocks until `done == total`.
+struct Region {
+    task: ErasedTask,
+    total: usize,
+    status: Mutex<RegionStatus>,
+}
+
+impl Region {
+    /// Runs one claimed chunk: executes the closure (unless the region is
+    /// already cancelled), records panics, and counts the chunk done. The
+    /// last chunk notifies the pool's shared condvar, where both idle
+    /// workers and sleeping submitters wait.
+    fn execute(&self, range: Range<usize>, shared: &SharedState) {
+        let cancelled = self.status.lock().expect("region lock").cancelled;
+        let outcome = if cancelled {
+            Ok(())
+        } else {
+            panic::catch_unwind(AssertUnwindSafe(|| (self.task)(range)))
+        };
+        let is_last = {
+            let mut status = self.status.lock().expect("region lock");
+            if let Err(payload) = outcome {
+                status.cancelled = true;
+                if status.panic.is_none() {
+                    status.panic = Some(payload);
+                }
+            }
+            status.done += 1;
+            status.done == self.total
+        };
+        // The status lock is released before taking the wake lock, so no
+        // thread ever holds both in the execute direction (the submitter
+        // takes them in the opposite order, which is safe precisely
+        // because this path never nests them).
+        if is_last {
+            let _guard = shared.shutdown.lock().expect("shutdown lock");
+            shared.wake.notify_all();
+        }
+    }
+
+    /// Whether every chunk has completed.
+    fn is_done(&self) -> bool {
+        let status = self.status.lock().expect("region lock");
+        status.done == self.total
+    }
+}
+
+/// A queued chunk: which region it belongs to and which index range it
+/// covers.
+struct Entry {
+    region: Arc<Region>,
+    range: Range<usize>,
+}
+
+/// State shared between the pool handle and its worker threads.
+struct SharedState {
+    /// One deque per worker thread. Entries are pushed at region
+    /// submission; owners pop from the front, thieves split off the back
+    /// half ("chunked" stealing).
+    queues: Vec<Mutex<VecDeque<Entry>>>,
+    /// Entries currently sitting in queues (claimed entries excluded).
+    /// Guards the worker sleep path against lost wakeups.
+    queued: AtomicUsize,
+    /// Shutdown flag; workers exit when it is set.
+    shutdown: Mutex<bool>,
+    /// Signalled when new entries arrive or the pool shuts down.
+    wake: Condvar,
+}
+
+impl SharedState {
+    /// Pops the next entry for worker `own`: its own queue first, then a
+    /// chunked steal (back half of the fullest other queue; the first
+    /// stolen entry is returned, the rest are re-queued locally).
+    fn claim_worker(&self, own: usize) -> Option<Entry> {
+        if let Some(entry) = self.queues[own].lock().expect("queue lock").pop_front() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(entry);
+        }
+        let victim = self.fullest_queue(Some(own))?;
+        let mut stolen = {
+            let mut queue = self.queues[victim].lock().expect("queue lock");
+            let len = queue.len();
+            if len == 0 {
+                return None;
+            }
+            queue.split_off(len - len.div_ceil(2))
+        };
+        let first = stolen.pop_front().expect("split_off takes at least one");
+        self.queued.fetch_sub(1, Ordering::SeqCst);
+        if !stolen.is_empty() {
+            self.queues[own]
+                .lock()
+                .expect("queue lock")
+                .extend(stolen.drain(..));
+        }
+        Some(first)
+    }
+
+    /// Pops one entry from the fullest queue — the claim path for threads
+    /// that have no deque of their own (region submitters helping out).
+    fn claim_any(&self) -> Option<Entry> {
+        let victim = self.fullest_queue(None)?;
+        let entry = self.queues[victim].lock().expect("queue lock").pop_front();
+        if entry.is_some() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+        }
+        entry
+    }
+
+    /// Index of the non-empty queue with the most entries, if any.
+    fn fullest_queue(&self, excluding: Option<usize>) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for (index, queue) in self.queues.iter().enumerate() {
+            if excluding == Some(index) {
+                continue;
+            }
+            let len = queue.lock().expect("queue lock").len();
+            if len > 0 && best.is_none_or(|(_, best_len)| len > best_len) {
+                best = Some((index, len));
+            }
+        }
+        best.map(|(index, _)| index)
+    }
+}
+
+/// Body of each persistent worker thread: claim and execute entries until
+/// the queues drain, then sleep until new work or shutdown arrives.
+fn worker_loop(shared: &SharedState, index: usize) {
+    loop {
+        if let Some(entry) = shared.claim_worker(index) {
+            entry.region.execute(entry.range.clone(), shared);
+            continue;
+        }
+        let mut shutdown = shared.shutdown.lock().expect("shutdown lock");
+        loop {
+            if *shutdown {
+                return;
+            }
+            // `queued` is re-checked under the lock: submitters bump it
+            // before notifying under the same lock, so a worker that saw
+            // zero here is guaranteed to receive the notification.
+            if shared.queued.load(Ordering::SeqCst) > 0 {
+                break;
+            }
+            shutdown = shared.wake.wait(shutdown).expect("shutdown lock");
+        }
+    }
+}
+
+/// A persistent work-stealing thread pool.
+///
+/// `Pool::with_threads(n)` provides a parallelism degree of exactly `n`:
+/// `n − 1` background workers plus the thread that submits a region (the
+/// submitter always participates, which also makes *nested* regions —
+/// a worker's chunk submitting its own region — deadlock-free). With
+/// `n == 1` every operation runs serially inline on the caller.
+///
+/// All data-parallel operations ([`par_for`](Pool::par_for),
+/// [`par_map`](Pool::par_map), [`par_fold_reduce`](Pool::par_fold_reduce),
+/// [`par_chunks_mut`](Pool::par_chunks_mut)) are **bit-deterministic**:
+/// given the documented contracts on the supplied closures, their results
+/// are identical to the serial evaluation for every thread count.
+///
+/// # Examples
+///
+/// ```
+/// use parallel::Pool;
+///
+/// let pool = Pool::with_threads(4);
+/// let squares = pool.par_map(&[1u64, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub struct Pool {
+    shared: Arc<SharedState>,
+    parallelism: usize,
+    /// Rotates the starting queue of each submission so concurrent regions
+    /// do not all land on worker 0.
+    next_start: AtomicUsize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("parallelism", &self.parallelism)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pool {
+    /// Creates a pool with an exact parallelism degree of
+    /// `threads.max(1)`: `threads − 1` persistent workers are spawned and
+    /// the submitting thread acts as the last executor. Deterministic
+    /// thread counts are what make the `BENCH_*` scaling tables
+    /// reproducible.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers = threads - 1;
+        let shared = Arc::new(SharedState {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued: AtomicUsize::new(0),
+            shutdown: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("graphhd-pool-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            parallelism: threads,
+            next_start: AtomicUsize::new(0),
+            handles,
+        }
+    }
+
+    /// The process-wide shared pool. Sized by the `GRAPHHD_THREADS`
+    /// environment variable when set to a positive integer, otherwise by
+    /// [`std::thread::available_parallelism`]; the decision is made once,
+    /// on first use.
+    #[must_use]
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| Pool::with_threads(default_threads()))
+    }
+
+    /// The pool's parallelism degree (workers plus the submitting thread).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Splits `0..n` into contiguous chunks of at least `min_chunk`
+    /// indices, executes `task` once per chunk across the pool, and
+    /// returns when every chunk has run. The chunks partition `0..n`
+    /// exactly; their relative order of *execution* is unspecified, so
+    /// `task` must be safe to call concurrently on disjoint ranges.
+    ///
+    /// This is the primitive underneath every `par_*` operation.
+    ///
+    /// # Panics
+    ///
+    /// If a chunk panics, remaining chunks are skipped (already-running
+    /// ones finish) and the first panic resumes on the calling thread
+    /// after the region has fully quiesced.
+    pub fn par_for_ranges<F>(&self, n: usize, min_chunk: usize, task: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        self.run_region(n, min_chunk, &task);
+    }
+
+    /// Monomorphization-free core of [`par_for_ranges`](Self::par_for_ranges).
+    fn run_region(&self, n: usize, min_chunk: usize, task: &(dyn Fn(Range<usize>) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        let min_chunk = min_chunk.max(1);
+        let workers = self.shared.queues.len();
+        let chunk = n
+            .div_ceil(self.parallelism * CHUNKS_PER_EXECUTOR)
+            .max(min_chunk);
+        let chunk_count = n.div_ceil(chunk);
+        if workers == 0 || chunk_count <= 1 {
+            // Serial fast path — also the `threads == 1` definition of the
+            // "serial reference" every parallel result must reproduce.
+            task(0..n);
+            return;
+        }
+
+        // SAFETY: `task` borrows the caller's stack, and the erased
+        // reference is dereferenced only inside `Region::execute`, strictly
+        // before that chunk's `done` increment. This function does not
+        // return (or unwind) until `done == total`, i.e. until after the
+        // last dereference, so the reference never outlives the borrow.
+        // Everything a worker touches afterwards (status mutex, condvar)
+        // lives in the `Arc<Region>` heap allocation it co-owns.
+        let task: ErasedTask =
+            unsafe { std::mem::transmute::<&(dyn Fn(Range<usize>) + Sync), ErasedTask>(task) };
+        let region = Arc::new(Region {
+            task,
+            total: chunk_count,
+            status: Mutex::new(RegionStatus {
+                done: 0,
+                cancelled: false,
+                panic: None,
+            }),
+        });
+
+        // Publish the entry count *before* any entry becomes claimable:
+        // `queued` must stay a conservative overestimate, because a worker
+        // that claims a freshly pushed entry decrements it immediately and
+        // a late increment would wrap the counter below zero.
+        self.shared.queued.fetch_add(chunk_count, Ordering::SeqCst);
+        // Deal contiguous blocks of chunks to the worker deques (stealing
+        // rebalances skewed costs), rotating the first queue per region.
+        let start = self.next_start.fetch_add(1, Ordering::Relaxed);
+        for worker in 0..workers {
+            let lo = chunk_count * worker / workers;
+            let hi = chunk_count * (worker + 1) / workers;
+            if lo == hi {
+                continue;
+            }
+            let queue = &self.shared.queues[(start + worker) % workers];
+            let mut queue = queue.lock().expect("queue lock");
+            for index in lo..hi {
+                let begin = index * chunk;
+                let end = usize::min(begin + chunk, n);
+                queue.push_back(Entry {
+                    region: Arc::clone(&region),
+                    range: begin..end,
+                });
+            }
+        }
+        {
+            let _guard = self.shared.shutdown.lock().expect("shutdown lock");
+            self.shared.wake.notify_all();
+        }
+
+        // Participate until the region completes: the submitter claims and
+        // executes queued entries (of any region — helping foreign regions
+        // is what keeps nested submissions from worker threads live), and
+        // sleeps on the shared condvar when nothing is claimable. Both the
+        // region's last completion and any new enqueue (e.g. a nested
+        // region submitted by a worker mid-chunk) notify that condvar, so
+        // a sleeping submitter always wakes to help or to finish.
+        loop {
+            if region.is_done() {
+                break;
+            }
+            if let Some(entry) = self.shared.claim_any() {
+                entry.region.execute(entry.range.clone(), &self.shared);
+                continue;
+            }
+            let guard = self.shared.shutdown.lock().expect("shutdown lock");
+            // Re-check both wake conditions under the lock: every notifier
+            // makes one of them true before notifying under this lock, so
+            // the wakeup cannot be lost.
+            if self.shared.queued.load(Ordering::SeqCst) == 0 && !region.is_done() {
+                drop(self.shared.wake.wait(guard).expect("shutdown lock"));
+            }
+        }
+        let payload = region.status.lock().expect("region lock").panic.take();
+        if let Some(payload) = payload {
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut shutdown = self.shared.shutdown.lock().expect("shutdown lock");
+            *shutdown = true;
+            self.shared.wake.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Thread count the global pool is created with: `GRAPHHD_THREADS` when it
+/// parses as a positive integer, otherwise the machine's available
+/// parallelism (falling back to 1 when that is unavailable).
+#[must_use]
+pub fn default_threads() -> usize {
+    threads_from(std::env::var(THREADS_ENV).ok().as_deref())
+}
+
+/// Pure helper behind [`default_threads`], split out so the environment
+/// parsing is unit-testable without mutating process state.
+fn threads_from(value: Option<&str>) -> usize {
+    value
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Which pool a component should use: the process-wide global pool (the
+/// default) or an explicitly owned one (deterministic benchmarking, tests
+/// pinning a thread count).
+#[derive(Clone, Debug, Default)]
+pub enum PoolHandle {
+    /// Resolve to [`Pool::global`] at use time.
+    #[default]
+    Global,
+    /// A shared explicit pool.
+    Owned(Arc<Pool>),
+}
+
+impl PoolHandle {
+    /// The pool this handle resolves to.
+    #[must_use]
+    pub fn get(&self) -> &Pool {
+        match self {
+            PoolHandle::Global => Pool::global(),
+            PoolHandle::Owned(pool) => pool,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = Pool::with_threads(0);
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn serial_pool_spawns_no_workers() {
+        let pool = Pool::with_threads(1);
+        assert!(pool.handles.is_empty());
+    }
+
+    #[test]
+    fn ranges_partition_exactly() {
+        for threads in [1usize, 2, 3, 8] {
+            let pool = Pool::with_threads(threads);
+            for n in [0usize, 1, 63, 64, 1000] {
+                let seen = AtomicU64::new(0);
+                let count = AtomicUsize::new(0);
+                pool.par_for_ranges(n, 1, |range| {
+                    count.fetch_add(range.len(), Ordering::SeqCst);
+                    for i in range {
+                        seen.fetch_add(i as u64, Ordering::SeqCst);
+                    }
+                });
+                assert_eq!(count.load(Ordering::SeqCst), n, "n={n} t={threads}");
+                let expected: u64 = (0..n as u64).sum();
+                assert_eq!(seen.load(Ordering::SeqCst), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn min_chunk_is_respected() {
+        let pool = Pool::with_threads(4);
+        let calls = AtomicUsize::new(0);
+        pool.par_for_ranges(100, 40, |range| {
+            assert!(range.len() >= 40 || range.end == 100);
+            calls.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(calls.load(Ordering::SeqCst) <= 3);
+    }
+
+    #[test]
+    fn panics_propagate_and_pool_survives() {
+        let pool = Pool::with_threads(3);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.par_for_ranges(64, 1, |range| {
+                if range.contains(&17) {
+                    panic!("chunk failure");
+                }
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("non-str payload");
+        assert_eq!(message, "chunk failure");
+        // The pool stays usable after a panicked region.
+        let count = AtomicUsize::new(0);
+        pool.par_for_ranges(32, 1, |range| {
+            count.fetch_add(range.len(), Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn nested_regions_complete() {
+        let pool = Pool::with_threads(2);
+        let total = AtomicUsize::new(0);
+        pool.par_for_ranges(8, 1, |outer| {
+            for _ in outer {
+                pool.par_for_ranges(8, 1, |inner| {
+                    total.fetch_add(inner.len(), Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn concurrent_submissions_from_many_threads() {
+        let pool = Pool::with_threads(4);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..8 {
+                        pool.par_for_ranges(100, 1, |range| {
+                            total.fetch_add(range.len(), Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 4 * 8 * 100);
+    }
+
+    #[test]
+    fn env_parsing_rules() {
+        assert_eq!(threads_from(Some("4")), 4);
+        assert_eq!(threads_from(Some(" 2 ")), 2);
+        let auto = threads_from(None);
+        assert!(auto >= 1);
+        assert_eq!(threads_from(Some("0")), auto);
+        assert_eq!(threads_from(Some("not-a-number")), auto);
+    }
+
+    #[test]
+    fn pool_handle_resolves() {
+        let owned = PoolHandle::Owned(Arc::new(Pool::with_threads(2)));
+        assert_eq!(owned.get().threads(), 2);
+        assert_eq!(
+            PoolHandle::default().get().threads(),
+            Pool::global().threads()
+        );
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        assert!(std::ptr::eq(Pool::global(), Pool::global()));
+    }
+}

@@ -1,6 +1,8 @@
-//! Gram (kernel) matrix computation, parallelised across rows.
+//! Gram (kernel) matrix computation, parallelised across rows on the
+//! shared work-stealing pool.
 
 use crate::SparseCounts;
+use parallel::Pool;
 
 /// Which WL kernel to evaluate on a pair of feature maps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -79,21 +81,53 @@ impl GramMatrix {
     }
 }
 
-/// Computes the full Gram matrix of `features` under `kind`, using all
-/// available CPU parallelism.
+/// Computes the full Gram matrix of `features` under `kind` on the
+/// process-wide [`Pool::global`] (sized by `GRAPHHD_THREADS` or the
+/// machine).
 #[must_use]
 pub fn compute_gram(features: &[SparseCounts], kind: KernelKind) -> GramMatrix {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    compute_gram_with_threads(features, kind, threads)
+    compute_gram_with_pool(features, kind, Pool::global())
 }
 
-/// Computes the Gram matrix with an explicit thread count.
+/// Computes the Gram matrix on an explicit pool.
 ///
-/// Rows are dealt round-robin across threads (row `i` costs O(n − i), so
-/// interleaving balances load); only the upper triangle is computed and
-/// then mirrored.
+/// Each row is one stealable unit of work: row `i` costs O(n − i), and
+/// work stealing rebalances that skew regardless of how rows were dealt
+/// out initially (the previous round-robin static dealing systematically
+/// overloaded the first worker). Only the upper triangle is computed and
+/// then mirrored, and the result is bit-identical for every thread count
+/// because every cell is an independent pure function of `features`.
+#[must_use]
+pub fn compute_gram_with_pool(
+    features: &[SparseCounts],
+    kind: KernelKind,
+    pool: &Pool,
+) -> GramMatrix {
+    let n = features.len();
+    let mut values = vec![0.0f64; n * n];
+    if n == 0 {
+        return GramMatrix { n, values };
+    }
+    pool.par_chunks_mut(&mut values, n, |i, row| {
+        let fi = &features[i];
+        for (j, cell) in row.iter_mut().enumerate().skip(i) {
+            *cell = kind.eval(fi, &features[j]);
+        }
+    });
+    // Mirror the upper triangle.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            values[j * n + i] = values[i * n + j];
+        }
+    }
+    GramMatrix { n, values }
+}
+
+/// Computes the Gram matrix with an explicit thread count, on a transient
+/// pool of exactly that parallelism — the deterministic-benchmarking and
+/// regression-test entry point. Production paths should prefer
+/// [`compute_gram`] (shared global pool) or
+/// [`compute_gram_with_pool`].
 ///
 /// # Panics
 ///
@@ -105,37 +139,7 @@ pub fn compute_gram_with_threads(
     threads: usize,
 ) -> GramMatrix {
     assert!(threads > 0, "need at least one thread");
-    let n = features.len();
-    let mut values = vec![0.0f64; n * n];
-    if n == 0 {
-        return GramMatrix { n, values };
-    }
-    {
-        // Hand out disjoint row slices to worker threads.
-        let mut buckets: Vec<Vec<(usize, &mut [f64])>> = (0..threads).map(|_| Vec::new()).collect();
-        for (i, row) in values.chunks_mut(n).enumerate() {
-            buckets[i % threads].push((i, row));
-        }
-        std::thread::scope(|scope| {
-            for bucket in buckets {
-                scope.spawn(move || {
-                    for (i, row) in bucket {
-                        let fi = &features[i];
-                        for (j, cell) in row.iter_mut().enumerate().skip(i) {
-                            *cell = kind.eval(fi, &features[j]);
-                        }
-                    }
-                });
-            }
-        });
-    }
-    // Mirror the upper triangle.
-    for i in 0..n {
-        for j in (i + 1)..n {
-            values[j * n + i] = values[i * n + j];
-        }
-    }
-    GramMatrix { n, values }
+    compute_gram_with_pool(features, kind, &Pool::with_threads(threads))
 }
 
 #[cfg(test)]

@@ -36,6 +36,8 @@ mod gram;
 mod refine;
 mod sparse;
 
-pub use gram::{compute_gram, compute_gram_with_threads, GramMatrix, KernelKind};
+pub use gram::{
+    compute_gram, compute_gram_with_pool, compute_gram_with_threads, GramMatrix, KernelKind,
+};
 pub use refine::{wl_feature_series, wl_features, WlFeatures, WlRefinery};
 pub use sparse::SparseCounts;

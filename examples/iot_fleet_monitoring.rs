@@ -37,8 +37,8 @@ fn batch(rng: &mut Xoshiro256PlusPlus, size: usize) -> (Vec<Graph>, Vec<u32>) {
     (graphs, labels)
 }
 
-fn accuracy(model: &GraphHdModel, graphs: &[&Graph], labels: &[u32]) -> f64 {
-    let predictions = model.predict_all(graphs);
+fn accuracy(model: &GraphHdModel, graphs: &[Graph], labels: &[u32]) -> f64 {
+    let predictions = model.predict_batch(graphs);
     predictions
         .iter()
         .zip(labels)
@@ -52,20 +52,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Cold start: a small bootstrap sample labeled by the security team.
     let (boot_graphs, boot_labels) = batch(&mut rng, 30);
-    let boot_refs: Vec<&Graph> = boot_graphs.iter().collect();
-    let mut model = GraphHdModel::fit(GraphHdConfig::default(), &boot_refs, &boot_labels, 2)?;
-    println!("bootstrap model trained on {} graphs", boot_refs.len());
+    let mut model = GraphHdModel::fit(GraphHdConfig::default(), &boot_graphs, &boot_labels, 2)?;
+    println!("bootstrap model trained on {} graphs", boot_graphs.len());
 
     // Online operation: batches stream in; the hub encodes once and
     // retrains only on its mistakes (cheap integer updates — the reason
     // HDC suits edge hardware).
     for round in 1..=5 {
         let (graphs, labels) = batch(&mut rng, 40);
-        let refs: Vec<&Graph> = graphs.iter().collect();
-        let before = accuracy(&model, &refs, &labels);
-        let encodings = model.encoder().encode_all(&refs);
+        let before = accuracy(&model, &graphs, &labels);
+        let encodings = model.encoder().encode_all(&graphs);
         let report = model.retrain(&encodings, &labels, 3);
-        let after = accuracy(&model, &refs, &labels);
+        let after = accuracy(&model, &graphs, &labels);
         println!(
             "round {round}: accuracy {before:.2} -> {after:.2} \
              (mistakes per epoch: {:?})",
@@ -76,9 +74,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fault injection: flip 10% of the class-vector bits, as if the
     // device memory degraded, and check the model still works.
     let (eval_graphs, eval_labels) = batch(&mut rng, 100);
-    let eval_refs: Vec<&Graph> = eval_graphs.iter().collect();
-    let clean = accuracy(&model, &eval_refs, &eval_labels);
-    let noisy = noise::accuracy_under_model_noise(&model, &eval_refs, &eval_labels, 0.10, 7);
+    let clean = accuracy(&model, &eval_graphs, &eval_labels);
+    let noisy = noise::accuracy_under_model_noise(&model, &eval_graphs, &eval_labels, 0.10, 7);
     println!("\nfresh-traffic accuracy: clean {clean:.2}, with 10% flipped bits {noisy:.2}");
     println!("holographic representations degrade gracefully — the HDC robustness claim.");
     Ok(())

@@ -19,11 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graphs.push(generate::barabasi_albert(30, 2, &mut rng)?);
         labels.push(1u32);
     }
-    let refs: Vec<&graphcore::Graph> = graphs.iter().collect();
-
     // 2. Train: the paper's full configuration is the default —
     //    10,000-dimensional bipolar hypervectors, 10 PageRank iterations.
-    let model = GraphHdModel::fit(GraphHdConfig::default(), &refs, &labels, 2)?;
+    let model = GraphHdModel::fit(GraphHdConfig::default(), &graphs, &labels, 2)?;
     println!(
         "trained {} class vectors of dimension {}",
         model.num_classes(),

@@ -7,6 +7,8 @@
 //!
 //! This crate is an umbrella that re-exports the workspace members:
 //!
+//! - [`parallel`] — the persistent work-stealing pool every hot path
+//!   (batch encoding, Gram matrices, training, prediction, CV) runs on;
 //! - [`prng`] — deterministic randomness (SplitMix64, xoshiro256++);
 //! - [`hdvec`] — bit-packed bipolar hypervectors and the HDC operations;
 //! - [`graphcore`] — CSR graphs, random generators, PageRank, TUDataset
@@ -30,8 +32,7 @@
 //! use graphhd_suite::graphcore::generate;
 //!
 //! let graphs = vec![generate::complete(8), generate::path(8)];
-//! let refs: Vec<_> = graphs.iter().collect();
-//! let model = GraphHdModel::fit(GraphHdConfig::default(), &refs, &[0, 1], 2)?;
+//! let model = GraphHdModel::fit(GraphHdConfig::default(), &graphs, &[0, 1], 2)?;
 //! assert_eq!(model.predict(&generate::complete(10)), 0);
 //! # Ok::<(), graphhd_suite::graphhd::TrainError>(())
 //! ```
@@ -42,6 +43,7 @@ pub use graphcore;
 pub use graphhd;
 pub use hdvec;
 pub use kernelsvm;
+pub use parallel;
 pub use prng;
 pub use tinynn;
 pub use wlkernels;

@@ -26,10 +26,9 @@ fn surrogate_roundtrips_through_tudataset_files_and_trains() {
     assert_eq!(roundtripped.labels(), dataset.labels());
 
     // The loaded dataset drives the pipeline exactly like the original.
-    let refs: Vec<&graphcore::Graph> = roundtripped.graphs().iter().collect();
     let model = GraphHdModel::fit(
         GraphHdConfig::with_dim(2048),
-        &refs,
+        roundtripped.graphs(),
         roundtripped.labels(),
         roundtripped.num_classes(),
     )
