@@ -21,6 +21,11 @@ fn bench_hdc_ops(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("cosine", dim), &dim, |bencher, _| {
             bencher.iter(|| black_box(&a).cosine(black_box(&b)));
         });
+        // The raw fused XOR+popcount kernel, without the dot/cosine
+        // arithmetic on top — the unit the SIMD backend dispatches.
+        group.bench_with_input(BenchmarkId::new("hamming", dim), &dim, |bencher, _| {
+            bencher.iter(|| black_box(&a).hamming(black_box(&b)));
+        });
         group.bench_with_input(BenchmarkId::new("permute", dim), &dim, |bencher, _| {
             bencher.iter(|| black_box(&a).permute(black_box(13)));
         });

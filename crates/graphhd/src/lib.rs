@@ -49,6 +49,7 @@ pub mod labeled;
 mod model;
 pub mod noise;
 pub mod prototypes;
+mod select;
 
 pub use classifier::GraphHdClassifier;
 pub use config::{CentralityKind, GraphHdConfig};

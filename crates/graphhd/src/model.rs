@@ -1,9 +1,10 @@
 //! GraphHD training (Algorithm 1) and inference, plus the retraining
 //! extension (future-work direction 1 of Section VII).
 
+use crate::select::argmax_tie_low;
 use crate::{GraphEncoder, GraphHdConfig};
 use graphcore::Graph;
-use hdvec::{Accumulator, Hypervector};
+use hdvec::{Accumulator, ClassMemory, Hypervector};
 use std::borrow::Borrow;
 
 /// Below this many samples per chunk, sharding the class accumulators
@@ -90,7 +91,11 @@ impl RetrainReport {
 pub struct GraphHdModel {
     encoder: GraphEncoder,
     class_accumulators: Vec<Accumulator>,
-    class_vectors: Vec<Hypervector>,
+    /// The single store of the trained class vectors: contiguous copies
+    /// for per-vector access plus the word-interleaved lanes the blocked
+    /// multi-query scoring runs on. Retraining rewrites the affected
+    /// entries in place via [`ClassMemory::set`].
+    class_memory: ClassMemory,
 }
 
 impl GraphHdModel {
@@ -141,8 +146,10 @@ impl GraphHdModel {
     ///
     /// # Panics
     ///
-    /// Panics if lengths mismatch or labels are out of range (callers
-    /// going through [`fit`](Self::fit) are validated with errors).
+    /// Panics if lengths mismatch, labels are out of range, or
+    /// `num_classes == 0` (a model needs at least one class-memory lane;
+    /// callers going through [`fit`](Self::fit) are validated with
+    /// errors).
     #[must_use]
     pub fn fit_encoded(
         encoder: GraphEncoder,
@@ -179,14 +186,16 @@ impl GraphHdModel {
             },
         );
         let tie = encoder.config().tie_break;
-        let class_vectors = class_accumulators
+        let class_vectors: Vec<Hypervector> = class_accumulators
             .iter()
             .map(|acc| acc.to_hypervector(tie))
             .collect();
+        let class_memory =
+            ClassMemory::from_vectors(&class_vectors).expect("at least one validated class");
         Self {
             encoder,
             class_accumulators,
-            class_vectors,
+            class_memory,
         }
     }
 
@@ -244,19 +253,31 @@ impl GraphHdModel {
     /// Number of classes.
     #[must_use]
     pub fn num_classes(&self) -> usize {
-        self.class_vectors.len()
+        self.class_memory.len()
     }
 
     /// The trained class vectors.
     #[must_use]
     pub fn class_vectors(&self) -> &[Hypervector] {
-        &self.class_vectors
+        self.class_memory.vectors()
     }
 
     /// Cosine similarity of an already-encoded query to every class.
+    ///
+    /// Runs on the blocked [`ClassMemory`] engine: each query word is
+    /// read once per 8-class block instead of once per class, and the
+    /// XOR+popcount kernel underneath is SIMD-dispatched. Bit-identical
+    /// to the naive per-class [`Hypervector::cosine`] loop.
     #[must_use]
     pub fn scores_encoded(&self, query: &Hypervector) -> Vec<f64> {
-        self.class_vectors.iter().map(|c| c.cosine(query)).collect()
+        self.class_memory.cosine_many(query)
+    }
+
+    /// As [`scores_encoded`](Self::scores_encoded), writing into a
+    /// caller-provided buffer — the allocation-free entry point for
+    /// serving loops that score many queries against one model.
+    pub fn scores_encoded_into(&self, query: &Hypervector, out: &mut Vec<f64>) {
+        self.class_memory.cosine_many_into(query, out);
     }
 
     /// Cosine similarity of a graph to every class vector.
@@ -269,14 +290,7 @@ impl GraphHdModel {
     /// lower class id).
     #[must_use]
     pub fn predict_encoded(&self, query: &Hypervector) -> u32 {
-        let scores = self.scores_encoded(query);
-        let mut best = 0usize;
-        for (i, &s) in scores.iter().enumerate().skip(1) {
-            if s > scores[best] {
-                best = i;
-            }
-        }
-        best as u32
+        argmax_tie_low(&self.scores_encoded(query)).expect("models always have >= 1 class") as u32
     }
 
     /// Predicts the class of a graph — `pred(y)` of Section III-C.
@@ -302,7 +316,9 @@ impl GraphHdModel {
         self.predict_all(graphs)
     }
 
-    /// Scores and classifies many already-encoded queries in parallel.
+    /// Scores and classifies many already-encoded queries: parallel over
+    /// queries on the model's pool, blocked+SIMD within each query via
+    /// [`ClassMemory`].
     #[must_use]
     pub fn predict_encoded_all(&self, queries: &[Hypervector]) -> Vec<u32> {
         self.encoder
@@ -374,10 +390,16 @@ impl GraphHdModel {
                         let hv = &encodings[sample];
                         self.class_accumulators[label as usize].add(hv);
                         self.class_accumulators[predicted as usize].sub(hv);
-                        self.class_vectors[label as usize] =
-                            self.class_accumulators[label as usize].to_hypervector(tie);
-                        self.class_vectors[predicted as usize] =
-                            self.class_accumulators[predicted as usize].to_hypervector(tie);
+                        // Re-threshold the two touched classes and write
+                        // them back into their scoring lanes.
+                        self.class_memory.set(
+                            label as usize,
+                            &self.class_accumulators[label as usize].to_hypervector(tie),
+                        );
+                        self.class_memory.set(
+                            predicted as usize,
+                            &self.class_accumulators[predicted as usize].to_hypervector(tie),
+                        );
                         // The model changed: predictions speculated past
                         // this sample are stale. Resume after it.
                         advanced = sample + 1;
@@ -406,8 +428,10 @@ impl GraphHdModel {
     #[must_use]
     pub fn with_noisy_class_vectors<R: prng::WordRng>(&self, rate: f64, rng: &mut R) -> Self {
         let mut noisy = self.clone();
-        for class_vector in &mut noisy.class_vectors {
+        for class in 0..noisy.num_classes() {
+            let mut class_vector = noisy.class_memory.get(class).clone();
             class_vector.add_noise(rate, rng);
+            noisy.class_memory.set(class, &class_vector);
         }
         noisy
     }
@@ -624,10 +648,14 @@ mod tests {
                     errors += 1;
                     reference.class_accumulators[label as usize].add(hv);
                     reference.class_accumulators[predicted as usize].sub(hv);
-                    reference.class_vectors[label as usize] =
-                        reference.class_accumulators[label as usize].to_hypervector(tie);
-                    reference.class_vectors[predicted as usize] =
-                        reference.class_accumulators[predicted as usize].to_hypervector(tie);
+                    reference.class_memory.set(
+                        label as usize,
+                        &reference.class_accumulators[label as usize].to_hypervector(tie),
+                    );
+                    reference.class_memory.set(
+                        predicted as usize,
+                        &reference.class_accumulators[predicted as usize].to_hypervector(tie),
+                    );
                 }
             }
             reference_errors.push(errors);
@@ -651,6 +679,42 @@ mod tests {
                 reference.class_vectors(),
                 "class vectors diverged at {threads} threads"
             );
+        }
+    }
+
+    #[test]
+    fn scores_encoded_matches_naive_cosine_loop() {
+        // The blocked ClassMemory engine must be bit-identical to the
+        // per-class cosine loop at 1, 2 and 23 classes (partial block,
+        // exact block boundary crossed at 8/16, odd tail).
+        use hdvec::ItemMemory;
+        for &classes in &[1usize, 2, 23] {
+            let dim = 1024;
+            let items = ItemMemory::new(dim, 77).expect("valid dimension");
+            let encodings: Vec<Hypervector> = (0..4 * classes as u64)
+                .map(|i| items.hypervector(i))
+                .collect();
+            let labels: Vec<u32> = (0..encodings.len()).map(|i| (i % classes) as u32).collect();
+            let encoder = GraphEncoder::new(GraphHdConfig::with_dim(dim)).expect("valid config");
+            let model = GraphHdModel::fit_encoded(encoder, &encodings, &labels, classes);
+            let query = items.hypervector(1_000_000);
+            let naive: Vec<f64> = model
+                .class_vectors()
+                .iter()
+                .map(|c| c.cosine(&query))
+                .collect();
+            assert_eq!(model.scores_encoded(&query), naive, "classes {classes}");
+            let mut buffer = Vec::new();
+            model.scores_encoded_into(&query, &mut buffer);
+            assert_eq!(buffer, naive, "into-variant classes {classes}");
+            // First-maximum scan: the documented tie-to-lower-id rule.
+            let mut expected = 0usize;
+            for (i, &s) in naive.iter().enumerate().skip(1) {
+                if s > naive[expected] {
+                    expected = i;
+                }
+            }
+            assert_eq!(model.predict_encoded(&query), expected as u32);
         }
     }
 

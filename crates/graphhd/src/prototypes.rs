@@ -8,9 +8,10 @@
 //! new prototype. Inference takes the class of the most similar prototype
 //! overall.
 
+use crate::select::argmax_tie_low;
 use crate::{GraphEncoder, GraphHdConfig, TrainError};
 use graphcore::Graph;
-use hdvec::{Accumulator, Hypervector};
+use hdvec::{Accumulator, ClassMemory, Hypervector};
 use std::borrow::Borrow;
 
 /// Configuration of the multi-prototype extension.
@@ -69,7 +70,11 @@ pub struct MultiPrototypeModel {
     encoder: GraphEncoder,
     config: PrototypeConfig,
     accumulators: Vec<Vec<Accumulator>>,
-    vectors: Vec<Vec<Hypervector>>,
+    /// All prototype vectors of all classes flattened (class-major) into
+    /// one blocked similarity memory — the single store of the trained
+    /// prototypes; `lane_class[i]` maps lane `i` back to its class.
+    memory: ClassMemory,
+    lane_class: Vec<u32>,
 }
 
 impl MultiPrototypeModel {
@@ -140,12 +145,34 @@ impl MultiPrototypeModel {
                 }
             }
         }
+        // Flatten the per-class working vectors class-major into the
+        // blocked scoring memory; lane order matches the
+        // class-then-prototype iteration the naive loop used, so the
+        // tie-break is unchanged.
+        let mut memory =
+            ClassMemory::new(config.base.dim).expect("dimension validated at encoder construction");
+        let mut lane_class = Vec::new();
+        for (class, prototypes) in vectors.iter().enumerate() {
+            for prototype in prototypes {
+                memory.push(prototype);
+                lane_class.push(class as u32);
+            }
+        }
         Ok(Self {
             encoder,
             config,
             accumulators,
-            vectors,
+            memory,
+            lane_class,
         })
+    }
+
+    /// The class of the most similar prototype lane (ties to the lowest
+    /// lane, i.e. the lowest class then the earliest-spawned prototype).
+    fn classify(&self, query: &Hypervector) -> u32 {
+        let scores = self.memory.cosine_many(query);
+        let lane = argmax_tie_low(&scores).expect("training allocates >= 1 prototype");
+        self.lane_class[lane]
     }
 
     /// The configuration.
@@ -157,7 +184,7 @@ impl MultiPrototypeModel {
     /// Prototypes per class actually allocated.
     #[must_use]
     pub fn prototype_counts(&self) -> Vec<usize> {
-        self.vectors.iter().map(Vec::len).collect()
+        self.accumulators.iter().map(Vec::len).collect()
     }
 
     /// Training samples absorbed per class (across its prototypes).
@@ -170,43 +197,21 @@ impl MultiPrototypeModel {
     }
 
     /// Predicts the class of a graph: the class owning the most similar
-    /// prototype.
+    /// prototype, scored on the blocked [`ClassMemory`] engine.
     #[must_use]
     pub fn predict(&self, graph: &Graph) -> u32 {
-        let query = self.encoder.encode(graph);
-        let mut best_class = 0u32;
-        let mut best_similarity = f64::NEG_INFINITY;
-        for (class, prototypes) in self.vectors.iter().enumerate() {
-            for prototype in prototypes {
-                let similarity = prototype.cosine(&query);
-                if similarity > best_similarity {
-                    best_similarity = similarity;
-                    best_class = class as u32;
-                }
-            }
-        }
-        best_class
+        self.classify(&self.encoder.encode(graph))
     }
 
     /// Predicts many graphs, encoding and scoring in parallel on the
-    /// encoder's pool. Accepts both `&[Graph]` and `&[&Graph]`.
+    /// encoder's pool (blocked+SIMD within each query). Accepts both
+    /// `&[Graph]` and `&[&Graph]`.
     #[must_use]
     pub fn predict_all<G: Borrow<Graph> + Sync>(&self, graphs: &[G]) -> Vec<u32> {
         let encodings = self.encoder.encode_all(graphs);
-        self.encoder.pool().par_map_chunked(&encodings, 8, |hv| {
-            let mut best_class = 0u32;
-            let mut best_similarity = f64::NEG_INFINITY;
-            for (class, prototypes) in self.vectors.iter().enumerate() {
-                for prototype in prototypes {
-                    let similarity = prototype.cosine(hv);
-                    if similarity > best_similarity {
-                        best_similarity = similarity;
-                        best_class = class as u32;
-                    }
-                }
-            }
-            best_class
-        })
+        self.encoder
+            .pool()
+            .par_map_chunked(&encodings, 8, |hv| self.classify(hv))
     }
 
     /// Batch prediction over owned graphs (see
@@ -278,6 +283,32 @@ mod tests {
         );
         // All samples are accounted for.
         assert_eq!(model.samples_per_class(), vec![16, 8]);
+    }
+
+    #[test]
+    fn blocked_scoring_matches_naive_prototype_loop() {
+        let (graphs, labels) = bimodal();
+        let config = PrototypeConfig {
+            base: GraphHdConfig::with_dim(4096),
+            max_prototypes: 4,
+            spawn_threshold: 0.5,
+        };
+        let model = MultiPrototypeModel::fit(config, &graphs, &labels, 2).expect("valid");
+        for graph in &graphs {
+            let query = model.encoder.encode(graph);
+            // The pre-ClassMemory reference: class-major prototype scan
+            // with strict-greater updates (lane order preserves it).
+            let mut best_class = 0u32;
+            let mut best_similarity = f64::NEG_INFINITY;
+            for (lane, &class) in model.lane_class.iter().enumerate() {
+                let similarity = model.memory.get(lane).cosine(&query);
+                if similarity > best_similarity {
+                    best_similarity = similarity;
+                    best_class = class;
+                }
+            }
+            assert_eq!(model.classify(&query), best_class);
+        }
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! Deterministic winner selection over similarity scores.
+
+/// Index of the maximum score, with ties resolved to the **lowest**
+/// index — the one argmax rule every GraphHD decision path
+/// (`predict_encoded`, batch prediction, retraining, multi-prototype
+/// inference) funnels through, so the tie-break semantics cannot drift
+/// between the naive and the blocked scoring engines.
+///
+/// Returns `None` only for an empty slice. Comparison is the historical
+/// strict `>` scan: a NaN never *displaces* the running best (every
+/// comparison against NaN is false), which also means a NaN in the first
+/// slot is never displaced — cosine scores are always finite, so this
+/// edge exists only to pin the semantics.
+#[must_use]
+pub(crate) fn argmax_tie_low(scores: &[f64]) -> Option<usize> {
+    let mut indices = 0..scores.len();
+    let mut best = indices.next()?;
+    for i in indices {
+        if scores[i] > scores[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_winner() {
+        assert_eq!(argmax_tie_low(&[]), None);
+    }
+
+    #[test]
+    fn single_element_wins() {
+        assert_eq!(argmax_tie_low(&[-3.5]), Some(0));
+    }
+
+    #[test]
+    fn maximum_wins() {
+        assert_eq!(argmax_tie_low(&[0.1, 0.9, 0.4]), Some(1));
+        assert_eq!(argmax_tie_low(&[2.0, -1.0, 0.0]), Some(0));
+    }
+
+    #[test]
+    fn ties_go_to_the_lower_index() {
+        assert_eq!(argmax_tie_low(&[0.5, 0.7, 0.7, 0.7]), Some(1));
+        assert_eq!(argmax_tie_low(&[0.7, 0.7]), Some(0));
+    }
+
+    #[test]
+    fn nan_never_displaces_the_running_best() {
+        assert_eq!(argmax_tie_low(&[0.1, f64::NAN, 0.05]), Some(0));
+        // A leading NaN is likewise never displaced (strict `>` is false
+        // both ways); pinned for determinism, unreachable from cosine.
+        assert_eq!(argmax_tie_low(&[f64::NAN, 0.1, 0.2]), Some(0));
+    }
+
+    #[test]
+    fn negative_infinity_loses_to_anything_comparable() {
+        assert_eq!(argmax_tie_low(&[f64::NEG_INFINITY, -1e308]), Some(1));
+    }
+}

@@ -1,5 +1,6 @@
 //! Bundling accumulators: exact element-wise majority voting.
 
+use crate::backend::{Backend, TieWords};
 use crate::{HdvError, Hypervector};
 
 /// Policy for resolving per-dimension ties when an [`Accumulator`] is
@@ -141,37 +142,10 @@ impl Accumulator {
             hv.dim(),
             self.dim()
         );
-        // Per packed word (bit=1 ⇔ −1): credit every counter with +weight
-        // in a branch-free (vectorizable) pass, then walk only the set
-        // bits to turn their +weight into −weight. Constant words skip a
-        // pass entirely.
-        for (word_idx, &word) in hv.words().iter().enumerate() {
-            let base = word_idx * 64;
-            let upper = usize::min(base + 64, self.counts.len());
-            let chunk = &mut self.counts[base..upper];
-            if word == 0 {
-                for count in chunk.iter_mut() {
-                    *count += weight;
-                }
-            } else if word == !0u64 && chunk.len() == 64 {
-                for count in chunk.iter_mut() {
-                    *count -= weight;
-                }
-            } else {
-                for count in chunk.iter_mut() {
-                    *count += weight;
-                }
-                let mut bits = word;
-                while bits != 0 {
-                    // The storage invariant keeps tail bits clear, so every
-                    // set bit indexes a valid counter of this chunk.
-                    let bit = bits.trailing_zeros() as usize;
-                    chunk[bit] -= weight;
-                    chunk[bit] -= weight;
-                    bits &= bits - 1;
-                }
-            }
-        }
+        // Per packed word (bit=1 ⇔ −1): ±weight across 64 counters at a
+        // time on the dispatched backend (sign-select vectors on AVX2, a
+        // branch-free credit pass plus set-bit fixups scalar).
+        Backend::active().add_weighted(&mut self.counts, hv.words(), weight);
         self.added = self.added.saturating_add_signed(i64::from(weight));
     }
 
@@ -206,33 +180,20 @@ impl Accumulator {
     #[must_use]
     pub fn to_hypervector(&self, tie_break: TieBreak) -> Hypervector {
         let dim = self.dim();
-        let tie = match tie_break {
-            TieBreak::Positive => None,
-            TieBreak::Negative => None,
+        let pattern = match tie_break {
+            TieBreak::Positive | TieBreak::Negative => None,
             TieBreak::Seeded(seed) => Some(Hypervector::tie_pattern(dim, seed)),
         };
-        // Assemble 64 thresholded dimensions per word; ties take the word
-        // of the tie pattern (or a constant word for Positive/Negative).
-        let mut words = Vec::with_capacity(dim.div_ceil(64));
-        for (word_idx, chunk) in self.counts.chunks(64).enumerate() {
-            let tie_word = match (&tie, tie_break) {
-                (Some(pattern), _) => pattern.words()[word_idx],
-                (None, TieBreak::Negative) => !0u64,
-                (None, _) => 0u64,
-            };
-            let mut word = 0u64;
-            for (bit, &c) in chunk.iter().enumerate() {
-                let negative = match c.cmp(&0) {
-                    core::cmp::Ordering::Less => true,
-                    core::cmp::Ordering::Greater => false,
-                    core::cmp::Ordering::Equal => (tie_word >> bit) & 1 == 1,
-                };
-                word |= u64::from(negative) << bit;
-            }
-            words.push(word);
-        }
-        // The last chunk is `dim % 64` counters long, so tail bits beyond
-        // `dim` are never set and the storage invariant holds by shape.
+        let tie = match (&pattern, tie_break) {
+            (Some(p), _) => TieWords::Pattern(p.words()),
+            (None, TieBreak::Negative) => TieWords::Constant(!0u64),
+            (None, _) => TieWords::Constant(0u64),
+        };
+        // Assemble 64 thresholded dimensions per word on the dispatched
+        // backend; ties take the matching bit of the tie source. The last
+        // chunk is `dim % 64` counters long, so tail bits beyond `dim`
+        // are never set and the storage invariant holds by shape.
+        let words = Backend::active().threshold(&self.counts, tie);
         Hypervector::from_raw(dim, words)
     }
 }

@@ -1,0 +1,788 @@
+//! Runtime-dispatched kernel backends for the packed-word hot paths.
+//!
+//! Every similarity, bundling and packing operation in this crate reduces
+//! to a handful of bulk kernels over `u64` words (XOR+popcount, signed
+//! counter updates, thresholding, sign packing). This module provides two
+//! implementations of each:
+//!
+//! - **Scalar** — portable Rust, the *source of truth*. The popcount
+//!   kernels use an unrolled Harley–Seal carry-save-adder tree (16 words
+//!   per round), which cuts the number of `count_ones` invocations ~4×;
+//!   that matters on targets where `count_ones` lowers to the SWAR
+//!   bit-twiddling sequence rather than a `popcnt` instruction.
+//! - **Avx2** — `std::arch` intrinsics (AVX2 + POPCNT, via the positional
+//!   nibble-lookup popcount of Muła et al.), selected at runtime with
+//!   `is_x86_feature_detected!`.
+//!
+//! Dispatch happens once per process: [`Backend::active`] caches the
+//! detected backend, and setting the environment variable
+//! `GRAPHHD_FORCE_SCALAR` (to anything but `0` or the empty string)
+//! pins the scalar reference — the differential-testing and
+//! benchmarking switch. Tests compare backends directly by value:
+//! [`Backend::scalar`] versus every entry of [`Backend::available`], so
+//! they do not depend on process-global environment state.
+//!
+//! The SIMD paths are required to be **bit-identical** to the scalar
+//! reference for every input; `tests/backend_differential.rs` enforces
+//! this across word-boundary dimension grids.
+
+// The workspace denies `unsafe_code`; `std::arch` intrinsics are unsafe
+// by construction, so this one module opts out. Every unsafe block must
+// still carry a SAFETY comment (clippy::undocumented_unsafe_blocks is
+// denied workspace-wide).
+#![allow(unsafe_code)]
+
+use std::sync::OnceLock;
+
+/// Number of vectors interleaved per block by
+/// [`ClassMemory`](crate::ClassMemory); the block kernels below are
+/// written against this width (8 × u64 = two 256-bit lanes).
+pub const BLOCK_LANES: usize = 8;
+
+/// Tie-resolution input for the [`Backend::threshold`] kernel: for each
+/// 64-counter chunk, the word whose bits decide zero-count dimensions.
+#[derive(Debug, Clone, Copy)]
+pub enum TieWords<'a> {
+    /// Every chunk uses the same tie word (all-zeros resolves ties to +1,
+    /// all-ones to −1).
+    Constant(u64),
+    /// Chunk `i` uses `pattern[i]` (the seeded pseudo-random policy).
+    Pattern(&'a [u64]),
+}
+
+impl TieWords<'_> {
+    #[inline]
+    fn word(&self, chunk: usize) -> u64 {
+        match self {
+            TieWords::Constant(w) => *w,
+            TieWords::Pattern(p) => p[chunk],
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Scalar,
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+/// A kernel implementation selected at runtime.
+///
+/// The inner kind is private so that the AVX2 variant can only be
+/// obtained through [`Backend::detect`] / [`Backend::available`], both of
+/// which verify the CPU features first — that containment is what makes
+/// the `unsafe` intrinsic calls below sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backend(Kind);
+
+impl Backend {
+    /// The portable scalar reference backend (always available).
+    #[must_use]
+    pub fn scalar() -> Self {
+        Backend(Kind::Scalar)
+    }
+
+    /// The fastest backend supported by the running CPU.
+    #[must_use]
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("popcnt") {
+                return Backend(Kind::Avx2);
+            }
+        }
+        Backend(Kind::Scalar)
+    }
+
+    /// Every backend usable on the running CPU, scalar first — the
+    /// iteration set for differential tests.
+    #[must_use]
+    pub fn available() -> Vec<Backend> {
+        let mut backends = vec![Backend::scalar()];
+        let best = Backend::detect();
+        if best != Backend::scalar() {
+            backends.push(best);
+        }
+        backends
+    }
+
+    /// The process-wide backend: [`detect`](Self::detect), unless
+    /// `GRAPHHD_FORCE_SCALAR` pins the scalar reference. Resolved once
+    /// and cached.
+    #[must_use]
+    pub fn active() -> Self {
+        static ACTIVE: OnceLock<Backend> = OnceLock::new();
+        *ACTIVE.get_or_init(|| match std::env::var("GRAPHHD_FORCE_SCALAR") {
+            Ok(v) if !v.is_empty() && v != "0" => Backend::scalar(),
+            _ => Backend::detect(),
+        })
+    }
+
+    /// A short human-readable name (`"scalar"` / `"avx2"`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self.0 {
+            Kind::Scalar => "scalar",
+            #[cfg(target_arch = "x86_64")]
+            Kind::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether this backend uses explicit SIMD intrinsics.
+    #[must_use]
+    pub fn is_simd(self) -> bool {
+        self != Backend::scalar()
+    }
+
+    /// Fused XOR + popcount over two equal-length word slices — the
+    /// Hamming-distance kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    #[must_use]
+    pub fn hamming(self, a: &[u64], b: &[u64]) -> u64 {
+        assert_eq!(a.len(), b.len(), "hamming kernel needs equal word counts");
+        match self.0 {
+            Kind::Scalar => scalar::hamming(a, b),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Kind::Avx2` values are only created by `detect()`
+            // after `is_x86_feature_detected!` confirmed AVX2 and POPCNT.
+            Kind::Avx2 => unsafe { avx2::hamming(a, b) },
+        }
+    }
+
+    /// Popcount over a word slice (the `count_negative` kernel).
+    #[must_use]
+    pub fn popcount(self, words: &[u64]) -> u64 {
+        match self.0 {
+            Kind::Scalar => scalar::popcount(words),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Kind::Avx2` implies runtime-verified AVX2+POPCNT.
+            Kind::Avx2 => unsafe { avx2::popcount(words) },
+        }
+    }
+
+    /// In-place XOR (`dst[i] ^= src[i]`) — the binding kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    pub fn xor_assign(self, dst: &mut [u64], src: &[u64]) {
+        assert_eq!(dst.len(), src.len(), "xor kernel needs equal word counts");
+        match self.0 {
+            Kind::Scalar => scalar::xor_assign(dst, src),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Kind::Avx2` implies runtime-verified AVX2+POPCNT.
+            Kind::Avx2 => unsafe { avx2::xor_assign(dst, src) },
+        }
+    }
+
+    /// Signed counter update: `counts[i] += weight` where bit `i` of
+    /// `words` is clear, `counts[i] -= weight` where it is set. `counts`
+    /// may be shorter than `64 * words.len()` (partial tail word); bits
+    /// beyond `counts.len()` must be clear, which is the hypervector
+    /// storage invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly `counts.len().div_ceil(64)` long.
+    pub fn add_weighted(self, counts: &mut [i32], words: &[u64], weight: i32) {
+        assert_eq!(
+            words.len(),
+            counts.len().div_ceil(64),
+            "counter update needs one word per 64 counters"
+        );
+        match self.0 {
+            Kind::Scalar => scalar::add_weighted(counts, words, weight),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Kind::Avx2` implies runtime-verified AVX2+POPCNT.
+            Kind::Avx2 => unsafe { avx2::add_weighted(counts, words, weight) },
+        }
+    }
+
+    /// Thresholds signed counters into packed sign words: bit `i` of the
+    /// output is 1 (component −1) when `counts[i] < 0`, 0 when positive,
+    /// and takes the matching bit of `tie` when the counter is zero.
+    /// Output bits beyond `counts.len()` are clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`TieWords::Pattern`] holds fewer than one word per
+    /// 64-counter chunk.
+    #[must_use]
+    pub fn threshold(self, counts: &[i32], tie: TieWords<'_>) -> Vec<u64> {
+        if let TieWords::Pattern(pattern) = tie {
+            assert!(
+                pattern.len() >= counts.len().div_ceil(64),
+                "tie pattern needs one word per 64 counters"
+            );
+        }
+        match self.0 {
+            Kind::Scalar => scalar::threshold(counts, tie),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Kind::Avx2` implies runtime-verified AVX2+POPCNT.
+            Kind::Avx2 => unsafe { avx2::threshold(counts, tie) },
+        }
+    }
+
+    /// Packs ±1 components into sign words (bit = 1 ⇔ −1). On the first
+    /// value that is neither +1 nor −1, returns `Err((index, value))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the index and value of the first invalid component.
+    pub fn pack_components(self, components: &[i8]) -> Result<Vec<u64>, (usize, i8)> {
+        match self.0 {
+            Kind::Scalar => scalar::pack_components(components),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Kind::Avx2` implies runtime-verified AVX2+POPCNT.
+            Kind::Avx2 => unsafe { avx2::pack_components(components) },
+        }
+    }
+
+    /// The multi-query building block: accumulates, for each of the
+    /// [`BLOCK_LANES`] vectors interleaved in `block`
+    /// (`block[w * BLOCK_LANES + lane]` is word `w` of vector `lane`),
+    /// the XOR-popcount against `query` into `acc`. Each query word is
+    /// loaded once and streamed across all lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len() != query.len() * BLOCK_LANES`.
+    pub fn hamming_block(self, query: &[u64], block: &[u64], acc: &mut [u64; BLOCK_LANES]) {
+        assert_eq!(
+            block.len(),
+            query.len() * BLOCK_LANES,
+            "interleaved block must hold BLOCK_LANES words per query word"
+        );
+        match self.0 {
+            Kind::Scalar => scalar::hamming_block(query, block, acc),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `Kind::Avx2` implies runtime-verified AVX2+POPCNT.
+            Kind::Avx2 => unsafe { avx2::hamming_block(query, block, acc) },
+        }
+    }
+}
+
+/// Portable reference kernels. Exact by construction; every other backend
+/// is tested bit-identical against these.
+mod scalar {
+    use super::{TieWords, BLOCK_LANES};
+
+    /// Carry-save adder: compresses three equal-weight words into a sum
+    /// word (same weight) and a carry word (double weight).
+    #[inline(always)]
+    fn csa(a: u64, b: u64, c: u64) -> (u64, u64) {
+        let partial = a ^ b;
+        (partial ^ c, (a & b) | (partial & c))
+    }
+
+    /// Harley–Seal popcount over `len` words produced by `word(i)`:
+    /// a 16-word CSA tree per round turns 16 `count_ones` calls into one
+    /// (plus four at drain time). Exact for any input.
+    #[inline(always)]
+    fn harley_seal<F: FnMut(usize) -> u64>(len: usize, mut word: F) -> u64 {
+        let (mut ones, mut twos, mut fours, mut eights) = (0u64, 0u64, 0u64, 0u64);
+        let mut total = 0u64;
+        let rounds = len / 16;
+        for r in 0..rounds {
+            let base = r * 16;
+            let mut twos_a;
+            let mut twos_b;
+            let mut fours_a;
+            let mut fours_b;
+            let eights_a;
+            let eights_b;
+            (ones, twos_a) = csa(ones, word(base), word(base + 1));
+            (ones, twos_b) = csa(ones, word(base + 2), word(base + 3));
+            (twos, fours_a) = csa(twos, twos_a, twos_b);
+            (ones, twos_a) = csa(ones, word(base + 4), word(base + 5));
+            (ones, twos_b) = csa(ones, word(base + 6), word(base + 7));
+            (twos, fours_b) = csa(twos, twos_a, twos_b);
+            (fours, eights_a) = csa(fours, fours_a, fours_b);
+            (ones, twos_a) = csa(ones, word(base + 8), word(base + 9));
+            (ones, twos_b) = csa(ones, word(base + 10), word(base + 11));
+            (twos, fours_a) = csa(twos, twos_a, twos_b);
+            (ones, twos_a) = csa(ones, word(base + 12), word(base + 13));
+            (ones, twos_b) = csa(ones, word(base + 14), word(base + 15));
+            (twos, fours_b) = csa(twos, twos_a, twos_b);
+            (fours, eights_b) = csa(fours, fours_a, fours_b);
+            let sixteens;
+            (eights, sixteens) = csa(eights, eights_a, eights_b);
+            total += 16 * u64::from(sixteens.count_ones());
+        }
+        total += 8 * u64::from(eights.count_ones());
+        total += 4 * u64::from(fours.count_ones());
+        total += 2 * u64::from(twos.count_ones());
+        total += u64::from(ones.count_ones());
+        for i in rounds * 16..len {
+            total += u64::from(word(i).count_ones());
+        }
+        total
+    }
+
+    pub fn hamming(a: &[u64], b: &[u64]) -> u64 {
+        harley_seal(a.len(), |i| a[i] ^ b[i])
+    }
+
+    pub fn popcount(words: &[u64]) -> u64 {
+        harley_seal(words.len(), |i| words[i])
+    }
+
+    pub fn xor_assign(dst: &mut [u64], src: &[u64]) {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+    }
+
+    pub fn add_weighted(counts: &mut [i32], words: &[u64], weight: i32) {
+        // Per packed word (bit=1 ⇔ −1): credit every counter with +weight
+        // in a branch-free (vectorizable) pass, then walk only the set
+        // bits to turn their +weight into −weight. Constant words skip a
+        // pass entirely.
+        for (word_idx, &word) in words.iter().enumerate() {
+            let base = word_idx * 64;
+            let upper = usize::min(base + 64, counts.len());
+            let chunk = &mut counts[base..upper];
+            // Wrapping arithmetic throughout: the SIMD paths wrap on i32
+            // overflow by construction, and the backends must stay
+            // bit-identical even on that (unreachable in practice) edge.
+            if word == 0 {
+                for count in chunk.iter_mut() {
+                    *count = count.wrapping_add(weight);
+                }
+            } else if word == !0u64 && chunk.len() == 64 {
+                for count in chunk.iter_mut() {
+                    *count = count.wrapping_sub(weight);
+                }
+            } else {
+                for count in chunk.iter_mut() {
+                    *count = count.wrapping_add(weight);
+                }
+                let mut bits = word;
+                while bits != 0 {
+                    // Bits beyond the chunk are clear per the kernel
+                    // contract, so every set bit indexes a valid counter.
+                    let bit = bits.trailing_zeros() as usize;
+                    chunk[bit] = chunk[bit].wrapping_sub(weight).wrapping_sub(weight);
+                    bits &= bits - 1;
+                }
+            }
+        }
+    }
+
+    pub fn threshold(counts: &[i32], tie: TieWords<'_>) -> Vec<u64> {
+        let mut words = Vec::with_capacity(counts.len().div_ceil(64));
+        for (chunk_idx, chunk) in counts.chunks(64).enumerate() {
+            let tie_word = tie.word(chunk_idx);
+            let mut word = 0u64;
+            for (bit, &c) in chunk.iter().enumerate() {
+                let negative = match c.cmp(&0) {
+                    core::cmp::Ordering::Less => true,
+                    core::cmp::Ordering::Greater => false,
+                    core::cmp::Ordering::Equal => (tie_word >> bit) & 1 == 1,
+                };
+                word |= u64::from(negative) << bit;
+            }
+            words.push(word);
+        }
+        words
+    }
+
+    pub fn pack_components(components: &[i8]) -> Result<Vec<u64>, (usize, i8)> {
+        let mut words = Vec::with_capacity(components.len().div_ceil(64));
+        // Build 64 components per word: the sign bits accumulate in a
+        // register instead of read-modify-write cycles through the vector.
+        for (word_idx, chunk) in components.chunks(64).enumerate() {
+            let mut word = 0u64;
+            for (bit, &c) in chunk.iter().enumerate() {
+                match c {
+                    1 => {}
+                    -1 => word |= 1u64 << bit,
+                    other => return Err((word_idx * 64 + bit, other)),
+                }
+            }
+            words.push(word);
+        }
+        Ok(words)
+    }
+
+    pub fn hamming_block(query: &[u64], block: &[u64], acc: &mut [u64; BLOCK_LANES]) {
+        for (w, &q) in query.iter().enumerate() {
+            let base = w * BLOCK_LANES;
+            for (lane, slot) in acc.iter_mut().enumerate() {
+                *slot += u64::from((q ^ block[base + lane]).count_ones());
+            }
+        }
+    }
+}
+
+/// AVX2 + POPCNT kernels. Every function in this module is
+/// `#[target_feature]`-gated; callers must have verified the features at
+/// runtime (enforced by the private `Kind::Avx2` constructor).
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{TieWords, BLOCK_LANES};
+    use core::arch::x86_64::{
+        __m256i, _mm256_add_epi32, _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256,
+        _mm256_castsi256_ps, _mm256_cmpeq_epi32, _mm256_cmpeq_epi8, _mm256_cmpgt_epi32,
+        _mm256_extract_epi64, _mm256_loadu_si256, _mm256_movemask_epi8, _mm256_movemask_ps,
+        _mm256_or_si256, _mm256_sad_epu8, _mm256_set1_epi32, _mm256_set1_epi64x, _mm256_set1_epi8,
+        _mm256_setr_epi32, _mm256_setr_epi8, _mm256_setzero_si256, _mm256_shuffle_epi8,
+        _mm256_srli_epi16, _mm256_storeu_si256, _mm256_sub_epi32, _mm256_xor_si256,
+    };
+
+    /// Per-64-bit-lane popcount of a 256-bit vector (Muła's positional
+    /// nibble lookup: two `pshufb` table probes summed per byte, then
+    /// `psadbw` folds bytes into the four u64 lanes).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn popcnt256(v: __m256i) -> __m256i {
+        #[rustfmt::skip]
+        let lookup = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let lo = _mm256_and_si256(v, low_mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(v), low_mask);
+        let counts = _mm256_add_epi8(
+            _mm256_shuffle_epi8(lookup, lo),
+            _mm256_shuffle_epi8(lookup, hi),
+        );
+        _mm256_sad_epu8(counts, _mm256_setzero_si256())
+    }
+
+    /// Sums the four u64 lanes of an accumulator vector.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum256(v: __m256i) -> u64 {
+        let a = _mm256_extract_epi64::<0>(v) as u64;
+        let b = _mm256_extract_epi64::<1>(v) as u64;
+        let c = _mm256_extract_epi64::<2>(v) as u64;
+        let d = _mm256_extract_epi64::<3>(v) as u64;
+        a.wrapping_add(b).wrapping_add(c).wrapping_add(d)
+    }
+
+    #[target_feature(enable = "avx2,popcnt")]
+    pub unsafe fn hamming(a: &[u64], b: &[u64]) -> u64 {
+        let n = a.len();
+        let vectors = n / 4;
+        let mut acc = _mm256_setzero_si256();
+        for i in 0..vectors {
+            let va = _mm256_loadu_si256(a.as_ptr().add(4 * i).cast());
+            let vb = _mm256_loadu_si256(b.as_ptr().add(4 * i).cast());
+            acc = _mm256_add_epi64(acc, popcnt256(_mm256_xor_si256(va, vb)));
+        }
+        let mut total = hsum256(acc);
+        for i in vectors * 4..n {
+            total += u64::from((a[i] ^ b[i]).count_ones());
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2,popcnt")]
+    pub unsafe fn popcount(words: &[u64]) -> u64 {
+        let n = words.len();
+        let vectors = n / 4;
+        let mut acc = _mm256_setzero_si256();
+        for i in 0..vectors {
+            let v = _mm256_loadu_si256(words.as_ptr().add(4 * i).cast());
+            acc = _mm256_add_epi64(acc, popcnt256(v));
+        }
+        let mut total = hsum256(acc);
+        for &w in &words[vectors * 4..] {
+            total += u64::from(w.count_ones());
+        }
+        total
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn xor_assign(dst: &mut [u64], src: &[u64]) {
+        let n = dst.len();
+        let vectors = n / 4;
+        for i in 0..vectors {
+            let d = _mm256_loadu_si256(dst.as_ptr().add(4 * i).cast());
+            let s = _mm256_loadu_si256(src.as_ptr().add(4 * i).cast());
+            _mm256_storeu_si256(dst.as_mut_ptr().add(4 * i).cast(), _mm256_xor_si256(d, s));
+        }
+        for i in vectors * 4..n {
+            dst[i] ^= src[i];
+        }
+    }
+
+    /// Expands bits `8*group..8*group+8` of `word` into an 8×i32 all-ones
+    /// mask per set bit.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn bit_mask8(word: u64, group: usize) -> __m256i {
+        let byte = _mm256_set1_epi32(((word >> (8 * group)) & 0xff) as i32);
+        let bits = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+        _mm256_cmpeq_epi32(_mm256_and_si256(byte, bits), bits)
+    }
+
+    #[target_feature(enable = "avx2,popcnt")]
+    pub unsafe fn add_weighted(counts: &mut [i32], words: &[u64], weight: i32) {
+        let full = counts.len() / 64;
+        let vw = _mm256_set1_epi32(weight);
+        for (word_idx, &word) in words.iter().take(full).enumerate() {
+            let base = word_idx * 64;
+            for group in 0..8 {
+                // delta = +w where the bit is clear, −w where set:
+                // (w ^ m) − m with m ∈ {0, −1} per lane.
+                let mask = bit_mask8(word, group);
+                let delta = _mm256_sub_epi32(_mm256_xor_si256(vw, mask), mask);
+                let ptr: *mut __m256i = counts.as_mut_ptr().add(base + 8 * group).cast();
+                let cur = _mm256_loadu_si256(ptr);
+                _mm256_storeu_si256(ptr, _mm256_add_epi32(cur, delta));
+            }
+        }
+        if full < words.len() {
+            super::scalar::add_weighted(&mut counts[full * 64..], &words[full..], weight);
+        }
+    }
+
+    #[target_feature(enable = "avx2,popcnt")]
+    pub unsafe fn threshold(counts: &[i32], tie: TieWords<'_>) -> Vec<u64> {
+        let mut words = Vec::with_capacity(counts.len().div_ceil(64));
+        let full = counts.len() / 64;
+        let zero = _mm256_setzero_si256();
+        for chunk_idx in 0..full {
+            let tie_word = tie.word(chunk_idx);
+            let mut word = 0u64;
+            for group in 0..8 {
+                let c = _mm256_loadu_si256(counts.as_ptr().add(chunk_idx * 64 + 8 * group).cast());
+                let negative = _mm256_cmpgt_epi32(zero, c);
+                let tied =
+                    _mm256_and_si256(_mm256_cmpeq_epi32(c, zero), bit_mask8(tie_word, group));
+                let m = _mm256_or_si256(negative, tied);
+                // movemask over the 8 f32-lane sign bits: one output bit
+                // per counter.
+                let bits = _mm256_movemask_ps(_mm256_castsi256_ps(m)) as u32 as u64;
+                word |= bits << (8 * group);
+            }
+            words.push(word);
+        }
+        if full * 64 < counts.len() {
+            let tail_tie = match tie {
+                TieWords::Constant(w) => TieWords::Constant(w),
+                TieWords::Pattern(p) => TieWords::Pattern(&p[full..]),
+            };
+            words.extend(super::scalar::threshold(&counts[full * 64..], tail_tie));
+        }
+        words
+    }
+
+    #[target_feature(enable = "avx2,popcnt")]
+    pub unsafe fn pack_components(components: &[i8]) -> Result<Vec<u64>, (usize, i8)> {
+        let mut words = Vec::with_capacity(components.len().div_ceil(64));
+        let full = components.len() / 64;
+        let minus = _mm256_set1_epi8(-1);
+        let plus = _mm256_set1_epi8(1);
+        for word_idx in 0..full {
+            let mut word = 0u64;
+            for half in 0..2 {
+                let ptr = components.as_ptr().add(word_idx * 64 + 32 * half).cast();
+                let v = _mm256_loadu_si256(ptr);
+                let neg = _mm256_cmpeq_epi8(v, minus);
+                let pos = _mm256_cmpeq_epi8(v, plus);
+                let valid = _mm256_movemask_epi8(_mm256_or_si256(neg, pos));
+                if valid != -1i32 {
+                    let offset = word_idx * 64 + 32 * half + (!valid).trailing_zeros() as usize;
+                    return Err((offset, components[offset]));
+                }
+                let bits = _mm256_movemask_epi8(neg) as u32 as u64;
+                word |= bits << (32 * half);
+            }
+            words.push(word);
+        }
+        if full * 64 < components.len() {
+            match super::scalar::pack_components(&components[full * 64..]) {
+                Ok(tail) => words.extend(tail),
+                Err((index, value)) => return Err((full * 64 + index, value)),
+            }
+        }
+        Ok(words)
+    }
+
+    #[target_feature(enable = "avx2,popcnt")]
+    pub unsafe fn hamming_block(query: &[u64], block: &[u64], acc: &mut [u64; BLOCK_LANES]) {
+        let mut acc_lo = _mm256_setzero_si256();
+        let mut acc_hi = _mm256_setzero_si256();
+        for (w, &q) in query.iter().enumerate() {
+            let vq = _mm256_set1_epi64x(q as i64);
+            let base = w * BLOCK_LANES;
+            let lo = _mm256_loadu_si256(block.as_ptr().add(base).cast());
+            let hi = _mm256_loadu_si256(block.as_ptr().add(base + 4).cast());
+            acc_lo = _mm256_add_epi64(acc_lo, popcnt256(_mm256_xor_si256(vq, lo)));
+            acc_hi = _mm256_add_epi64(acc_hi, popcnt256(_mm256_xor_si256(vq, hi)));
+        }
+        let mut lanes = [0u64; BLOCK_LANES];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc_lo);
+        _mm256_storeu_si256(lanes.as_mut_ptr().add(4).cast(), acc_hi);
+        for (slot, lane) in acc.iter_mut().zip(lanes) {
+            *slot += lane;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prng::{SplitMix64, WordRng};
+
+    fn words(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_u64()).collect()
+    }
+
+    #[test]
+    fn scalar_is_always_available_and_named() {
+        let backends = Backend::available();
+        assert_eq!(backends[0], Backend::scalar());
+        assert_eq!(Backend::scalar().name(), "scalar");
+        assert!(!Backend::scalar().is_simd());
+        for b in &backends[1..] {
+            assert!(b.is_simd());
+        }
+    }
+
+    #[test]
+    fn active_is_one_of_available() {
+        assert!(Backend::available().contains(&Backend::active()));
+    }
+
+    #[test]
+    fn harley_seal_matches_naive_popcount_at_every_length() {
+        // Cover the 16-word round boundary and the drain path.
+        for n in [0usize, 1, 15, 16, 17, 31, 32, 33, 48, 100, 157] {
+            let a = words(n, 0xA11CE ^ n as u64);
+            let naive: u64 = a.iter().map(|w| u64::from(w.count_ones())).sum();
+            assert_eq!(Backend::scalar().popcount(&a), naive, "n={n}");
+        }
+    }
+
+    #[test]
+    fn scalar_hamming_matches_naive() {
+        for n in [0usize, 1, 16, 17, 157] {
+            let a = words(n, 1);
+            let b = words(n, 2);
+            let naive: u64 = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| u64::from((x ^ y).count_ones()))
+                .sum();
+            assert_eq!(Backend::scalar().hamming(&a, &b), naive, "n={n}");
+        }
+    }
+
+    #[test]
+    fn every_backend_agrees_on_core_kernels() {
+        let reference = Backend::scalar();
+        for backend in Backend::available() {
+            for n in [0usize, 1, 3, 4, 5, 16, 31, 157, 1563] {
+                let a = words(n, 7 ^ n as u64);
+                let b = words(n, 9 ^ n as u64);
+                assert_eq!(
+                    backend.hamming(&a, &b),
+                    reference.hamming(&a, &b),
+                    "{} hamming n={n}",
+                    backend.name()
+                );
+                assert_eq!(
+                    backend.popcount(&a),
+                    reference.popcount(&a),
+                    "{} popcount n={n}",
+                    backend.name()
+                );
+                let mut x = a.clone();
+                let mut y = a.clone();
+                backend.xor_assign(&mut x, &b);
+                reference.xor_assign(&mut y, &b);
+                assert_eq!(x, y, "{} xor n={n}", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_backend_agrees_on_counter_kernels() {
+        let reference = Backend::scalar();
+        for backend in Backend::available() {
+            for dim in [1usize, 63, 64, 65, 127, 128, 500] {
+                let packed: Vec<u64> = {
+                    let mut w = words(dim.div_ceil(64), dim as u64);
+                    // Clear tail bits to honor the kernel contract.
+                    if dim % 64 != 0 {
+                        let last = w.last_mut().unwrap();
+                        *last &= (1u64 << (dim % 64)) - 1;
+                    }
+                    w
+                };
+                for weight in [1i32, -1, 5, -17] {
+                    let mut a = vec![3i32; dim];
+                    let mut b = vec![3i32; dim];
+                    backend.add_weighted(&mut a, &packed, weight);
+                    reference.add_weighted(&mut b, &packed, weight);
+                    assert_eq!(a, b, "{} add_weighted dim={dim}", backend.name());
+                }
+                let counts: Vec<i32> = (0..dim).map(|i| (i as i32 % 5) - 2).collect();
+                let pattern = words(dim.div_ceil(64), 99);
+                for tie in [
+                    TieWords::Constant(0),
+                    TieWords::Constant(!0),
+                    TieWords::Pattern(&pattern),
+                ] {
+                    assert_eq!(
+                        backend.threshold(&counts, tie),
+                        reference.threshold(&counts, tie),
+                        "{} threshold dim={dim}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_components_reports_first_invalid_index() {
+        for backend in Backend::available() {
+            let mut comps = vec![1i8; 130];
+            comps[67] = -1;
+            let packed = backend.pack_components(&comps).expect("valid input");
+            assert_eq!(packed[1] & (1 << 3), 1 << 3, "{}", backend.name());
+            comps[100] = 0;
+            comps[120] = 7;
+            assert_eq!(
+                backend.pack_components(&comps),
+                Err((100, 0)),
+                "{}",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn hamming_block_matches_per_lane_hamming() {
+        let reference = Backend::scalar();
+        for backend in Backend::available() {
+            for nwords in [0usize, 1, 2, 157] {
+                let query = words(nwords, 5);
+                let block = words(nwords * BLOCK_LANES, 6);
+                let mut acc = [1u64; BLOCK_LANES];
+                backend.hamming_block(&query, &block, &mut acc);
+                for lane in 0..BLOCK_LANES {
+                    let lane_words: Vec<u64> =
+                        (0..nwords).map(|w| block[w * BLOCK_LANES + lane]).collect();
+                    assert_eq!(
+                        acc[lane],
+                        1 + reference.hamming(&query, &lane_words),
+                        "{} lane {lane} nwords {nwords}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+}

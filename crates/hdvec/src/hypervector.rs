@@ -1,5 +1,6 @@
 //! The bit-packed bipolar hypervector type.
 
+use crate::backend::Backend;
 use crate::HdvError;
 use prng::{SplitMix64, WordRng};
 
@@ -112,25 +113,11 @@ impl Hypervector {
     pub fn from_components(components: &[i8]) -> Result<Self, HdvError> {
         Self::check_dim(components.len())?;
         let dim = components.len();
-        let mut words = Vec::with_capacity(Self::word_count(dim));
-        // Build 64 components per word: the sign bits accumulate in a
-        // register instead of read-modify-write cycles through the vector.
-        for (word_idx, chunk) in components.chunks(64).enumerate() {
-            let mut word = 0u64;
-            for (bit, &c) in chunk.iter().enumerate() {
-                match c {
-                    1 => {}
-                    -1 => word |= 1u64 << bit,
-                    other => {
-                        return Err(HdvError::InvalidComponent {
-                            index: word_idx * 64 + bit,
-                            value: other,
-                        })
-                    }
-                }
-            }
-            words.push(word);
-        }
+        // Sign packing runs on the dispatched backend (64 components per
+        // word scalar, 32 per compare+movemask on AVX2).
+        let words = Backend::active()
+            .pack_components(components)
+            .map_err(|(index, value)| HdvError::InvalidComponent { index, value })?;
         Ok(Self { dim, words })
     }
 
@@ -257,9 +244,7 @@ impl Hypervector {
             "cannot bind hypervectors of dimensions {} and {}",
             self.dim, other.dim
         );
-        for (w, o) in self.words.iter_mut().zip(&other.words) {
-            *w ^= o;
-        }
+        Backend::active().xor_assign(&mut self.words, &other.words);
     }
 
     /// Returns the element-wise negation (every +1 ↔ −1).
@@ -372,7 +357,7 @@ impl Hypervector {
     /// Number of −1 components (popcount of the packed words).
     #[must_use]
     pub fn count_negative(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        Backend::active().popcount(&self.words) as usize
     }
 
     /// Hamming distance: the number of dimensions where the two vectors
@@ -388,11 +373,10 @@ impl Hypervector {
             "cannot compare hypervectors of dimensions {} and {}",
             self.dim, other.dim
         );
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        // Fused XOR+popcount on the dispatched backend (Harley–Seal
+        // scalar or AVX2); this is the single hottest kernel of GraphHD
+        // inference.
+        Backend::active().hamming(&self.words, &other.words) as usize
     }
 
     /// Dot product over the ±1 components: `d − 2·hamming`.

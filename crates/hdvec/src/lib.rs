@@ -16,6 +16,17 @@
 //!   ("item") hypervector generation: the hypervector for symbol *i* is a
 //!   pure function of `(seed, i)`, so independent processes agree on the
 //!   basis without sharing state.
+//! - [`ClassMemory`] — a word-interleaved layout for one-query-to-many
+//!   similarity scoring (the associative-memory lookup of HDC inference),
+//!   streaming each query word once across a block of stored vectors.
+//!
+//! The word-level kernels underneath (`XOR`+popcount, counter updates,
+//! thresholding, sign packing) are runtime-dispatched through
+//! [`Backend`]: an AVX2+POPCNT implementation is selected when the CPU
+//! supports it, a portable Harley–Seal scalar reference otherwise, and
+//! setting `GRAPHHD_FORCE_SCALAR=1` pins the scalar path for
+//! differential testing. All backends are bit-identical by contract and
+//! by test.
 //!
 //! # Examples
 //!
@@ -38,13 +49,17 @@
 //! ```
 
 mod accumulator;
+pub mod backend;
 mod bitslice;
+mod class_memory;
 mod error;
 mod hypervector;
 mod item_memory;
 
 pub use accumulator::{Accumulator, TieBreak};
+pub use backend::Backend;
 pub use bitslice::BitSliceAccumulator;
+pub use class_memory::ClassMemory;
 pub use error::HdvError;
 pub use hypervector::Hypervector;
 pub use item_memory::{CachedItemMemory, ItemMemory};

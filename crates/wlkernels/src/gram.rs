@@ -23,6 +23,36 @@ impl KernelKind {
             KernelKind::OptimalAssignment => a.min_intersection(b) as f64,
         }
     }
+
+    /// Evaluates one feature map against a block of candidates, writing
+    /// `k(a, others[j])` into `out[j]` — the row-major analogue of
+    /// hdvec's blocked `ClassMemory` scoring: the kernel variant is
+    /// resolved once per row instead of once per cell, and the row map
+    /// `a` stays hot in cache while the candidates stream past. This is
+    /// the single inner loop the Gram computation runs on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != others.len()`.
+    pub fn eval_row(&self, a: &SparseCounts, others: &[SparseCounts], out: &mut [f64]) {
+        assert_eq!(
+            others.len(),
+            out.len(),
+            "gram row needs one output cell per candidate"
+        );
+        match self {
+            KernelKind::Subtree => {
+                for (cell, b) in out.iter_mut().zip(others) {
+                    *cell = a.dot(b) as f64;
+                }
+            }
+            KernelKind::OptimalAssignment => {
+                for (cell, b) in out.iter_mut().zip(others) {
+                    *cell = a.min_intersection(b) as f64;
+                }
+            }
+        }
+    }
 }
 
 /// A dense symmetric kernel matrix.
@@ -109,10 +139,9 @@ pub fn compute_gram_with_pool(
         return GramMatrix { n, values };
     }
     pool.par_chunks_mut(&mut values, n, |i, row| {
-        let fi = &features[i];
-        for (j, cell) in row.iter_mut().enumerate().skip(i) {
-            *cell = kind.eval(fi, &features[j]);
-        }
+        // One blocked row evaluation per stealable unit: parallel over
+        // rows on the pool, streaming multi-candidate evaluation within.
+        kind.eval_row(&features[i], &features[i..], &mut row[i..]);
     });
     // Mirror the upper triangle.
     for i in 0..n {
@@ -172,6 +201,28 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn eval_row_matches_per_cell_eval() {
+        let features = toy_features();
+        for kind in [KernelKind::Subtree, KernelKind::OptimalAssignment] {
+            for i in 0..features.len() {
+                let mut row = vec![0.0f64; features.len()];
+                kind.eval_row(&features[i], &features, &mut row);
+                for (j, &cell) in row.iter().enumerate() {
+                    assert_eq!(cell, kind.eval(&features[i], &features[j]), "({i}, {j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one output cell per candidate")]
+    fn eval_row_length_mismatch_panics() {
+        let features = toy_features();
+        let mut row = vec![0.0f64; 2];
+        KernelKind::Subtree.eval_row(&features[0], &features, &mut row);
     }
 
     #[test]
