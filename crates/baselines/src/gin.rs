@@ -1,8 +1,7 @@
 //! GIN baselines (GIN-ε, GIN-ε-JK) under the shared harness.
 
-use datasets::harness::GraphClassifier;
-use datasets::GraphDataset;
 use graphcore::Graph;
+use graphhd::{Error, GraphClassifier};
 use tinynn::gin::{GinClassifier, GinConfig};
 
 /// The paper's GNN baselines wrapped as a [`GraphClassifier`].
@@ -67,15 +66,14 @@ impl GraphClassifier for GinBaseline {
         self.inner.method_name()
     }
 
-    fn fit(&mut self, dataset: &GraphDataset, train: &[usize]) {
-        let graphs: Vec<&Graph> = train.iter().map(|&i| dataset.graph(i)).collect();
-        let labels: Vec<u32> = train.iter().map(|&i| dataset.label(i)).collect();
-        let _ = self.inner.fit(&graphs, &labels, dataset.num_classes());
+    fn fit(&mut self, graphs: &[&Graph], labels: &[u32], num_classes: usize) -> Result<(), Error> {
+        graphhd::validate_fit_inputs(graphs.len(), labels, num_classes)?;
+        let _ = self.inner.fit(graphs, labels, num_classes);
+        Ok(())
     }
 
-    fn predict(&self, dataset: &GraphDataset, indices: &[usize]) -> Vec<u32> {
-        let graphs: Vec<&Graph> = indices.iter().map(|&i| dataset.graph(i)).collect();
-        self.inner.predict(&graphs)
+    fn predict(&self, graphs: &[&Graph]) -> Vec<u32> {
+        self.inner.predict(graphs)
     }
 }
 

@@ -1,8 +1,8 @@
 //! WL-kernel + SVM pipelines (the paper's 1-WL and WL-OA baselines).
 
-use datasets::harness::GraphClassifier;
-use datasets::{GraphDataset, StratifiedKFold};
+use datasets::StratifiedKFold;
 use graphcore::Graph;
+use graphhd::{Error, GraphClassifier};
 use kernelsvm::{MulticlassSvm, SvmConfig};
 use wlkernels::{
     compute_gram, wl_feature_series, GramMatrix, KernelKind, SparseCounts, WlRefinery,
@@ -153,10 +153,13 @@ impl GraphClassifier for WlSvmClassifier {
         }
     }
 
-    fn fit(&mut self, dataset: &GraphDataset, train: &[usize]) {
-        assert!(!train.is_empty(), "cannot fit on an empty training fold");
-        let train_graphs: Vec<&Graph> = train.iter().map(|&i| dataset.graph(i)).collect();
-        let train_labels: Vec<u32> = train.iter().map(|&i| dataset.label(i)).collect();
+    fn fit(
+        &mut self,
+        train_graphs: &[&Graph],
+        train_labels: &[u32],
+        num_classes: usize,
+    ) -> Result<(), Error> {
+        graphhd::validate_fit_inputs(train_graphs.len(), train_labels, num_classes)?;
         let max_h = self
             .config
             .iteration_grid
@@ -165,12 +168,12 @@ impl GraphClassifier for WlSvmClassifier {
             .max()
             .unwrap_or(0);
         // One refinement pass yields the feature maps of every candidate h.
-        let series = wl_feature_series(&train_graphs, max_h);
+        let series = wl_feature_series(train_graphs, max_h);
 
         // Inner model selection over (h, C) on the training fold only.
         let inner = StratifiedKFold::new(self.config.inner_folds, self.config.seed)
             .ok()
-            .and_then(|splitter| splitter.split(&train_labels).ok());
+            .and_then(|splitter| splitter.split(train_labels).ok());
 
         let mut best: Option<(f64, usize, f64)> = None;
         for &h in &self.config.iteration_grid {
@@ -182,8 +185,8 @@ impl GraphClassifier for WlSvmClassifier {
                         for fold in folds {
                             total += Self::split_accuracy(
                                 &gram,
-                                &train_labels,
-                                dataset.num_classes(),
+                                train_labels,
+                                num_classes,
                                 &fold.train,
                                 &fold.test,
                                 c,
@@ -195,11 +198,11 @@ impl GraphClassifier for WlSvmClassifier {
                     // Too few samples for inner CV: score on the training
                     // data itself.
                     None => {
-                        let all: Vec<usize> = (0..train.len()).collect();
+                        let all: Vec<usize> = (0..train_graphs.len()).collect();
                         Self::split_accuracy(
                             &gram,
-                            &train_labels,
-                            dataset.num_classes(),
+                            train_labels,
+                            num_classes,
                             &all,
                             &all,
                             c,
@@ -221,7 +224,7 @@ impl GraphClassifier for WlSvmClassifier {
         // Refit the dictionary at the chosen h (ids differ from the series
         // run, but kernel values are invariant under dictionary
         // relabeling) and train the final machine on the full fold.
-        let (refinery, train_maps) = WlRefinery::fit(&train_graphs, h);
+        let (refinery, train_maps) = WlRefinery::fit(train_graphs, h);
         let kind = self.config.kernel;
         let train_diag: Vec<f64> = train_maps.iter().map(|m| kind.eval(m, m)).collect();
         let normalized = |a: usize, b: usize| -> f64 {
@@ -237,13 +240,8 @@ impl GraphClassifier for WlSvmClassifier {
             seed: self.config.seed,
             ..SvmConfig::default()
         };
-        let svm = MulticlassSvm::train(
-            &train_labels,
-            dataset.num_classes(),
-            normalized,
-            &svm_config,
-        )
-        .expect("training fold is non-empty and validated by the harness");
+        let svm = MulticlassSvm::train(train_labels, num_classes, normalized, &svm_config)
+            .expect("training fold is non-empty and validated above");
         self.state = Some(Fitted {
             refinery,
             train_maps,
@@ -253,20 +251,21 @@ impl GraphClassifier for WlSvmClassifier {
             chosen_iterations: h,
             chosen_c: c,
         });
+        Ok(())
     }
 
-    fn predict(&self, dataset: &GraphDataset, indices: &[usize]) -> Vec<u32> {
+    fn predict(&self, graphs: &[&Graph]) -> Vec<u32> {
         let state = self
             .state
             .as_ref()
             .expect("fit must be called before predict");
-        indices
+        graphs
             .iter()
-            .map(|&i| {
+            .map(|&graph| {
                 // The real inference path: refine the test graph against
                 // the fitted dictionary, then kernel it against support
                 // vectors with cosine normalization.
-                let map = state.refinery.transform(dataset.graph(i));
+                let map = state.refinery.transform(graph);
                 let self_k = state.kernel.eval(&map, &map);
                 state.svm.predict(|t| {
                     let denom = (self_k * state.train_diag[t]).sqrt();
@@ -326,10 +325,11 @@ mod tests {
         let train_ds = surrogate::generate_surrogate_sized(spec, 5, 60);
         let fresh_ds = surrogate::generate_surrogate_sized(spec, 99, 40);
         let mut clf = WlSvmClassifier::new(WlSvmConfig::fast_subtree());
-        let all_train: Vec<usize> = (0..train_ds.len()).collect();
-        clf.fit(&train_ds, &all_train);
-        let fresh_indices: Vec<usize> = (0..fresh_ds.len()).collect();
-        let predictions = clf.predict(&fresh_ds, &fresh_indices);
+        let all_train: Vec<&Graph> = train_ds.graphs().iter().collect();
+        clf.fit(&all_train, train_ds.labels(), train_ds.num_classes())
+            .expect("consistent dataset");
+        let fresh_graphs: Vec<&Graph> = fresh_ds.graphs().iter().collect();
+        let predictions = clf.predict(&fresh_graphs);
         let hits = predictions
             .iter()
             .zip(fresh_ds.labels())
@@ -351,12 +351,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "fit must be called")]
     fn predict_before_fit_panics() {
-        let dataset = surrogate::generate_surrogate_sized(
-            surrogate::spec_by_name("MUTAG").expect("known"),
-            1,
-            10,
-        );
         let clf = WlSvmClassifier::new(WlSvmConfig::fast_subtree());
-        let _ = clf.predict(&dataset, &[0]);
+        let _ = clf.predict(&[]);
+    }
+
+    #[test]
+    fn fit_rejects_empty_training_fold() {
+        let mut clf = WlSvmClassifier::new(WlSvmConfig::fast_subtree());
+        assert_eq!(
+            clf.fit(&[], &[], 2).unwrap_err(),
+            graphhd::Error::EmptyTrainingSet
+        );
     }
 }

@@ -16,19 +16,27 @@ fn bench_inference(c: &mut Criterion) {
         .expect("at least two folds")
         .split(dataset.labels())
         .expect("splittable");
-    let train = folds[0].train.clone();
-    let test = folds[0].test.clone();
+    let train: Vec<&graphcore::Graph> = folds[0].train.iter().map(|&i| dataset.graph(i)).collect();
+    let train_labels: Vec<u32> = folds[0].train.iter().map(|&i| dataset.label(i)).collect();
+    let test: Vec<&graphcore::Graph> = folds[0].test.iter().map(|&i| dataset.graph(i)).collect();
 
     let mut graphhd = GraphHdClassifier::default();
-    graphhd.fit(&dataset, &train);
+    graphhd
+        .fit(&train, &train_labels, dataset.num_classes())
+        .expect("consistent dataset");
     let mut wl = WlSvmClassifier::new(WlSvmConfig::fast_subtree());
-    wl.fit(&dataset, &train);
+    wl.fit(&train, &train_labels, dataset.num_classes())
+        .expect("consistent dataset");
     let mut oa = WlSvmClassifier::new(WlSvmConfig::fast_assignment());
-    oa.fit(&dataset, &train);
+    oa.fit(&train, &train_labels, dataset.num_classes())
+        .expect("consistent dataset");
     let mut gin = GinBaseline::quick(false);
-    gin.fit(&dataset, &train);
+    gin.fit(&train, &train_labels, dataset.num_classes())
+        .expect("consistent dataset");
     let mut gin_jk = GinBaseline::quick(true);
-    gin_jk.fit(&dataset, &train);
+    gin_jk
+        .fit(&train, &train_labels, dataset.num_classes())
+        .expect("consistent dataset");
 
     let mut group = c.benchmark_group("fig3_inference_time");
     group.sample_size(20);
@@ -42,7 +50,7 @@ fn bench_inference(c: &mut Criterion) {
     ];
     for (name, clf) in entries {
         group.bench_function(name, |bencher| {
-            bencher.iter(|| clf.predict(black_box(&dataset), black_box(&test)));
+            bencher.iter(|| clf.predict(black_box(&test)));
         });
     }
     group.finish();

@@ -17,7 +17,8 @@ fn bench_training(c: &mut Criterion) {
         .expect("at least two folds")
         .split(dataset.labels())
         .expect("splittable");
-    let train = folds[0].train.clone();
+    let train: Vec<&graphcore::Graph> = folds[0].train.iter().map(|&i| dataset.graph(i)).collect();
+    let train_labels: Vec<u32> = folds[0].train.iter().map(|&i| dataset.label(i)).collect();
 
     let mut group = c.benchmark_group("fig3_train_time");
     group.sample_size(10);
@@ -26,31 +27,36 @@ fn bench_training(c: &mut Criterion) {
     group.bench_function("GraphHD", |bencher| {
         bencher.iter(|| {
             let mut clf = GraphHdClassifier::default();
-            clf.fit(&dataset, &train);
+            clf.fit(&train, &train_labels, dataset.num_classes())
+                .expect("consistent dataset");
         });
     });
     group.bench_function("1-WL", |bencher| {
         bencher.iter(|| {
             let mut clf = WlSvmClassifier::new(WlSvmConfig::fast_subtree());
-            clf.fit(&dataset, &train);
+            clf.fit(&train, &train_labels, dataset.num_classes())
+                .expect("consistent dataset");
         });
     });
     group.bench_function("WL-OA", |bencher| {
         bencher.iter(|| {
             let mut clf = WlSvmClassifier::new(WlSvmConfig::fast_assignment());
-            clf.fit(&dataset, &train);
+            clf.fit(&train, &train_labels, dataset.num_classes())
+                .expect("consistent dataset");
         });
     });
     group.bench_function("GIN-e", |bencher| {
         bencher.iter(|| {
             let mut clf = GinBaseline::quick(false);
-            clf.fit(&dataset, &train);
+            clf.fit(&train, &train_labels, dataset.num_classes())
+                .expect("consistent dataset");
         });
     });
     group.bench_function("GIN-e-JK", |bencher| {
         bencher.iter(|| {
             let mut clf = GinBaseline::quick(true);
-            clf.fit(&dataset, &train);
+            clf.fit(&train, &train_labels, dataset.num_classes())
+                .expect("consistent dataset");
         });
     });
     group.finish();

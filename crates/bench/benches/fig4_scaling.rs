@@ -22,12 +22,15 @@ fn bench_scaling(c: &mut Criterion) {
             .expect("at least two folds")
             .split(dataset.labels())
             .expect("splittable");
-        let train = folds[0].train.clone();
+        let train: Vec<&graphcore::Graph> =
+            folds[0].train.iter().map(|&i| dataset.graph(i)).collect();
+        let train_labels: Vec<u32> = folds[0].train.iter().map(|&i| dataset.label(i)).collect();
 
         group.bench_with_input(BenchmarkId::new("GraphHD", n), &n, |bencher, _| {
             bencher.iter(|| {
                 let mut clf = GraphHdClassifier::default();
-                clf.fit(&dataset, &train);
+                clf.fit(&train, &train_labels, dataset.num_classes())
+                    .expect("consistent dataset");
             });
         });
         group.bench_with_input(BenchmarkId::new("GIN-e", n), &n, |bencher, _| {
@@ -37,13 +40,15 @@ fn bench_scaling(c: &mut Criterion) {
                     batch_size: 16,
                     ..GinConfig::default()
                 });
-                clf.fit(&dataset, &train);
+                clf.fit(&train, &train_labels, dataset.num_classes())
+                    .expect("consistent dataset");
             });
         });
         group.bench_with_input(BenchmarkId::new("WL-OA", n), &n, |bencher, _| {
             bencher.iter(|| {
                 let mut clf = WlSvmClassifier::new(WlSvmConfig::fast_assignment());
-                clf.fit(&dataset, &train);
+                clf.fit(&train, &train_labels, dataset.num_classes())
+                    .expect("consistent dataset");
             });
         });
     }

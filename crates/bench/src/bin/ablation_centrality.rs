@@ -21,10 +21,11 @@ fn main() {
             CentralityKind::Degree,
             CentralityKind::VertexId,
         ] {
-            let config = GraphHdConfig {
-                centrality: kind,
-                ..GraphHdConfig::with_seed(options.seed)
-            };
+            let config = GraphHdConfig::builder()
+                .centrality(kind)
+                .seed(options.seed)
+                .build()
+                .expect("valid config");
             let mut clf = GraphHdClassifier::new(config);
             let report = evaluate_cv(&mut clf, dataset, &protocol).expect("protocol fits datasets");
             let accuracy = report.accuracy();

@@ -20,10 +20,11 @@ fn main() {
     for dataset in &datasets {
         eprintln!("== {} ==", dataset.name());
         for &dim in dims {
-            let config = GraphHdConfig {
-                dim,
-                ..GraphHdConfig::with_seed(options.seed)
-            };
+            let config = GraphHdConfig::builder()
+                .dim(dim)
+                .seed(options.seed)
+                .build()
+                .expect("valid config");
             let mut clf = GraphHdClassifier::new(config);
             let report = evaluate_cv(&mut clf, dataset, &protocol).expect("protocol fits datasets");
             let accuracy = report.accuracy();

@@ -5,8 +5,6 @@
 //! Run: `cargo run -p bench --release --bin extensions [--quick]`
 
 use datasets::harness::{evaluate_cv, GraphClassifier};
-use datasets::{GraphDataset, StratifiedKFold};
-use graphcore::Graph;
 use graphhd::prototypes::{MultiPrototypeModel, PrototypeConfig};
 use graphhd::{GraphHdClassifier, GraphHdConfig};
 
@@ -23,22 +21,52 @@ fn main() {
         let variants: Vec<(String, Box<dyn GraphClassifier>)> = vec![
             (
                 "baseline".into(),
-                Box::new(GraphHdClassifier::new(GraphHdConfig::with_seed(
-                    options.seed,
-                ))),
+                Box::new(GraphHdClassifier::new(
+                    GraphHdConfig::builder()
+                        .seed(options.seed)
+                        .build()
+                        .expect("valid config"),
+                )),
             ),
             (
                 "retrain-5".into(),
                 Box::new(
-                    GraphHdClassifier::new(GraphHdConfig::with_seed(options.seed))
-                        .with_retraining(5),
+                    GraphHdClassifier::new(
+                        GraphHdConfig::builder()
+                            .seed(options.seed)
+                            .build()
+                            .expect("valid config"),
+                    )
+                    .with_retraining(5),
                 ),
             ),
             (
                 "retrain-20".into(),
                 Box::new(
-                    GraphHdClassifier::new(GraphHdConfig::with_seed(options.seed))
-                        .with_retraining(20),
+                    GraphHdClassifier::new(
+                        GraphHdConfig::builder()
+                            .seed(options.seed)
+                            .build()
+                            .expect("valid config"),
+                    )
+                    .with_retraining(20),
+                ),
+            ),
+            // The multi-prototype extension now implements the shared
+            // trait (its online fit is deterministic for a given fold
+            // order), so it runs under the same CV protocol as every
+            // other variant instead of a bespoke single split.
+            (
+                "prototypes-4".into(),
+                Box::new(
+                    MultiPrototypeModel::untrained(PrototypeConfig {
+                        base: GraphHdConfig::builder()
+                            .seed(options.seed)
+                            .build()
+                            .expect("valid config"),
+                        ..PrototypeConfig::default()
+                    })
+                    .expect("valid config"),
                 ),
             ),
         ];
@@ -59,18 +87,6 @@ fn main() {
                 bench::fmt_seconds(report.train_seconds().mean),
             ]);
         }
-
-        // Multi-prototype variant (single split: the prototype model does
-        // not implement the trait because its fit is online/order-aware).
-        let accuracy = multi_prototype_accuracy(dataset, options.seed);
-        eprintln!("  prototypes-4 acc {accuracy:.3} (single 80/20 split)");
-        rows.push(vec![
-            dataset.name().to_string(),
-            "prototypes-4".into(),
-            format!("{accuracy:.4}"),
-            String::from("-"),
-            String::from("-"),
-        ]);
     }
     bench::emit_results(
         &options,
@@ -84,29 +100,4 @@ fn main() {
         ],
         &rows,
     );
-}
-
-fn multi_prototype_accuracy(dataset: &GraphDataset, seed: u64) -> f64 {
-    let folds = StratifiedKFold::new(5, seed)
-        .expect("at least two folds")
-        .split(dataset.labels())
-        .expect("datasets are large enough");
-    let fold = &folds[0];
-    let train_graphs: Vec<&Graph> = fold.train.iter().map(|&i| dataset.graph(i)).collect();
-    let train_labels: Vec<u32> = fold.train.iter().map(|&i| dataset.label(i)).collect();
-    let config = PrototypeConfig {
-        base: GraphHdConfig::with_seed(seed),
-        ..PrototypeConfig::default()
-    };
-    let model =
-        MultiPrototypeModel::fit(config, &train_graphs, &train_labels, dataset.num_classes())
-            .expect("validated by the dataset");
-    let test_graphs: Vec<&Graph> = fold.test.iter().map(|&i| dataset.graph(i)).collect();
-    let predictions = model.predict_all(&test_graphs);
-    let hits = predictions
-        .iter()
-        .zip(fold.test.iter().map(|&i| dataset.label(i)))
-        .filter(|(p, l)| **p == *l)
-        .count();
-    hits as f64 / fold.test.len().max(1) as f64
 }

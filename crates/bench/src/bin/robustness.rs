@@ -29,7 +29,10 @@ fn main() {
         let test_labels: Vec<u32> = fold.test.iter().map(|&i| dataset.label(i)).collect();
 
         let model = GraphHdModel::fit(
-            GraphHdConfig::with_seed(options.seed),
+            GraphHdConfig::builder()
+                .seed(options.seed)
+                .build()
+                .expect("valid config"),
             &train_graphs,
             &train_labels,
             dataset.num_classes(),

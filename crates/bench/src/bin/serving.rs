@@ -1,0 +1,184 @@
+//! Serving-layer end-to-end benchmark: latency and throughput of the
+//! [`engine::Engine`] request path (queue → batched dispatch → pool →
+//! blocked SIMD scoring), swept over submitter counts and batch sizes.
+//!
+//! This measures the *whole* serving stack against the same model served
+//! directly (`predict_all` with no queue), so the queue/dispatch overhead
+//! is visible rather than assumed. Results feed `BENCH_pr5.json`.
+//!
+//! Run: `cargo run -p bench --release --bin serving [--quick]`
+
+use datasets::{surrogate, StratifiedKFold};
+use engine::Engine;
+use graphcore::Graph;
+use graphhd::{GraphHdConfig, GraphHdModel};
+use std::time::Instant;
+
+/// One measured configuration.
+struct Measurement {
+    submitters: usize,
+    batch_size: usize,
+    queries: usize,
+    seconds: f64,
+}
+
+impl Measurement {
+    fn throughput(&self) -> f64 {
+        self.queries as f64 / self.seconds
+    }
+
+    fn mean_latency_us(&self) -> f64 {
+        // Mean per-query wall time observed by one submitter: total wall
+        // time divided by queries *per submitter*.
+        self.seconds * 1e6 * self.submitters as f64 / self.queries as f64
+    }
+}
+
+fn measure(
+    engine: &Engine,
+    queries: &[Graph],
+    submitters: usize,
+    batch_size: usize,
+    rounds: usize,
+) -> Measurement {
+    // Warm-up round so pool threads and caches are hot.
+    run_round(engine, queries, submitters, batch_size, rounds / 4 + 1);
+    let started = Instant::now();
+    let total = run_round(engine, queries, submitters, batch_size, rounds);
+    Measurement {
+        submitters,
+        batch_size,
+        queries: total,
+        seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+fn run_round(
+    engine: &Engine,
+    queries: &[Graph],
+    submitters: usize,
+    batch_size: usize,
+    rounds: usize,
+) -> usize {
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for submitter in 0..submitters {
+            let engine = engine.clone();
+            handles.push(scope.spawn(move || {
+                let mut served = 0usize;
+                for round in 0..rounds {
+                    if batch_size == 1 {
+                        let graph = &queries[(submitter + round) % queries.len()];
+                        engine.classify(graph).expect("engine alive");
+                        served += 1;
+                    } else {
+                        let start = (submitter * 13 + round) % queries.len();
+                        let batch: Vec<&Graph> = (0..batch_size)
+                            .map(|i| &queries[(start + i) % queries.len()])
+                            .collect();
+                        served += engine.classify_batch(&batch).expect("engine alive").len();
+                    }
+                }
+                served
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("submitter thread"))
+            .sum()
+    })
+}
+
+fn main() {
+    let options = bench::Options::parse(std::env::args());
+    let quick = matches!(options.effort, bench::Effort::Quick);
+
+    // Full surrogate-MUTAG, paper-default dimension; the engine serves a
+    // snapshot-restored model, i.e. the exact production path.
+    let dataset = surrogate::by_name("MUTAG", options.seed).expect("known dataset");
+    let folds = StratifiedKFold::new(5, options.seed)
+        .expect("at least two folds")
+        .split(dataset.labels())
+        .expect("splittable");
+    let train_graphs: Vec<&Graph> = folds[0].train.iter().map(|&i| dataset.graph(i)).collect();
+    let train_labels: Vec<u32> = folds[0].train.iter().map(|&i| dataset.label(i)).collect();
+    let queries: Vec<Graph> = folds[0]
+        .test
+        .iter()
+        .map(|&i| dataset.graph(i).clone())
+        .collect();
+
+    let config = GraphHdConfig::builder()
+        .seed(options.seed)
+        .build()
+        .expect("valid config");
+    let model = GraphHdModel::fit(config, &train_graphs, &train_labels, dataset.num_classes())
+        .expect("consistent dataset");
+
+    let path =
+        std::env::temp_dir().join(format!("graphhd-serving-bench-{}.ghd", std::process::id()));
+    model.save(&path).expect("writable temp dir");
+    let engine = Engine::from_snapshot(&path).expect("valid snapshot");
+    std::fs::remove_file(&path).expect("cleanup");
+
+    // Baseline: the same queries with no queue in the way.
+    let direct_rounds = if quick { 200 } else { 2000 };
+    let started = Instant::now();
+    for _ in 0..direct_rounds {
+        let _ = model.predict_batch(&queries);
+    }
+    let direct = started.elapsed().as_secs_f64();
+    let direct_per_query = direct * 1e6 / (direct_rounds * queries.len()) as f64;
+    eprintln!("direct predict_batch: {direct_per_query:.1} us/query (no queue)");
+
+    let rounds = |batch: usize| -> usize {
+        let base = if quick { 2_000 } else { 20_000 };
+        (base / batch).max(8)
+    };
+    let mut rows = Vec::new();
+    for submitters in [1usize, 4] {
+        for batch_size in [1usize, 32, 256] {
+            let m = measure(
+                &engine,
+                &queries,
+                submitters,
+                batch_size,
+                rounds(batch_size),
+            );
+            eprintln!(
+                "submitters {submitters} batch {batch_size:>3}: \
+                 {:>9.0} queries/s, {:>8.1} us mean latency",
+                m.throughput(),
+                m.mean_latency_us(),
+            );
+            rows.push(vec![
+                m.submitters.to_string(),
+                m.batch_size.to_string(),
+                m.queries.to_string(),
+                format!("{:.0}", m.throughput()),
+                format!("{:.1}", m.mean_latency_us()),
+            ]);
+        }
+    }
+    rows.push(vec![
+        "direct".into(),
+        "-".into(),
+        (direct_rounds * queries.len()).to_string(),
+        format!("{:.0}", 1e6 / direct_per_query),
+        format!("{direct_per_query:.1}"),
+    ]);
+    engine.shutdown();
+
+    bench::emit_results(
+        &options,
+        "serving",
+        &[
+            "submitters",
+            "batch_size",
+            "queries",
+            "throughput_qps",
+            "mean_latency_us",
+        ],
+        &rows,
+    );
+}

@@ -152,7 +152,12 @@ impl Options {
 /// the effort tier.
 #[must_use]
 pub fn method_roster(effort: Effort, seed: u64) -> Vec<Box<dyn GraphClassifier>> {
-    let graphhd = GraphHdClassifier::new(GraphHdConfig::with_seed(seed));
+    let graphhd = GraphHdClassifier::new(
+        GraphHdConfig::builder()
+            .seed(seed)
+            .build()
+            .expect("valid config"),
+    );
     let (wl_subtree, wl_assignment) = match effort {
         Effort::Full => (
             WlSvmConfig::paper(KernelKind::Subtree),

@@ -147,6 +147,19 @@ impl core::fmt::Display for SplitError {
 
 impl std::error::Error for SplitError {}
 
+/// Routes fold-splitting failures into the suite's unified error
+/// surface (the orphan rule allows this here, next to the source type),
+/// so serving code and the harness can use `?` without a bespoke error
+/// enum per crate boundary.
+impl From<SplitError> for graphhd::Error {
+    fn from(e: SplitError) -> Self {
+        graphhd::Error::Data {
+            context: "stratified k-fold split",
+            message: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +170,19 @@ mod tests {
             .enumerate()
             .flat_map(|(class, &count)| std::iter::repeat_n(class as u32, count))
             .collect()
+    }
+
+    #[test]
+    fn split_errors_route_into_the_unified_error_surface() {
+        let err = StratifiedKFold::new(1, 0).unwrap_err();
+        let unified: graphhd::Error = err.into();
+        assert!(matches!(
+            unified,
+            graphhd::Error::Data {
+                context: "stratified k-fold split",
+                ..
+            }
+        ));
     }
 
     #[test]

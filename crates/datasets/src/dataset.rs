@@ -257,6 +257,17 @@ impl core::fmt::Display for DatasetError {
 
 impl std::error::Error for DatasetError {}
 
+/// Routes dataset-construction failures into the suite's unified error
+/// surface (see the matching impl for `SplitError`).
+impl From<DatasetError> for graphhd::Error {
+    fn from(e: DatasetError) -> Self {
+        graphhd::Error::Data {
+            context: "dataset construction",
+            message: e.to_string(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

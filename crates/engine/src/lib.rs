@@ -1,0 +1,797 @@
+//! **The serving front door.** One long-lived, cheaply-cloneable
+//! [`Engine`] owns a trained GraphHD encoder + model and answers
+//! `classify`/`scores` requests from any number of threads.
+//!
+//! GraphHD's pitch (Nunes et al., DATE 2022) is training and inference
+//! cheap enough to serve online; the follow-up work (VS-Graph, the FPGA
+//! port) treats the trained associative memory as a deployable artifact.
+//! This crate is that story end-to-end, on the substrates the earlier
+//! PRs built:
+//!
+//! - requests enter a **bounded queue** — submitters block when it is
+//!   full (backpressure), so a burst degrades latency instead of memory;
+//! - a dispatcher thread drains the queue in batches and scores each
+//!   batch as a [`parallel::Pool`] region, so concurrent requests are
+//!   amortized over one parallel sweep exactly like offline batch
+//!   prediction;
+//! - scoring runs the allocation-free
+//!   [`GraphHdModel::scores_encoded_into`] path into a per-worker scratch
+//!   buffer, which lands on the blocked+SIMD `hdvec::ClassMemory` engine;
+//! - [`Engine::shutdown`] (and dropping the last handle) closes the
+//!   queue, **drains** every request already accepted, then joins the
+//!   dispatcher — accepted work is never dropped.
+//!
+//! Construction goes through one fluent [`EngineBuilder`] (dimension,
+//! centrality, seed, retraining epochs, thread count, queue bounds) and
+//! the unified [`graphhd::Error`]; a model snapshotted with
+//! [`GraphHdModel::save`] reloads into an engine on any machine via
+//! [`Engine::from_snapshot`].
+//!
+//! # Examples
+//!
+//! ```
+//! use engine::Engine;
+//! use graphcore::generate;
+//!
+//! let graphs: Vec<_> = (6..14)
+//!     .flat_map(|n| [generate::complete(n), generate::path(n)])
+//!     .collect();
+//! let labels: Vec<u32> = (0..graphs.len()).map(|i| (i % 2) as u32).collect();
+//!
+//! let engine = Engine::builder()
+//!     .dim(2048)
+//!     .queue_capacity(64)
+//!     .fit(&graphs, &labels, 2)?;
+//!
+//! assert_eq!(engine.classify(&generate::complete(10))?, 0);
+//! let worker = engine.clone(); // cheap handle for another thread
+//! assert_eq!(worker.classify_batch(&graphs)?, engine.model().predict_batch(&graphs));
+//! # Ok::<(), graphhd::Error>(())
+//! ```
+
+use graphcore::Graph;
+use graphhd::select::argmax_tie_low;
+use graphhd::{CentralityKind, Error, GraphHdConfig, GraphHdModel};
+use hdvec::TieBreak;
+use parallel::Pool;
+use std::borrow::Borrow;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Default bound of the request queue (requests, not bytes). Full queue
+/// = blocked submitters = backpressure.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 256;
+
+/// Default maximum number of requests the dispatcher scores as one
+/// parallel batch.
+pub const DEFAULT_MAX_BATCH: usize = 64;
+
+/// What a request wants back.
+enum Work {
+    /// The winning class id.
+    Classify,
+    /// The full per-class cosine score vector.
+    Scores,
+}
+
+/// A fulfilled request.
+enum Response {
+    Class(u32),
+    Scores(Vec<f64>),
+}
+
+/// One-shot response slot a submitter blocks on.
+struct Slot {
+    response: Mutex<Option<Result<Response, Error>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            response: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fulfill(&self, response: Result<Response, Error>) {
+        let mut guard = self.response.lock().expect("slot lock");
+        *guard = Some(response);
+        self.ready.notify_one();
+    }
+
+    fn is_pending(&self) -> bool {
+        self.response.lock().expect("slot lock").is_none()
+    }
+
+    fn wait(&self) -> Result<Response, Error> {
+        let mut guard = self.response.lock().expect("slot lock");
+        loop {
+            if let Some(response) = guard.take() {
+                return response;
+            }
+            guard = self.ready.wait(guard).expect("slot lock");
+        }
+    }
+}
+
+/// A queued request: the graph to score, what to return, where to put it.
+struct Request {
+    graph: Graph,
+    work: Work,
+    slot: Arc<Slot>,
+}
+
+/// Mutable queue state behind the engine's mutex.
+struct QueueState {
+    requests: VecDeque<Request>,
+    closed: bool,
+}
+
+/// State shared by every engine handle and the dispatcher thread.
+/// (`Debug` is manual: requests hold graphs and response slots that are
+/// noise in a handle dump.)
+struct Shared {
+    model: GraphHdModel,
+    state: Mutex<QueueState>,
+    /// Signalled when queue space frees up (submitters wait here).
+    not_full: Condvar,
+    /// Signalled when requests arrive or the queue closes (the
+    /// dispatcher waits here).
+    not_empty: Condvar,
+    capacity: usize,
+    max_batch: usize,
+}
+
+impl Shared {
+    /// Marks the queue closed and wakes everyone: blocked submitters
+    /// return [`Error::ShutDown`], the dispatcher drains and exits.
+    fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Blocking submit: waits for queue space (backpressure), enqueues,
+    /// wakes the dispatcher. Fails once the queue is closed.
+    fn submit(&self, graph: Graph, work: Work) -> Result<Arc<Slot>, Error> {
+        let slot = Slot::new();
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if state.closed {
+                return Err(Error::ShutDown);
+            }
+            if state.requests.len() < self.capacity {
+                break;
+            }
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+        state.requests.push_back(Request {
+            graph,
+            work,
+            slot: Arc::clone(&slot),
+        });
+        self.not_empty.notify_one();
+        Ok(slot)
+    }
+
+    /// Dispatcher loop: drain up to `max_batch` requests, score them as
+    /// one parallel region, repeat. On close, keeps draining until the
+    /// queue is empty — accepted requests are always answered.
+    fn dispatch(&self) {
+        loop {
+            let batch: Vec<Request> = {
+                let mut state = self.state.lock().expect("queue lock");
+                loop {
+                    if !state.requests.is_empty() {
+                        break;
+                    }
+                    if state.closed {
+                        return;
+                    }
+                    state = self.not_empty.wait(state).expect("queue lock");
+                }
+                let take = state.requests.len().min(self.max_batch);
+                let batch = state.requests.drain(..take).collect();
+                // Space freed: wake every blocked submitter (capacity may
+                // exceed the number waiting).
+                self.not_full.notify_all();
+                batch
+            };
+            self.run_batch(&batch);
+        }
+    }
+
+    /// Scores one batch on the model's pool. Each worker range reuses
+    /// one scratch score buffer across its requests
+    /// (`scores_encoded_into`), so the scoring path allocates only for
+    /// requests that asked for the score vector itself.
+    fn run_batch(&self, batch: &[Request]) {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            let model = &self.model;
+            model
+                .encoder()
+                .pool()
+                .par_for_ranges(batch.len(), 1, |range| {
+                    let mut scratch: Vec<f64> = Vec::new();
+                    for request in &batch[range] {
+                        let encoded = model.encoder().encode(&request.graph);
+                        model.scores_encoded_into(&encoded, &mut scratch);
+                        let response = match request.work {
+                            Work::Classify => Response::Class(
+                                argmax_tie_low(&scratch).expect("models always have >= 1 class")
+                                    as u32,
+                            ),
+                            Work::Scores => Response::Scores(scratch.clone()),
+                        };
+                        request.slot.fulfill(Ok(response));
+                    }
+                });
+        }));
+        if outcome.is_err() {
+            // A panicking batch must not strand its submitters: every
+            // slot the region did not reach reports the failure instead.
+            for request in batch {
+                if request.slot.is_pending() {
+                    request.slot.fulfill(Err(Error::TaskFailed));
+                }
+            }
+        }
+    }
+}
+
+/// Joins the dispatcher when the last engine handle goes away, after
+/// closing the queue — the drop path is the same graceful drain as
+/// [`Engine::shutdown`].
+struct DispatcherGuard {
+    shared: Arc<Shared>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl DispatcherGuard {
+    fn shutdown(&self) {
+        self.shared.close();
+        let handle = self.handle.lock().expect("dispatcher handle lock").take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DispatcherGuard {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for DispatcherGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DispatcherGuard").finish_non_exhaustive()
+    }
+}
+
+/// A long-lived serving handle: owns one trained encoder + model and
+/// answers classification requests from many threads through a bounded,
+/// batching request queue. Cloning is cheap (two `Arc`s) and every clone
+/// talks to the same queue and model.
+///
+/// Built by [`EngineBuilder`] (see [`Engine::builder`]); restored from a
+/// snapshot by [`Engine::from_snapshot`]. See the [crate
+/// documentation](crate) for the serving architecture.
+#[derive(Clone)]
+pub struct Engine {
+    shared: Arc<Shared>,
+    guard: Arc<DispatcherGuard>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("num_classes", &self.shared.model.num_classes())
+            .field("dim", &self.shared.model.encoder().config().dim)
+            .field("capacity", &self.shared.capacity)
+            .field("max_batch", &self.shared.max_batch)
+            .field("pending", &self.pending())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Starts a fluent builder with the paper-default model
+    /// configuration and default queue bounds.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::new()
+    }
+
+    /// Loads a snapshotted model (see [`GraphHdModel::save`]) and serves
+    /// it with default engine settings — the two-line path from artifact
+    /// to serving process. Use
+    /// [`EngineBuilder::from_snapshot`] to customise queue bounds or the
+    /// thread pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] / [`Error::Snapshot`] for unreadable or
+    /// malformed snapshot files.
+    pub fn from_snapshot<P: AsRef<Path>>(path: P) -> Result<Self, Error> {
+        EngineBuilder::new().from_snapshot(path)
+    }
+
+    /// The served model (read-only; the engine never mutates it).
+    #[must_use]
+    pub fn model(&self) -> &GraphHdModel {
+        &self.shared.model
+    }
+
+    /// Number of classes the engine scores against.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.shared.model.num_classes()
+    }
+
+    /// Requests currently waiting in the queue (excludes the batch being
+    /// scored). A sustained value near the capacity means submitters are
+    /// experiencing backpressure.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.shared.state.lock().expect("queue lock").requests.len()
+    }
+
+    /// Classifies one graph: blocks while the queue is full
+    /// (backpressure), then until the dispatcher has scored the request.
+    /// The result is bit-identical to [`GraphHdModel::predict`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShutDown`] after [`shutdown`](Self::shutdown)
+    /// and [`Error::TaskFailed`] if the request's batch panicked.
+    pub fn classify(&self, graph: &Graph) -> Result<u32, Error> {
+        let slot = self.shared.submit(graph.clone(), Work::Classify)?;
+        match slot.wait()? {
+            Response::Class(class) => Ok(class),
+            Response::Scores(_) => unreachable!("classify requests yield classes"),
+        }
+    }
+
+    /// Cosine similarity of `graph` to every class vector, served
+    /// through the queue. Bit-identical to [`GraphHdModel::scores`].
+    ///
+    /// # Errors
+    ///
+    /// As [`classify`](Self::classify).
+    pub fn scores(&self, graph: &Graph) -> Result<Vec<f64>, Error> {
+        let slot = self.shared.submit(graph.clone(), Work::Scores)?;
+        match slot.wait()? {
+            Response::Scores(scores) => Ok(scores),
+            Response::Class(_) => unreachable!("scores requests yield score vectors"),
+        }
+    }
+
+    /// Classifies a batch: all graphs are enqueued (blocking as
+    /// backpressure demands), then awaited in order. Results are
+    /// bit-identical to [`GraphHdModel::predict_all`]. Accepts both
+    /// `&[Graph]` and `&[&Graph]`.
+    ///
+    /// # Errors
+    ///
+    /// As [`classify`](Self::classify); the first failed request wins.
+    pub fn classify_batch<G: Borrow<Graph>>(&self, graphs: &[G]) -> Result<Vec<u32>, Error> {
+        let mut slots = Vec::with_capacity(graphs.len());
+        for graph in graphs {
+            slots.push(self.shared.submit(graph.borrow().clone(), Work::Classify)?);
+        }
+        let mut results = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match slot.wait()? {
+                Response::Class(class) => results.push(class),
+                Response::Scores(_) => unreachable!("classify requests yield classes"),
+            }
+        }
+        Ok(results)
+    }
+
+    /// Snapshots the served model to `path` — the running engine is the
+    /// natural place to produce the next deployable artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if writing fails.
+    pub fn snapshot<P: AsRef<Path>>(&self, path: P) -> Result<(), Error> {
+        self.shared.model.save(path)
+    }
+
+    /// Graceful shutdown: closes the queue (new submissions fail with
+    /// [`Error::ShutDown`]), waits for every already-accepted request to
+    /// be answered, and joins the dispatcher. Idempotent; dropping the
+    /// last handle does the same.
+    pub fn shutdown(&self) {
+        self.guard.shutdown();
+    }
+}
+
+/// Fluent builder for [`Engine`]: model knobs (dimension, centrality,
+/// seed, tie-break, retraining epochs), execution knobs (thread count or
+/// explicit pool) and serving knobs (queue capacity, batch limit), with
+/// one validating construction step at the end ([`fit`](Self::fit),
+/// [`from_model`](Self::from_model) or
+/// [`from_snapshot`](Self::from_snapshot)).
+///
+/// # Examples
+///
+/// ```
+/// use engine::Engine;
+/// use graphcore::generate;
+/// use graphhd::CentralityKind;
+///
+/// let graphs = vec![generate::complete(8), generate::path(8)];
+/// let engine = Engine::builder()
+///     .dim(1024)
+///     .centrality(CentralityKind::Degree)
+///     .seed(7)
+///     .retrain_epochs(3)
+///     .threads(2)
+///     .queue_capacity(32)
+///     .max_batch(8)
+///     .fit(&graphs, &[0, 1], 2)?;
+/// assert_eq!(engine.num_classes(), 2);
+/// engine.shutdown();
+/// # Ok::<(), graphhd::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "a builder does nothing until `fit`/`from_model`/`from_snapshot`"]
+pub struct EngineBuilder {
+    config: GraphHdConfig,
+    retrain_epochs: usize,
+    pool: Option<Arc<Pool>>,
+    queue_capacity: usize,
+    max_batch: usize,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineBuilder {
+    /// Paper-default model configuration, global pool, default queue
+    /// bounds.
+    pub fn new() -> Self {
+        Self {
+            config: GraphHdConfig::default(),
+            retrain_epochs: 0,
+            pool: None,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            max_batch: DEFAULT_MAX_BATCH,
+        }
+    }
+
+    /// Sets the hypervector dimensionality d (paper: 10,000).
+    pub fn dim(mut self, dim: usize) -> Self {
+        self.config.dim = dim;
+        self
+    }
+
+    /// Sets the centrality metric supplying vertex identifiers.
+    pub fn centrality(mut self, centrality: CentralityKind) -> Self {
+        self.config.centrality = centrality;
+        self
+    }
+
+    /// Sets the seed of the basis item memory.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the tie-break policy for bundling majorities.
+    pub fn tie_break(mut self, tie_break: TieBreak) -> Self {
+        self.config.tie_break = tie_break;
+        self
+    }
+
+    /// Replaces the whole model configuration (e.g. one restored from a
+    /// config file); individual setters can still refine it afterwards.
+    pub fn config(mut self, config: GraphHdConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Perceptron retraining epochs applied after [`fit`](Self::fit)
+    /// (0 = paper baseline, no retraining).
+    pub fn retrain_epochs(mut self, epochs: usize) -> Self {
+        self.retrain_epochs = epochs;
+        self
+    }
+
+    /// Pins the engine to a dedicated pool of `threads.max(1)` threads
+    /// (the default is the process-wide [`Pool::global`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.pool = Some(Arc::new(Pool::with_threads(threads)));
+        self
+    }
+
+    /// Pins the engine to an existing pool (shared with other engines or
+    /// pipelines).
+    pub fn pool(mut self, pool: Arc<Pool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Bounds the request queue: submitters block while `capacity`
+    /// requests are waiting. Default
+    /// [`DEFAULT_QUEUE_CAPACITY`].
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Caps how many queued requests the dispatcher scores as one
+    /// parallel batch. Default [`DEFAULT_MAX_BATCH`].
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Validates the serving knobs (the model config is validated by the
+    /// construction path that consumes it).
+    fn validate(&self) -> Result<(), Error> {
+        if self.queue_capacity == 0 {
+            return Err(Error::ZeroQueueCapacity);
+        }
+        if self.max_batch == 0 {
+            return Err(Error::ZeroBatch);
+        }
+        Ok(())
+    }
+
+    /// Trains a model on `graphs`/`labels` (with the configured
+    /// retraining epochs) and starts serving it. Accepts both `&[Graph]`
+    /// and `&[&Graph]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] for invalid serving knobs, an invalid model
+    /// configuration, or inconsistent training inputs.
+    pub fn fit<G: Borrow<Graph> + Sync>(
+        self,
+        graphs: &[G],
+        labels: &[u32],
+        num_classes: usize,
+    ) -> Result<Engine, Error> {
+        self.validate()?;
+        // `GraphEncoder::new` revalidates the configuration (dimension),
+        // so the builder's model knobs need no separate build step here.
+        let mut encoder = graphhd::GraphEncoder::new(self.config)?;
+        if let Some(pool) = &self.pool {
+            encoder = encoder.with_pool(Arc::clone(pool));
+        }
+        let model = GraphHdModel::fit_with_retraining(
+            encoder,
+            graphs,
+            labels,
+            num_classes,
+            self.retrain_epochs,
+        )?;
+        self.spawn(model)
+    }
+
+    /// Starts serving an already-trained model (the model keeps its own
+    /// configuration; the builder's model knobs are ignored, its pool
+    /// and queue knobs apply).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] for invalid serving knobs.
+    pub fn from_model(self, model: GraphHdModel) -> Result<Engine, Error> {
+        self.validate()?;
+        let model = match &self.pool {
+            Some(pool) => model.with_pool(Arc::clone(pool)),
+            None => model,
+        };
+        self.spawn(model)
+    }
+
+    /// Loads a snapshot (see [`GraphHdModel::save`]) and starts serving
+    /// it. As with [`from_model`](Self::from_model), the snapshot's own
+    /// configuration wins over the builder's model knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] / [`Error::Snapshot`] for unreadable or
+    /// malformed snapshots and [`Error`] for invalid serving knobs.
+    pub fn from_snapshot<P: AsRef<Path>>(self, path: P) -> Result<Engine, Error> {
+        self.validate()?;
+        let model = GraphHdModel::load(path)?;
+        self.from_model(model)
+    }
+
+    /// Wraps the model in the shared state and spawns the dispatcher.
+    fn spawn(self, model: GraphHdModel) -> Result<Engine, Error> {
+        let shared = Arc::new(Shared {
+            model,
+            state: Mutex::new(QueueState {
+                requests: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: self.queue_capacity,
+            max_batch: self.max_batch,
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("graphhd-engine".into())
+                .spawn(move || shared.dispatch())
+                .map_err(Error::from)?
+        };
+        Ok(Engine {
+            guard: Arc::new(DispatcherGuard {
+                shared: Arc::clone(&shared),
+                handle: Mutex::new(Some(dispatcher)),
+            }),
+            shared,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::generate;
+
+    fn toy() -> (Vec<Graph>, Vec<u32>) {
+        let mut graphs = Vec::new();
+        let mut labels = Vec::new();
+        for n in 6..14 {
+            graphs.push(generate::complete(n));
+            labels.push(0);
+            graphs.push(generate::path(n));
+            labels.push(1);
+        }
+        (graphs, labels)
+    }
+
+    fn toy_engine(dim: usize, capacity: usize, max_batch: usize) -> (Engine, Vec<Graph>) {
+        let (graphs, labels) = toy();
+        let engine = Engine::builder()
+            .dim(dim)
+            .queue_capacity(capacity)
+            .max_batch(max_batch)
+            .fit(&graphs, &labels, 2)
+            .expect("valid inputs");
+        (engine, graphs)
+    }
+
+    #[test]
+    fn classify_matches_model_predict() {
+        let (engine, graphs) = toy_engine(1024, 16, 4);
+        for graph in &graphs {
+            assert_eq!(
+                engine.classify(graph).expect("engine alive"),
+                engine.model().predict(graph)
+            );
+        }
+    }
+
+    #[test]
+    fn scores_match_model_scores_bitwise() {
+        let (engine, graphs) = toy_engine(1024, 16, 4);
+        for graph in &graphs {
+            assert_eq!(
+                engine.scores(graph).expect("engine alive"),
+                engine.model().scores(graph)
+            );
+        }
+    }
+
+    #[test]
+    fn classify_batch_matches_predict_all_through_tiny_queue() {
+        // Capacity 2 with a 32-graph batch: the submit loop must ride
+        // the backpressure (dispatcher drains while we enqueue).
+        let (engine, graphs) = toy_engine(512, 2, 2);
+        let expected = engine.model().predict_batch(&graphs);
+        assert_eq!(
+            engine.classify_batch(&graphs).expect("engine alive"),
+            expected
+        );
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        assert_eq!(
+            engine.classify_batch(&refs).expect("engine alive"),
+            expected
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_bounds() {
+        let (graphs, labels) = toy();
+        assert_eq!(
+            Engine::builder()
+                .queue_capacity(0)
+                .fit(&graphs, &labels, 2)
+                .unwrap_err(),
+            Error::ZeroQueueCapacity
+        );
+        assert_eq!(
+            Engine::builder()
+                .max_batch(0)
+                .fit(&graphs, &labels, 2)
+                .unwrap_err(),
+            Error::ZeroBatch
+        );
+        assert_eq!(
+            Engine::builder()
+                .dim(0)
+                .fit(&graphs, &labels, 2)
+                .unwrap_err(),
+            Error::ZeroDimension
+        );
+        assert_eq!(
+            Engine::builder()
+                .dim(64)
+                .fit::<Graph>(&[], &[], 2)
+                .unwrap_err(),
+            Error::EmptyTrainingSet
+        );
+    }
+
+    #[test]
+    fn shutdown_rejects_new_requests_on_every_clone() {
+        let (engine, graphs) = toy_engine(512, 8, 4);
+        let clone = engine.clone();
+        assert!(engine.classify(&graphs[0]).is_ok());
+        engine.shutdown();
+        assert_eq!(engine.classify(&graphs[0]).unwrap_err(), Error::ShutDown);
+        assert_eq!(clone.classify(&graphs[0]).unwrap_err(), Error::ShutDown);
+        // Idempotent.
+        clone.shutdown();
+    }
+
+    #[test]
+    fn retrain_epochs_match_offline_retraining() {
+        let (graphs, labels) = toy();
+        let engine = Engine::builder()
+            .dim(1024)
+            .seed(5)
+            .retrain_epochs(4)
+            .fit(&graphs, &labels, 2)
+            .expect("valid inputs");
+
+        let config = GraphHdConfig::builder()
+            .dim(1024)
+            .seed(5)
+            .build()
+            .expect("valid dimension");
+        let encoder = graphhd::GraphEncoder::new(config).expect("valid config");
+        let encodings = encoder.encode_all(&graphs);
+        let mut reference = GraphHdModel::fit_encoded(encoder, &encodings, &labels, 2);
+        let _ = reference.retrain(&encodings, &labels, 4);
+
+        assert_eq!(engine.model().class_vectors(), reference.class_vectors());
+    }
+
+    #[test]
+    fn from_model_serves_an_existing_model() {
+        let (graphs, labels) = toy();
+        let config = GraphHdConfig::builder()
+            .dim(1024)
+            .build()
+            .expect("valid dimension");
+        let model = GraphHdModel::fit(config, &graphs, &labels, 2).expect("valid inputs");
+        let expected = model.predict_batch(&graphs);
+        let engine = Engine::builder()
+            .threads(2)
+            .from_model(model)
+            .expect("valid knobs");
+        assert_eq!(
+            engine.classify_batch(&graphs).expect("engine alive"),
+            expected
+        );
+        assert_eq!(engine.pending(), 0);
+    }
+}

@@ -1,11 +1,81 @@
-//! GraphHD under the suite-wide [`GraphClassifier`] harness.
+//! The suite-wide classifier interface and GraphHD's implementation of
+//! it.
+//!
+//! [`GraphClassifier`] used to live in `datasets::harness`, which meant
+//! serving code had to pull in the whole benchmark layer to program
+//! against "a thing that classifies graphs". It now lives here, next to
+//! the model it abstracts, speaking plain graph slices; `datasets`
+//! re-exports it for compatibility and its CV driver, the serving
+//! engine, baselines and examples all program against this one trait.
 
-use crate::{GraphEncoder, GraphHdConfig, GraphHdModel};
-use datasets::harness::GraphClassifier;
-use datasets::GraphDataset;
+use crate::{Error, GraphEncoder, GraphHdConfig, GraphHdModel};
 use graphcore::Graph;
 use parallel::{Pool, PoolHandle};
 use std::sync::Arc;
+
+/// A graph classification method under the paper's protocol.
+///
+/// `fit` trains **from scratch** — implementations must discard any state
+/// from a previous call, because the CV driver reuses one instance across
+/// folds. Both methods speak `&[&Graph]`, so callers select subsets
+/// (folds, batches) without cloning graphs and without this crate
+/// depending on any dataset container.
+pub trait GraphClassifier {
+    /// Human-readable method name (used in tables, e.g. `"GraphHD"`).
+    fn name(&self) -> &str;
+
+    /// Trains on `graphs`/`labels` with labels in `0..num_classes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] for inconsistent inputs (empty training set,
+    /// length mismatch, out-of-range labels, zero classes).
+    fn fit(&mut self, graphs: &[&Graph], labels: &[u32], num_classes: usize) -> Result<(), Error>;
+
+    /// Predicts class labels for `graphs`. Called only after a
+    /// successful `fit`; implementations may panic otherwise.
+    fn predict(&self, graphs: &[&Graph]) -> Vec<u32>;
+}
+
+/// Shared input validation for [`GraphClassifier::fit`]
+/// implementations: every classifier in the suite (and any downstream
+/// one) rejects inconsistent training sets with identical errors.
+///
+/// # Errors
+///
+/// [`Error::ZeroClasses`], [`Error::EmptyTrainingSet`],
+/// [`Error::LengthMismatch`] or [`Error::LabelOutOfRange`], checked in
+/// that order.
+pub fn validate_fit_inputs(
+    graph_count: usize,
+    labels: &[u32],
+    num_classes: usize,
+) -> Result<(), Error> {
+    if num_classes == 0 {
+        return Err(Error::ZeroClasses);
+    }
+    if graph_count == 0 {
+        return Err(Error::EmptyTrainingSet);
+    }
+    if graph_count != labels.len() {
+        return Err(Error::LengthMismatch {
+            graphs: graph_count,
+            labels: labels.len(),
+        });
+    }
+    if let Some((index, &label)) = labels
+        .iter()
+        .enumerate()
+        .find(|(_, &l)| l as usize >= num_classes)
+    {
+        return Err(Error::LabelOutOfRange {
+            index,
+            label,
+            num_classes,
+        });
+    }
+    Ok(())
+}
 
 /// GraphHD as a [`GraphClassifier`], with optional retraining epochs (the
 /// paper's future-work extension, off by default to match the baseline
@@ -14,20 +84,20 @@ use std::sync::Arc;
 /// # Examples
 ///
 /// ```
-/// use datasets::harness::{evaluate_cv, CvProtocol, GraphClassifier};
-/// use datasets::surrogate;
-/// use graphhd::GraphHdClassifier;
+/// use graphcore::generate;
+/// use graphhd::{GraphClassifier, GraphHdClassifier, GraphHdConfig};
 ///
-/// let dataset = surrogate::generate_surrogate_sized(
-///     surrogate::spec_by_name("MUTAG").expect("known"),
-///     7,
-///     40,
-/// );
-/// let mut clf = GraphHdClassifier::default();
-/// let protocol = CvProtocol { folds: 4, repetitions: 1, seed: 1 };
-/// let report = evaluate_cv(&mut clf, &dataset, &protocol)?;
-/// assert_eq!(report.method, "GraphHD");
-/// # Ok::<(), datasets::SplitError>(())
+/// let graphs: Vec<_> = (6..14)
+///     .flat_map(|n| [generate::complete(n), generate::path(n)])
+///     .collect();
+/// let refs: Vec<&_> = graphs.iter().collect();
+/// let labels: Vec<u32> = (0..graphs.len()).map(|i| (i % 2) as u32).collect();
+///
+/// let config = GraphHdConfig::builder().dim(2048).build()?;
+/// let mut clf = GraphHdClassifier::new(config);
+/// clf.fit(&refs, &labels, 2)?;
+/// assert_eq!(clf.predict(&refs[..2]), vec![0, 1]);
+/// # Ok::<(), graphhd::Error>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct GraphHdClassifier {
@@ -93,79 +163,90 @@ impl GraphClassifier for GraphHdClassifier {
         }
     }
 
-    fn fit(&mut self, dataset: &GraphDataset, train: &[usize]) {
-        let graphs: Vec<&Graph> = train.iter().map(|&i| dataset.graph(i)).collect();
-        let labels: Vec<u32> = train.iter().map(|&i| dataset.label(i)).collect();
-        let encoder = GraphEncoder::new(self.config)
-            .expect("harness supplies valid configurations")
-            .with_pool_handle(self.pool.clone());
-        let model = if self.retrain_epochs > 0 {
-            // Encode once and reuse the encodings for the retraining
-            // epochs — encoding dominates training cost, so routing the
-            // retrain path through `fit_with_encoder` would pay it twice.
-            // Validation stays identical to the non-retraining branch.
-            GraphHdModel::validate_inputs(graphs.len(), &labels, dataset.num_classes())
-                .expect("harness supplies consistent datasets");
-            let encodings = encoder.encode_all(&graphs);
-            let mut model =
-                GraphHdModel::fit_encoded(encoder, &encodings, &labels, dataset.num_classes());
-            let _ = model.retrain(&encodings, &labels, self.retrain_epochs);
-            model
-        } else {
-            GraphHdModel::fit_with_encoder(encoder, &graphs, &labels, dataset.num_classes())
-                .expect("harness supplies consistent datasets")
-        };
+    fn fit(&mut self, graphs: &[&Graph], labels: &[u32], num_classes: usize) -> Result<(), Error> {
+        let encoder = GraphEncoder::new(self.config)?.with_pool_handle(self.pool.clone());
+        let model = GraphHdModel::fit_with_retraining(
+            encoder,
+            graphs,
+            labels,
+            num_classes,
+            self.retrain_epochs,
+        )?;
         self.model = Some(model);
+        Ok(())
     }
 
-    fn predict(&self, dataset: &GraphDataset, indices: &[usize]) -> Vec<u32> {
+    fn predict(&self, graphs: &[&Graph]) -> Vec<u32> {
         let model = self
             .model
             .as_ref()
             .expect("fit must be called before predict");
-        let graphs: Vec<&Graph> = indices.iter().map(|&i| dataset.graph(i)).collect();
-        model.predict_all(&graphs)
+        model.predict_all(graphs)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use datasets::harness::{evaluate_cv, CvProtocol};
-    use datasets::surrogate;
+    use graphcore::generate;
 
-    #[test]
-    fn beats_chance_on_surrogate() {
-        let spec = surrogate::spec_by_name("NCI1").expect("known dataset");
-        let dataset = surrogate::generate_surrogate_sized(spec, 3, 150);
-        let mut clf = GraphHdClassifier::new(GraphHdConfig::with_dim(4096));
-        let protocol = CvProtocol {
-            folds: 3,
-            repetitions: 1,
-            seed: 11,
-        };
-        let report = evaluate_cv(&mut clf, &dataset, &protocol).expect("splittable");
-        let chance = 1.0 / dataset.num_classes() as f64;
-        let accuracy = report.accuracy().mean;
-        assert!(
-            accuracy > chance + 0.10,
-            "accuracy {accuracy} vs chance {chance}"
-        );
+    fn toy() -> (Vec<Graph>, Vec<u32>) {
+        let mut graphs = Vec::new();
+        let mut labels = Vec::new();
+        for n in 6..16 {
+            graphs.push(generate::complete(n));
+            labels.push(0);
+            graphs.push(generate::path(n));
+            labels.push(1);
+        }
+        (graphs, labels)
     }
 
     #[test]
-    #[should_panic(expected = "harness supplies consistent datasets")]
-    fn retraining_fit_validates_like_the_plain_path() {
-        // Regression: the encode-once retraining branch must reject bad
-        // input (here: an empty training selection) exactly like the
-        // validated non-retraining branch, not silently fit a noise model.
-        let dataset = surrogate::generate_surrogate_sized(
-            surrogate::spec_by_name("MUTAG").expect("known"),
-            4,
-            12,
+    fn fit_and_predict_through_the_trait() {
+        let (graphs, labels) = toy();
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        let config = GraphHdConfig::builder()
+            .dim(4096)
+            .build()
+            .expect("valid dimension");
+        let mut clf = GraphHdClassifier::new(config);
+        clf.fit(&refs, &labels, 2).expect("consistent inputs");
+        let predictions = clf.predict(&refs);
+        let accuracy = predictions
+            .iter()
+            .zip(&labels)
+            .filter(|(p, l)| p == l)
+            .count() as f64
+            / labels.len() as f64;
+        assert!(accuracy >= 0.9, "training accuracy {accuracy}");
+        // The trait predictions match the underlying model's.
+        let model = clf.model().expect("fitted");
+        assert_eq!(predictions, model.predict_batch(&graphs));
+    }
+
+    #[test]
+    fn fit_surfaces_validation_errors_instead_of_panicking() {
+        // Regression (reshaped from the old panic-based test): both the
+        // plain and the encode-once retraining branches reject bad input
+        // through the unified error surface.
+        let mut plain = GraphHdClassifier::default();
+        assert_eq!(plain.fit(&[], &[], 2).unwrap_err(), Error::EmptyTrainingSet);
+        let mut retraining = GraphHdClassifier::default().with_retraining(2);
+        assert_eq!(
+            retraining.fit(&[], &[], 2).unwrap_err(),
+            Error::EmptyTrainingSet
         );
-        let mut clf = GraphHdClassifier::default().with_retraining(2);
-        clf.fit(&dataset, &[]);
+        let g = generate::path(3);
+        assert_eq!(
+            retraining.fit(&[&g], &[7], 2).unwrap_err(),
+            Error::LabelOutOfRange {
+                index: 0,
+                label: 7,
+                num_classes: 2
+            }
+        );
+        assert!(retraining.model().is_none());
     }
 
     #[test]
@@ -178,12 +259,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "fit must be called")]
     fn predict_before_fit_panics() {
-        let dataset = surrogate::generate_surrogate_sized(
-            surrogate::spec_by_name("MUTAG").expect("known"),
-            1,
-            10,
-        );
         let clf = GraphHdClassifier::default();
-        let _ = clf.predict(&dataset, &[0]);
+        let _ = clf.predict(&[]);
     }
 }

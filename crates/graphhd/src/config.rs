@@ -1,5 +1,6 @@
-//! GraphHD configuration.
+//! GraphHD configuration and its fluent builder.
 
+use crate::Error;
 use graphcore::PageRankConfig;
 use hdvec::TieBreak;
 
@@ -37,6 +38,10 @@ impl CentralityKind {
 /// paper's experimental setup (Section V): 10,000-dimensional bipolar
 /// hypervectors and 10 PageRank iterations.
 ///
+/// Non-default configurations are built through the validating fluent
+/// [`builder`](Self::builder); the struct fields stay public for
+/// inspection and for struct-update syntax in existing code.
+///
 /// # Examples
 ///
 /// ```
@@ -45,6 +50,10 @@ impl CentralityKind {
 /// let config = GraphHdConfig::default();
 /// assert_eq!(config.dim, 10_000);
 /// assert_eq!(config.pagerank.iterations, 10);
+///
+/// let ablation = GraphHdConfig::builder().dim(4096).seed(7).build()?;
+/// assert_eq!(ablation.dim, 4096);
+/// # Ok::<(), graphhd::Error>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GraphHdConfig {
@@ -73,8 +82,22 @@ impl Default for GraphHdConfig {
 }
 
 impl GraphHdConfig {
-    /// A default configuration with the given hypervector dimensionality
-    /// (used by the dimensionality-ablation experiment).
+    /// Starts a fluent, validating builder from the paper defaults — the
+    /// one construction surface shared by ablation binaries, tests and
+    /// the serving [`EngineBuilder`] that embeds it.
+    ///
+    /// [`EngineBuilder`]: https://docs.rs/engine
+    pub fn builder() -> GraphHdConfigBuilder {
+        GraphHdConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
+    /// A default configuration with the given hypervector dimensionality.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the validating `GraphHdConfig::builder().dim(..).build()` instead"
+    )]
     #[must_use]
     pub fn with_dim(dim: usize) -> Self {
         Self {
@@ -83,8 +106,11 @@ impl GraphHdConfig {
         }
     }
 
-    /// A default configuration with a different centrality metric (used
-    /// by the centrality-ablation experiment).
+    /// A default configuration with a different centrality metric.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the validating `GraphHdConfig::builder().centrality(..).build()` instead"
+    )]
     #[must_use]
     pub fn with_centrality(centrality: CentralityKind) -> Self {
         Self {
@@ -94,12 +120,88 @@ impl GraphHdConfig {
     }
 
     /// A default configuration with a different seed.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the validating `GraphHdConfig::builder().seed(..).build()` instead"
+    )]
     #[must_use]
     pub fn with_seed(seed: u64) -> Self {
         Self {
             seed,
             ..Self::default()
         }
+    }
+}
+
+/// Fluent builder for [`GraphHdConfig`], created by
+/// [`GraphHdConfig::builder`]. Every setter returns `self`;
+/// [`build`](Self::build) validates and produces the configuration.
+///
+/// # Examples
+///
+/// ```
+/// use graphhd::{CentralityKind, GraphHdConfig};
+///
+/// let config = GraphHdConfig::builder()
+///     .dim(2048)
+///     .centrality(CentralityKind::Degree)
+///     .seed(99)
+///     .build()?;
+/// assert_eq!(config.dim, 2048);
+/// assert_eq!(config.centrality, CentralityKind::Degree);
+///
+/// // Invalid configurations are rejected at build time, not deep inside
+/// // a later constructor.
+/// assert!(GraphHdConfig::builder().dim(0).build().is_err());
+/// # Ok::<(), graphhd::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a builder does nothing until `build()` is called"]
+pub struct GraphHdConfigBuilder {
+    config: GraphHdConfig,
+}
+
+impl GraphHdConfigBuilder {
+    /// Sets the hypervector dimensionality d (paper: 10,000).
+    pub fn dim(mut self, dim: usize) -> Self {
+        self.config.dim = dim;
+        self
+    }
+
+    /// Sets the PageRank parameters (paper: 10 iterations, damping 0.85).
+    pub fn pagerank(mut self, pagerank: PageRankConfig) -> Self {
+        self.config.pagerank = pagerank;
+        self
+    }
+
+    /// Sets the centrality metric supplying vertex identifiers.
+    pub fn centrality(mut self, centrality: CentralityKind) -> Self {
+        self.config.centrality = centrality;
+        self
+    }
+
+    /// Sets the tie-break policy for bundling majorities.
+    pub fn tie_break(mut self, tie_break: TieBreak) -> Self {
+        self.config.tie_break = tie_break;
+        self
+    }
+
+    /// Sets the seed of the basis item memory (and derived randomness).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroDimension`] if the dimension is zero.
+    pub fn build(self) -> Result<GraphHdConfig, Error> {
+        if self.config.dim == 0 {
+            return Err(Error::ZeroDimension);
+        }
+        Ok(self.config)
     }
 }
 
@@ -117,13 +219,68 @@ mod tests {
     }
 
     #[test]
-    fn builders_override_single_fields() {
-        assert_eq!(GraphHdConfig::with_dim(512).dim, 512);
+    fn builder_overrides_single_fields() {
+        let config = GraphHdConfig::builder().dim(512).build().expect("valid");
+        assert_eq!(config.dim, 512);
+        assert_eq!(config.seed, GraphHdConfig::default().seed);
         assert_eq!(
-            GraphHdConfig::with_centrality(CentralityKind::Degree).centrality,
+            GraphHdConfig::builder()
+                .centrality(CentralityKind::Degree)
+                .build()
+                .expect("valid")
+                .centrality,
             CentralityKind::Degree
         );
-        assert_eq!(GraphHdConfig::with_seed(9).seed, 9);
+        assert_eq!(
+            GraphHdConfig::builder()
+                .seed(9)
+                .build()
+                .expect("valid")
+                .seed,
+            9
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_dimension() {
+        assert_eq!(
+            GraphHdConfig::builder().dim(0).build().unwrap_err(),
+            Error::ZeroDimension
+        );
+    }
+
+    #[test]
+    fn builder_sets_pagerank_and_tie_break() {
+        let config = GraphHdConfig::builder()
+            .pagerank(PageRankConfig {
+                damping: 0.9,
+                iterations: 25,
+            })
+            .tie_break(TieBreak::Positive)
+            .build()
+            .expect("valid");
+        assert_eq!(config.pagerank.iterations, 25);
+        assert_eq!(config.tie_break, TieBreak::Positive);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_builder() {
+        assert_eq!(
+            GraphHdConfig::with_dim(512),
+            GraphHdConfig::builder().dim(512).build().expect("valid")
+        );
+        assert_eq!(
+            GraphHdConfig::with_centrality(CentralityKind::Degree),
+            GraphHdConfig::builder()
+                .centrality(CentralityKind::Degree)
+                .build()
+                .expect("valid")
+        );
+        assert_eq!(
+            GraphHdConfig::with_seed(9),
+            GraphHdConfig::builder().seed(9).build().expect("valid")
+        );
     }
 
     #[test]

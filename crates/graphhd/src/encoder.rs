@@ -1,8 +1,8 @@
 //! The GraphHD graph encoder (paper Section IV-B/IV-C, Figure 2).
 
-use crate::{CentralityKind, GraphHdConfig};
+use crate::{CentralityKind, Error, GraphHdConfig};
 use graphcore::{degree_centrality, pagerank_ranks, ranks_by_score, Graph};
-use hdvec::{Accumulator, BitSliceAccumulator, HdvError, Hypervector, ItemMemory};
+use hdvec::{Accumulator, BitSliceAccumulator, Hypervector, ItemMemory};
 use parallel::{Pool, PoolHandle};
 use std::borrow::Borrow;
 use std::sync::Arc;
@@ -27,7 +27,7 @@ use std::sync::Arc;
 /// assert_eq!(hv.dim(), 10_000);
 /// // Isomorphic graphs encode identically (same structure, same ranks).
 /// assert_eq!(hv, encoder.encode(&generate::star(10)));
-/// # Ok::<(), hdvec::HdvError>(())
+/// # Ok::<(), graphhd::Error>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct GraphEncoder {
@@ -45,8 +45,10 @@ impl GraphEncoder {
     ///
     /// # Errors
     ///
-    /// Returns [`HdvError::ZeroDimension`] if `config.dim == 0`.
-    pub fn new(config: GraphHdConfig) -> Result<Self, HdvError> {
+    /// Returns [`Error::ZeroDimension`] if `config.dim == 0` (the
+    /// underlying [`hdvec::HdvError`] is routed through the crate's
+    /// unified error type instead of leaking across the boundary).
+    pub fn new(config: GraphHdConfig) -> Result<Self, Error> {
         Ok(Self {
             memory: ItemMemory::new(config.dim, config.seed)?,
             config,
@@ -177,12 +179,25 @@ mod tests {
     use prng::{WordRng, Xoshiro256PlusPlus};
 
     fn encoder(dim: usize) -> GraphEncoder {
-        GraphEncoder::new(GraphHdConfig::with_dim(dim)).expect("valid dimension")
+        GraphEncoder::new(
+            GraphHdConfig::builder()
+                .dim(dim)
+                .build()
+                .expect("valid dimension"),
+        )
+        .expect("valid dimension")
     }
 
     #[test]
     fn rejects_zero_dimension() {
-        assert!(GraphEncoder::new(GraphHdConfig::with_dim(0)).is_err());
+        let zero = GraphHdConfig {
+            dim: 0,
+            ..GraphHdConfig::default()
+        };
+        assert_eq!(
+            GraphEncoder::new(zero).unwrap_err(),
+            crate::Error::ZeroDimension
+        );
     }
 
     #[test]
@@ -243,7 +258,10 @@ mod tests {
         // ids lose correspondence under relabeling.
         let e = GraphEncoder::new(GraphHdConfig {
             centrality: CentralityKind::VertexId,
-            ..GraphHdConfig::with_dim(4096)
+            ..GraphHdConfig::builder()
+                .dim(4096)
+                .build()
+                .expect("valid dimension")
         })
         .expect("valid config");
         let g = generate::path(6);
@@ -311,7 +329,10 @@ mod tests {
         ] {
             let e = GraphEncoder::new(GraphHdConfig {
                 centrality: kind,
-                ..GraphHdConfig::with_dim(256)
+                ..GraphHdConfig::builder()
+                    .dim(256)
+                    .build()
+                    .expect("valid dimension")
             })
             .expect("valid config");
             let ranks = e.vertex_ranks(&g);
@@ -323,7 +344,10 @@ mod tests {
         for kind in [CentralityKind::PageRank, CentralityKind::Degree] {
             let e = GraphEncoder::new(GraphHdConfig {
                 centrality: kind,
-                ..GraphHdConfig::with_dim(256)
+                ..GraphHdConfig::builder()
+                    .dim(256)
+                    .build()
+                    .expect("valid dimension")
             })
             .expect("valid config");
             assert_eq!(e.vertex_ranks(&g)[0], 0);

@@ -12,9 +12,9 @@
 //! so two vertices must agree on both topology role *and* label to share
 //! an encoding.
 
-use crate::{GraphEncoder, GraphHdConfig};
+use crate::{Error, GraphEncoder, GraphHdConfig};
 use graphcore::Graph;
-use hdvec::{BitSliceAccumulator, HdvError, Hypervector, ItemMemory};
+use hdvec::{BitSliceAccumulator, Hypervector, ItemMemory};
 use prng::mix_seed;
 
 /// Encoder combining centrality ranks with vertex labels.
@@ -69,10 +69,11 @@ impl LabeledGraphEncoder {
     ///
     /// # Errors
     ///
-    /// Returns [`HdvError::ZeroDimension`] if `config.dim == 0`.
-    pub fn new(config: GraphHdConfig) -> Result<Self, HdvError> {
+    /// Returns [`Error::ZeroDimension`] if `config.dim == 0`.
+    pub fn new(config: GraphHdConfig) -> Result<Self, Error> {
         Ok(Self {
-            label_memory: ItemMemory::new(config.dim, mix_seed(config.seed, 0x1A_BE1))?,
+            label_memory: ItemMemory::new(config.dim, mix_seed(config.seed, 0x1A_BE1))
+                .map_err(Error::from)?,
             inner: GraphEncoder::new(config)?,
         })
     }
@@ -127,7 +128,13 @@ mod tests {
     use graphcore::generate;
 
     fn encoder() -> LabeledGraphEncoder {
-        LabeledGraphEncoder::new(GraphHdConfig::with_dim(4096)).expect("valid dimension")
+        LabeledGraphEncoder::new(
+            GraphHdConfig::builder()
+                .dim(4096)
+                .build()
+                .expect("valid dimension"),
+        )
+        .expect("valid dimension")
     }
 
     #[test]

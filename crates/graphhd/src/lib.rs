@@ -39,19 +39,38 @@
 //! let model = GraphHdModel::fit(GraphHdConfig::default(), &graphs, &labels, 2)?;
 //! let dense = generate::complete(9);
 //! assert_eq!(model.predict(&dense), 0);
-//! # Ok::<(), graphhd::TrainError>(())
+//! # Ok::<(), graphhd::Error>(())
 //! ```
+//!
+//! # Serving & model artifacts
+//!
+//! A trained [`GraphHdModel`] is a deployable artifact:
+//! [`save`](GraphHdModel::save) writes a versioned, endian-stable binary
+//! snapshot (format documented on [`GraphHdModel::load`]) that any
+//! process — on any machine — reloads into a bit-identical model. The
+//! `engine` crate builds the long-lived serving front door on top.
+//! All construction goes through the one fallible surface of
+//! [`Error`], via [`GraphHdConfig::builder`].
 
 mod classifier;
 mod config;
 mod encoder;
+mod error;
 pub mod labeled;
 mod model;
 pub mod noise;
 pub mod prototypes;
-mod select;
+pub mod select;
+mod snapshot;
 
-pub use classifier::GraphHdClassifier;
-pub use config::{CentralityKind, GraphHdConfig};
+pub use classifier::{validate_fit_inputs, GraphClassifier, GraphHdClassifier};
+pub use config::{CentralityKind, GraphHdConfig, GraphHdConfigBuilder};
 pub use encoder::GraphEncoder;
-pub use model::{GraphHdModel, RetrainReport, TrainError};
+pub use error::{Error, SnapshotError};
+pub use model::{GraphHdModel, RetrainReport};
+pub use snapshot::{SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+
+/// The historical name of [`Error`], kept so downstream code written
+/// against the pre-engine API keeps compiling.
+#[deprecated(since = "0.1.0", note = "renamed to `graphhd::Error`")]
+pub type TrainError = Error;

@@ -2,10 +2,12 @@
 //! extension (future-work direction 1 of Section VII).
 
 use crate::select::argmax_tie_low;
-use crate::{GraphEncoder, GraphHdConfig};
+use crate::{Error, GraphEncoder, GraphHdConfig};
 use graphcore::Graph;
 use hdvec::{Accumulator, ClassMemory, Hypervector};
+use parallel::Pool;
 use std::borrow::Borrow;
+use std::sync::Arc;
 
 /// Below this many samples per chunk, sharding the class accumulators
 /// costs more (one `num_classes × dim` counter block per chunk) than the
@@ -15,57 +17,6 @@ const FIT_MIN_CHUNK: usize = 16;
 /// Scoring one query against the class vectors is cheap (a few popcount
 /// sweeps), so prediction maps batch several queries per stealable unit.
 const PREDICT_MIN_CHUNK: usize = 8;
-
-/// Errors produced when fitting a [`GraphHdModel`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum TrainError {
-    /// The training set was empty.
-    EmptyTrainingSet,
-    /// Graph and label counts differ.
-    LengthMismatch {
-        /// Number of graphs supplied.
-        graphs: usize,
-        /// Number of labels supplied.
-        labels: usize,
-    },
-    /// A label was `>= num_classes`.
-    LabelOutOfRange {
-        /// Index of the offending sample.
-        index: usize,
-        /// The label value.
-        label: u32,
-        /// Declared class count.
-        num_classes: usize,
-    },
-    /// `num_classes` was zero.
-    ZeroClasses,
-    /// The configured hypervector dimension was zero.
-    ZeroDimension,
-}
-
-impl core::fmt::Display for TrainError {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            TrainError::EmptyTrainingSet => write!(f, "cannot train on zero graphs"),
-            TrainError::LengthMismatch { graphs, labels } => {
-                write!(f, "{graphs} graphs but {labels} labels")
-            }
-            TrainError::LabelOutOfRange {
-                index,
-                label,
-                num_classes,
-            } => write!(
-                f,
-                "label {label} at index {index} out of range for {num_classes} classes"
-            ),
-            TrainError::ZeroClasses => write!(f, "need at least one class"),
-            TrainError::ZeroDimension => write!(f, "hypervector dimension must be positive"),
-        }
-    }
-}
-
-impl std::error::Error for TrainError {}
 
 /// Outcome of a [`GraphHdModel::retrain`] run: mistakes per epoch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,14 +61,14 @@ impl GraphHdModel {
     ///
     /// # Errors
     ///
-    /// Returns [`TrainError`] for inconsistent inputs.
+    /// Returns [`Error`] for inconsistent inputs.
     pub fn fit<G: Borrow<Graph> + Sync>(
         config: GraphHdConfig,
         graphs: &[G],
         labels: &[u32],
         num_classes: usize,
-    ) -> Result<Self, TrainError> {
-        let encoder = GraphEncoder::new(config).map_err(|_| TrainError::ZeroDimension)?;
+    ) -> Result<Self, Error> {
+        let encoder = GraphEncoder::new(config)?;
         Self::fit_with_encoder(encoder, graphs, labels, num_classes)
     }
 
@@ -129,15 +80,41 @@ impl GraphHdModel {
     ///
     /// # Errors
     ///
-    /// Returns [`TrainError`] for inconsistent inputs.
+    /// Returns [`Error`] for inconsistent inputs.
     pub fn fit_with_encoder<G: Borrow<Graph> + Sync>(
         encoder: GraphEncoder,
         graphs: &[G],
         labels: &[u32],
         num_classes: usize,
-    ) -> Result<Self, TrainError> {
+    ) -> Result<Self, Error> {
         let encodings = Self::validate_and_encode(&encoder, graphs, labels, num_classes)?;
         Ok(Self::fit_encoded(encoder, &encodings, labels, num_classes))
+    }
+
+    /// As [`fit_with_encoder`](Self::fit_with_encoder), followed by
+    /// `epochs` perceptron [`retrain`](Self::retrain) epochs over the
+    /// training set — encoded **once** and reused, since encoding
+    /// dominates training cost. The single owner of the encode-once
+    /// retraining sequence shared by the harness classifier and the
+    /// serving engine builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] for inconsistent inputs.
+    pub fn fit_with_retraining<G: Borrow<Graph> + Sync>(
+        encoder: GraphEncoder,
+        graphs: &[G],
+        labels: &[u32],
+        num_classes: usize,
+        epochs: usize,
+    ) -> Result<Self, Error> {
+        Self::validate_inputs(graphs.len(), labels, num_classes)?;
+        let encodings = encoder.encode_all(graphs);
+        let mut model = Self::fit_encoded(encoder, &encodings, labels, num_classes);
+        if epochs > 0 {
+            let _ = model.retrain(&encodings, labels, epochs);
+        }
+        Ok(model)
     }
 
     /// Trains from precomputed graph hypervectors (exposed so pipelines
@@ -199,6 +176,50 @@ impl GraphHdModel {
         }
     }
 
+    /// Rebuilds a model from already-thresholded class vectors — the
+    /// snapshot load path. The integer accumulators restart from the
+    /// stored vectors (each counted once), so predictions are
+    /// bit-identical to the saved model while a subsequent
+    /// [`retrain`](Self::retrain) starts from ±1 counters rather than
+    /// the original training counts (snapshots store the deployable
+    /// artifact, not the training state).
+    pub(crate) fn from_class_vectors(
+        encoder: GraphEncoder,
+        class_vectors: &[Hypervector],
+    ) -> Result<Self, Error> {
+        if class_vectors.is_empty() {
+            return Err(Error::ZeroClasses);
+        }
+        let dim = encoder.config().dim;
+        let mut class_accumulators = Vec::with_capacity(class_vectors.len());
+        for hv in class_vectors {
+            if hv.dim() != dim {
+                return Err(Error::Hdv(hdvec::HdvError::DimensionMismatch {
+                    left: dim,
+                    right: hv.dim(),
+                }));
+            }
+            let mut acc = Accumulator::new(dim)?;
+            acc.add(hv);
+            class_accumulators.push(acc);
+        }
+        let class_memory = ClassMemory::from_vectors(class_vectors)?;
+        Ok(Self {
+            encoder,
+            class_accumulators,
+            class_memory,
+        })
+    }
+
+    /// Pins all batch operations of this model to an explicit pool —
+    /// the serving-engine hook for running a loaded snapshot on a
+    /// dedicated thread pool instead of the process-wide global one.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<Pool>) -> Self {
+        self.encoder = self.encoder.clone().with_pool(pool);
+        self
+    }
+
     /// The validation half of [`fit`](Self::fit), shared with callers
     /// (e.g. the harness classifier) that encode themselves and go
     /// through [`fit_encoded`](Self::fit_encoded).
@@ -206,31 +227,8 @@ impl GraphHdModel {
         graph_count: usize,
         labels: &[u32],
         num_classes: usize,
-    ) -> Result<(), TrainError> {
-        if num_classes == 0 {
-            return Err(TrainError::ZeroClasses);
-        }
-        if graph_count == 0 {
-            return Err(TrainError::EmptyTrainingSet);
-        }
-        if graph_count != labels.len() {
-            return Err(TrainError::LengthMismatch {
-                graphs: graph_count,
-                labels: labels.len(),
-            });
-        }
-        if let Some((index, &label)) = labels
-            .iter()
-            .enumerate()
-            .find(|(_, &l)| l as usize >= num_classes)
-        {
-            return Err(TrainError::LabelOutOfRange {
-                index,
-                label,
-                num_classes,
-            });
-        }
-        Ok(())
+    ) -> Result<(), Error> {
+        crate::validate_fit_inputs(graph_count, labels, num_classes)
     }
 
     fn validate_and_encode<G: Borrow<Graph> + Sync>(
@@ -238,7 +236,7 @@ impl GraphHdModel {
         graphs: &[G],
         labels: &[u32],
         num_classes: usize,
-    ) -> Result<Vec<Hypervector>, TrainError> {
+    ) -> Result<Vec<Hypervector>, Error> {
         Self::validate_inputs(graphs.len(), labels, num_classes)?;
         Ok(encoder.encode_all(graphs))
     }
@@ -457,8 +455,16 @@ mod tests {
 
     fn fit_toy(dim: usize) -> (GraphHdModel, Vec<Graph>, Vec<u32>) {
         let (graphs, labels) = toy();
-        let model = GraphHdModel::fit(GraphHdConfig::with_dim(dim), &graphs, &labels, 2)
-            .expect("valid inputs");
+        let model = GraphHdModel::fit(
+            GraphHdConfig::builder()
+                .dim(dim)
+                .build()
+                .expect("valid dimension"),
+            &graphs,
+            &labels,
+            2,
+        )
+        .expect("valid inputs");
         (model, graphs, labels)
     }
 
@@ -468,18 +474,18 @@ mod tests {
         let config = GraphHdConfig::default();
         assert_eq!(
             GraphHdModel::fit::<&Graph>(config, &[], &[], 2).unwrap_err(),
-            TrainError::EmptyTrainingSet
+            Error::EmptyTrainingSet
         );
         assert_eq!(
             GraphHdModel::fit(config, &[&g], &[], 2).unwrap_err(),
-            TrainError::LengthMismatch {
+            Error::LengthMismatch {
                 graphs: 1,
                 labels: 0
             }
         );
         assert_eq!(
             GraphHdModel::fit(config, &[&g], &[7], 2).unwrap_err(),
-            TrainError::LabelOutOfRange {
+            Error::LabelOutOfRange {
                 index: 0,
                 label: 7,
                 num_classes: 2
@@ -487,11 +493,20 @@ mod tests {
         );
         assert_eq!(
             GraphHdModel::fit(config, &[&g], &[0], 0).unwrap_err(),
-            TrainError::ZeroClasses
+            Error::ZeroClasses
         );
         assert_eq!(
-            GraphHdModel::fit(GraphHdConfig::with_dim(0), &[&g], &[0], 1).unwrap_err(),
-            TrainError::ZeroDimension
+            GraphHdModel::fit(
+                GraphHdConfig {
+                    dim: 0,
+                    ..GraphHdConfig::default()
+                },
+                &[&g],
+                &[0],
+                1
+            )
+            .unwrap_err(),
+            Error::ZeroDimension
         );
     }
 
@@ -544,7 +559,10 @@ mod tests {
                 labels.push(1u32);
             }
         }
-        let config = GraphHdConfig::with_dim(4096);
+        let config = GraphHdConfig::builder()
+            .dim(4096)
+            .build()
+            .expect("valid dimension");
         let encoder = GraphEncoder::new(config).expect("valid config");
         let encodings = encoder.encode_all(&graphs);
         let mut model = GraphHdModel::fit_encoded(encoder, &encodings, &labels, 2);
@@ -589,7 +607,10 @@ mod tests {
         use parallel::Pool;
         use std::sync::Arc;
         let (graphs, labels) = toy();
-        let config = GraphHdConfig::with_dim(2048);
+        let config = GraphHdConfig::builder()
+            .dim(2048)
+            .build()
+            .expect("valid dimension");
         let fit_at = |threads: usize| {
             let encoder = crate::GraphEncoder::new(config)
                 .expect("valid config")
@@ -632,7 +653,10 @@ mod tests {
                 labels.push(1u32);
             }
         }
-        let config = GraphHdConfig::with_dim(1024);
+        let config = GraphHdConfig::builder()
+            .dim(1024)
+            .build()
+            .expect("valid dimension");
         let encoder = crate::GraphEncoder::new(config).expect("valid config");
         let encodings = encoder.encode_all(&graphs);
 
@@ -695,7 +719,13 @@ mod tests {
                 .map(|i| items.hypervector(i))
                 .collect();
             let labels: Vec<u32> = (0..encodings.len()).map(|i| (i % classes) as u32).collect();
-            let encoder = GraphEncoder::new(GraphHdConfig::with_dim(dim)).expect("valid config");
+            let encoder = GraphEncoder::new(
+                GraphHdConfig::builder()
+                    .dim(dim)
+                    .build()
+                    .expect("valid dimension"),
+            )
+            .expect("valid config");
             let model = GraphHdModel::fit_encoded(encoder, &encodings, &labels, classes);
             let query = items.hypervector(1_000_000);
             let naive: Vec<f64> = model

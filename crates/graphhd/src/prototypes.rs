@@ -9,7 +9,7 @@
 //! overall.
 
 use crate::select::argmax_tie_low;
-use crate::{GraphEncoder, GraphHdConfig, TrainError};
+use crate::{Error, GraphClassifier, GraphEncoder, GraphHdConfig, GraphHdModel};
 use graphcore::Graph;
 use hdvec::{Accumulator, ClassMemory, Hypervector};
 use std::borrow::Borrow;
@@ -63,7 +63,7 @@ impl Default for PrototypeConfig {
 /// )?;
 /// assert_eq!(model.predict(&generate::star(14)), 0);
 /// assert_eq!(model.predict(&generate::path(14)), 1);
-/// # Ok::<(), graphhd::TrainError>(())
+/// # Ok::<(), graphhd::Error>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct MultiPrototypeModel {
@@ -78,42 +78,47 @@ pub struct MultiPrototypeModel {
 }
 
 impl MultiPrototypeModel {
+    /// Creates an untrained model shell: the encoder is constructed and
+    /// validated, but no prototypes exist yet. The entry point for using
+    /// the model through the [`GraphClassifier`] trait, whose `fit`
+    /// populates it in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroPrototypes`] if `max_prototypes == 0` and
+    /// [`Error::ZeroDimension`] for a zero hypervector dimension.
+    pub fn untrained(config: PrototypeConfig) -> Result<Self, Error> {
+        if config.max_prototypes == 0 {
+            return Err(Error::ZeroPrototypes);
+        }
+        let encoder = GraphEncoder::new(config.base)?;
+        let memory = hdvec::ClassMemory::new(config.base.dim)?;
+        Ok(Self {
+            encoder,
+            config,
+            accumulators: Vec::new(),
+            memory,
+            lane_class: Vec::new(),
+        })
+    }
+
     /// Trains with single-pass online prototype assignment.
     ///
     /// # Errors
     ///
-    /// Returns [`TrainError`] for inconsistent inputs or a zero
-    /// `max_prototypes`.
+    /// Returns [`Error`] for inconsistent inputs, a zero
+    /// `max_prototypes`, or a zero dimension.
     pub fn fit<G: Borrow<Graph> + Sync>(
         config: PrototypeConfig,
         graphs: &[G],
         labels: &[u32],
         num_classes: usize,
-    ) -> Result<Self, TrainError> {
-        if config.max_prototypes == 0 || num_classes == 0 {
-            return Err(TrainError::ZeroClasses);
+    ) -> Result<Self, Error> {
+        if config.max_prototypes == 0 {
+            return Err(Error::ZeroPrototypes);
         }
-        if graphs.is_empty() {
-            return Err(TrainError::EmptyTrainingSet);
-        }
-        if graphs.len() != labels.len() {
-            return Err(TrainError::LengthMismatch {
-                graphs: graphs.len(),
-                labels: labels.len(),
-            });
-        }
-        if let Some((index, &label)) = labels
-            .iter()
-            .enumerate()
-            .find(|(_, &l)| l as usize >= num_classes)
-        {
-            return Err(TrainError::LabelOutOfRange {
-                index,
-                label,
-                num_classes,
-            });
-        }
-        let encoder = GraphEncoder::new(config.base).map_err(|_| TrainError::ZeroDimension)?;
+        GraphHdModel::validate_inputs(graphs.len(), labels, num_classes)?;
+        let encoder = GraphEncoder::new(config.base)?;
         let tie = config.base.tie_break;
         let encodings = encoder.encode_all(graphs);
 
@@ -222,6 +227,32 @@ impl MultiPrototypeModel {
     }
 }
 
+/// The multi-prototype model under the suite-wide trait, so the CV
+/// driver and the extension experiments measure it with the exact same
+/// protocol as every other method. Start from
+/// [`untrained`](MultiPrototypeModel::untrained); the trait's `fit`
+/// replaces the prototypes in place (training is single-pass online, so
+/// the result depends on the order of `graphs` — deterministic for a
+/// deterministic fold order).
+impl GraphClassifier for MultiPrototypeModel {
+    fn name(&self) -> &str {
+        "GraphHD+prototypes"
+    }
+
+    fn fit(&mut self, graphs: &[&Graph], labels: &[u32], num_classes: usize) -> Result<(), Error> {
+        *self = Self::fit(self.config, graphs, labels, num_classes)?;
+        Ok(())
+    }
+
+    fn predict(&self, graphs: &[&Graph]) -> Vec<u32> {
+        assert!(
+            !self.lane_class.is_empty(),
+            "fit must be called before predict"
+        );
+        self.predict_all(graphs)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,7 +290,10 @@ mod tests {
     fn single_prototype_reduces_to_baseline_shape() {
         let (graphs, labels) = bimodal();
         let config = PrototypeConfig {
-            base: GraphHdConfig::with_dim(2048),
+            base: GraphHdConfig::builder()
+                .dim(2048)
+                .build()
+                .expect("valid dimension"),
             max_prototypes: 1,
             spawn_threshold: -1.0,
         };
@@ -271,7 +305,10 @@ mod tests {
     fn bimodal_class_allocates_multiple_prototypes() {
         let (graphs, labels) = bimodal();
         let config = PrototypeConfig {
-            base: GraphHdConfig::with_dim(4096),
+            base: GraphHdConfig::builder()
+                .dim(4096)
+                .build()
+                .expect("valid dimension"),
             max_prototypes: 4,
             spawn_threshold: 0.5,
         };
@@ -289,7 +326,10 @@ mod tests {
     fn blocked_scoring_matches_naive_prototype_loop() {
         let (graphs, labels) = bimodal();
         let config = PrototypeConfig {
-            base: GraphHdConfig::with_dim(4096),
+            base: GraphHdConfig::builder()
+                .dim(4096)
+                .build()
+                .expect("valid dimension"),
             max_prototypes: 4,
             spawn_threshold: 0.5,
         };
@@ -315,7 +355,10 @@ mod tests {
     fn predictions_beat_single_vector_on_bimodal_task() {
         let (graphs, labels) = bimodal();
         let config = PrototypeConfig {
-            base: GraphHdConfig::with_dim(4096),
+            base: GraphHdConfig::builder()
+                .dim(4096)
+                .build()
+                .expect("valid dimension"),
             max_prototypes: 4,
             spawn_threshold: 0.5,
         };
@@ -329,5 +372,47 @@ mod tests {
             / labels.len() as f64;
         assert!(accuracy >= 0.9, "accuracy {accuracy}");
         assert_eq!(model.predict(&generate::star(20)), 0);
+    }
+
+    #[test]
+    fn trait_fit_matches_inherent_fit() {
+        let (graphs, labels) = bimodal();
+        let refs: Vec<&Graph> = graphs.iter().collect();
+        let config = PrototypeConfig {
+            base: GraphHdConfig::builder()
+                .dim(2048)
+                .build()
+                .expect("valid dimension"),
+            max_prototypes: 4,
+            spawn_threshold: 0.5,
+        };
+        let direct = MultiPrototypeModel::fit(config, &graphs, &labels, 2).expect("valid");
+        let mut via_trait = MultiPrototypeModel::untrained(config).expect("valid");
+        GraphClassifier::fit(&mut via_trait, &refs, &labels, 2).expect("valid");
+        assert_eq!(via_trait.prototype_counts(), direct.prototype_counts());
+        assert_eq!(
+            GraphClassifier::predict(&via_trait, &refs),
+            direct.predict_batch(&graphs)
+        );
+        assert_eq!(GraphClassifier::name(&via_trait), "GraphHD+prototypes");
+    }
+
+    #[test]
+    fn untrained_rejects_bad_configs() {
+        let bad = PrototypeConfig {
+            max_prototypes: 0,
+            ..PrototypeConfig::default()
+        };
+        assert_eq!(
+            MultiPrototypeModel::untrained(bad).unwrap_err(),
+            Error::ZeroPrototypes
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fit must be called")]
+    fn trait_predict_before_fit_panics() {
+        let model = MultiPrototypeModel::untrained(PrototypeConfig::default()).expect("valid");
+        let _ = GraphClassifier::predict(&model, &[]);
     }
 }

@@ -12,7 +12,7 @@
 /// slot is never displaced — cosine scores are always finite, so this
 /// edge exists only to pin the semantics.
 #[must_use]
-pub(crate) fn argmax_tie_low(scores: &[f64]) -> Option<usize> {
+pub fn argmax_tie_low(scores: &[f64]) -> Option<usize> {
     let mut indices = 0..scores.len();
     let mut best = indices.next()?;
     for i in indices {

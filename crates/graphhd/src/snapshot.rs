@@ -1,0 +1,492 @@
+//! Versioned binary snapshots: a trained [`GraphHdModel`] as a
+//! deployable artifact.
+//!
+//! The VS-Graph and FPGA-GraphHD follow-ups both treat the trained
+//! associative memory as the thing you ship; this module gives the suite
+//! the same property without external dependencies. A snapshot stores the
+//! full configuration (the basis item memory is a pure function of
+//! `(seed, dim)`, so it is *not* stored), plus the packed class vectors.
+//! Every multi-byte field is written little-endian regardless of host, so
+//! snapshots are bit-portable across machines; a magic and a format
+//! version make foreign or future files fail loudly instead of decoding
+//! into garbage.
+//!
+//! Layout of format version 1 (all integers little-endian):
+//!
+//! ```text
+//! [0..8)    magic            b"GRAPHHD\0"
+//! [8..12)   format version   u32 (currently 1)
+//! [12..20)  dim              u64
+//! [20..28)  item-memory seed u64
+//! [28]      centrality tag   u8  (0 PageRank, 1 Degree, 2 VertexId)
+//! [29]      tie-break tag    u8  (0 Positive, 1 Negative, 2 Seeded)
+//! [30..38)  tie-break seed   u64 (0 unless tag is Seeded)
+//! [38..46)  pagerank iters   u64
+//! [46..54)  pagerank damping f64 (IEEE-754 bits)
+//! [54..62)  num_classes      u64
+//! [62..)    class vectors    num_classes × ⌈dim/64⌉ × u64 packed words
+//! ```
+
+use crate::error::SnapshotError;
+use crate::{CentralityKind, Error, GraphEncoder, GraphHdConfig, GraphHdModel};
+use graphcore::PageRankConfig;
+use hdvec::{Hypervector, TieBreak};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// The 8-byte magic every GraphHD snapshot starts with.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"GRAPHHD\0";
+
+/// The snapshot format version this build writes (and the only one it
+/// currently reads).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+fn centrality_tag(kind: CentralityKind) -> u8 {
+    match kind {
+        CentralityKind::PageRank => 0,
+        CentralityKind::Degree => 1,
+        CentralityKind::VertexId => 2,
+    }
+}
+
+fn centrality_from_tag(tag: u8) -> Result<CentralityKind, SnapshotError> {
+    match tag {
+        0 => Ok(CentralityKind::PageRank),
+        1 => Ok(CentralityKind::Degree),
+        2 => Ok(CentralityKind::VertexId),
+        _ => Err(SnapshotError::Corrupt {
+            what: "centrality tag",
+        }),
+    }
+}
+
+fn tie_break_fields(tie: TieBreak) -> (u8, u64) {
+    match tie {
+        TieBreak::Positive => (0, 0),
+        TieBreak::Negative => (1, 0),
+        TieBreak::Seeded(seed) => (2, seed),
+    }
+}
+
+fn tie_break_from_fields(tag: u8, seed: u64) -> Result<TieBreak, SnapshotError> {
+    match (tag, seed) {
+        (0, 0) => Ok(TieBreak::Positive),
+        (1, 0) => Ok(TieBreak::Negative),
+        (2, seed) => Ok(TieBreak::Seeded(seed)),
+        // A non-zero seed on a seedless policy means the header bytes are
+        // shifted or damaged; refuse rather than silently dropping state.
+        _ => Err(SnapshotError::Corrupt {
+            what: "tie-break fields",
+        }),
+    }
+}
+
+/// Reads exactly `N` bytes, mapping a clean EOF to
+/// [`SnapshotError::Truncated`] and any other failure to [`Error::Io`].
+fn read_array<const N: usize, R: Read>(reader: &mut R) -> Result<[u8; N], Error> {
+    let mut buf = [0u8; N];
+    reader.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            Error::Snapshot(SnapshotError::Truncated)
+        } else {
+            Error::from(e)
+        }
+    })?;
+    Ok(buf)
+}
+
+fn read_u8<R: Read>(reader: &mut R) -> Result<u8, Error> {
+    Ok(read_array::<1, _>(reader)?[0])
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> Result<u32, Error> {
+    Ok(u32::from_le_bytes(read_array::<4, _>(reader)?))
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> Result<u64, Error> {
+    Ok(u64::from_le_bytes(read_array::<8, _>(reader)?))
+}
+
+/// A `u64` header field that must fit in `usize` (snapshots written on a
+/// 64-bit host must fail cleanly, not wrap, on a 32-bit one).
+fn read_len<R: Read>(reader: &mut R, what: &'static str) -> Result<usize, Error> {
+    usize::try_from(read_u64(reader)?).map_err(|_| Error::Snapshot(SnapshotError::Corrupt { what }))
+}
+
+impl GraphHdModel {
+    /// Serialises the model into `writer` in the versioned binary
+    /// format (layout documented at the top of
+    /// `crates/graphhd/src/snapshot.rs`; magic [`SNAPSHOT_MAGIC`],
+    /// version [`SNAPSHOT_VERSION`], then config + packed class
+    /// vectors, all little-endian).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if writing fails.
+    pub fn save_to<W: Write>(&self, writer: &mut W) -> Result<(), Error> {
+        let config = self.encoder().config();
+        let (tie_tag, tie_seed) = tie_break_fields(config.tie_break);
+        writer.write_all(&SNAPSHOT_MAGIC)?;
+        writer.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        writer.write_all(&(config.dim as u64).to_le_bytes())?;
+        writer.write_all(&config.seed.to_le_bytes())?;
+        writer.write_all(&[centrality_tag(config.centrality), tie_tag])?;
+        writer.write_all(&tie_seed.to_le_bytes())?;
+        writer.write_all(&(config.pagerank.iterations as u64).to_le_bytes())?;
+        writer.write_all(&config.pagerank.damping.to_bits().to_le_bytes())?;
+        writer.write_all(&(self.num_classes() as u64).to_le_bytes())?;
+        for class_vector in self.class_vectors() {
+            for &word in class_vector.words() {
+                writer.write_all(&word.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Saves the model to a file (see [`save_to`](Self::save_to)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the file cannot be created or written.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), Error> {
+        let mut writer = BufWriter::new(File::create(path)?);
+        self.save_to(&mut writer)?;
+        writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads a model from `reader`, validating magic, version and every
+    /// header field, and requiring the stream to end exactly after the
+    /// declared payload.
+    ///
+    /// The loaded model predicts bit-identically to the saved one on any
+    /// machine (the format is endian-stable and the basis item memory is
+    /// re-derived from the stored seed). Its integer accumulators restart
+    /// from the stored class vectors, so a subsequent
+    /// [`retrain`](Self::retrain) refines the deployable artifact rather
+    /// than resuming the original training counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Snapshot`] for malformed input and [`Error::Io`]
+    /// for read failures.
+    pub fn load_from<R: Read>(reader: &mut R) -> Result<Self, Error> {
+        if read_array::<8, _>(reader)? != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic.into());
+        }
+        let version = read_u32(reader)?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion { found: version }.into());
+        }
+        let dim = read_len(reader, "dimension")?;
+        let seed = read_u64(reader)?;
+        let centrality = centrality_from_tag(read_u8(reader)?)?;
+        let tie_tag = read_u8(reader)?;
+        let tie_break = tie_break_from_fields(tie_tag, read_u64(reader)?)?;
+        let iterations = read_len(reader, "pagerank iterations")?;
+        let damping = f64::from_bits(read_u64(reader)?);
+        if !damping.is_finite() {
+            return Err(SnapshotError::Corrupt {
+                what: "pagerank damping",
+            }
+            .into());
+        }
+        let num_classes = read_len(reader, "class count")?;
+        if num_classes == 0 {
+            return Err(SnapshotError::Corrupt {
+                what: "class count",
+            }
+            .into());
+        }
+
+        let config = GraphHdConfig::builder()
+            .dim(dim)
+            .seed(seed)
+            .centrality(centrality)
+            .tie_break(tie_break)
+            .pagerank(PageRankConfig {
+                damping,
+                iterations,
+            })
+            .build()
+            .map_err(|_| Error::Snapshot(SnapshotError::Corrupt { what: "dimension" }))?;
+
+        let words_per_vector = dim.div_ceil(64);
+        // Header lengths are untrusted until the payload bytes actually
+        // arrive: capacity hints are clamped so a forged multi-exabyte
+        // `dim`/`num_classes` surfaces as `Truncated` on the first
+        // missing word instead of aborting the process in the allocator.
+        const PREALLOC_CAP: usize = 1 << 16;
+        let mut class_vectors = Vec::with_capacity(num_classes.min(PREALLOC_CAP));
+        for _ in 0..num_classes {
+            let mut words = Vec::with_capacity(words_per_vector.min(PREALLOC_CAP));
+            for _ in 0..words_per_vector {
+                words.push(read_u64(reader)?);
+            }
+            // Bits past `dim` in the last word must be zero — every
+            // in-memory hypervector keeps that invariant, and the word
+            // kernels rely on it.
+            let tail_bits = dim % 64;
+            if tail_bits != 0 && words[words_per_vector - 1] >> tail_bits != 0 {
+                return Err(SnapshotError::Corrupt {
+                    what: "class vector tail bits",
+                }
+                .into());
+            }
+            let hv = Hypervector::from_fn(dim, |i| (words[i >> 6] >> (i & 63)) & 1 == 1)
+                .map_err(Error::from)?;
+            debug_assert_eq!(hv.words(), words);
+            class_vectors.push(hv);
+        }
+
+        // The payload length is declared by the header; anything after it
+        // means the file is not what the header claims.
+        let mut probe = [0u8; 1];
+        match reader.read(&mut probe) {
+            Ok(0) => {}
+            Ok(_) => return Err(SnapshotError::TrailingBytes.into()),
+            Err(e) => return Err(e.into()),
+        }
+
+        let encoder = GraphEncoder::new(config)?;
+        Self::from_class_vectors(encoder, &class_vectors)
+    }
+
+    /// Loads a model from a file (see [`load_from`](Self::load_from)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the file cannot be opened and
+    /// [`Error::Snapshot`] if its contents are malformed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use graphhd::{GraphHdConfig, GraphHdModel};
+    /// use graphcore::generate;
+    ///
+    /// let graphs = vec![generate::complete(8), generate::path(8)];
+    /// let config = GraphHdConfig::builder().dim(512).build()?;
+    /// let model = GraphHdModel::fit(config, &graphs, &[0, 1], 2)?;
+    ///
+    /// let path = std::env::temp_dir().join("graphhd-doctest.ghd");
+    /// model.save(&path)?;
+    /// let restored = GraphHdModel::load(&path)?;
+    /// std::fs::remove_file(&path)?;
+    ///
+    /// assert_eq!(restored.class_vectors(), model.class_vectors());
+    /// assert_eq!(
+    ///     restored.predict(&generate::complete(10)),
+    ///     model.predict(&generate::complete(10)),
+    /// );
+    /// # Ok::<(), graphhd::Error>(())
+    /// ```
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, Error> {
+        let mut reader = BufReader::new(File::open(path)?);
+        Self::load_from(&mut reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::generate;
+
+    fn trained(dim: usize) -> GraphHdModel {
+        let mut graphs = Vec::new();
+        let mut labels = Vec::new();
+        for n in 6..14 {
+            graphs.push(generate::complete(n));
+            labels.push(0);
+            graphs.push(generate::path(n));
+            labels.push(1);
+            graphs.push(generate::star(n));
+            labels.push(2);
+        }
+        let config = GraphHdConfig::builder()
+            .dim(dim)
+            .seed(0xBEEF)
+            .tie_break(TieBreak::Seeded(17))
+            .build()
+            .expect("valid dimension");
+        GraphHdModel::fit(config, &graphs, &labels, 3).expect("valid inputs")
+    }
+
+    fn snapshot_bytes(model: &GraphHdModel) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        model.save_to(&mut bytes).expect("in-memory write");
+        bytes
+    }
+
+    #[test]
+    fn round_trip_preserves_config_and_vectors() {
+        for dim in [63usize, 64, 65, 1024] {
+            let model = trained(dim);
+            let bytes = snapshot_bytes(&model);
+            let restored = GraphHdModel::load_from(&mut bytes.as_slice()).expect("valid snapshot");
+            assert_eq!(
+                restored.encoder().config(),
+                model.encoder().config(),
+                "dim {dim}"
+            );
+            assert_eq!(restored.class_vectors(), model.class_vectors(), "dim {dim}");
+            // Predictions agree on fresh graphs.
+            for n in 5..20 {
+                let g = generate::cycle(n);
+                assert_eq!(restored.predict(&g), model.predict(&g), "dim {dim} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_size_matches_declared_layout() {
+        let model = trained(63);
+        let bytes = snapshot_bytes(&model);
+        // Header is 62 bytes; 63 dims pack into one word per class.
+        assert_eq!(bytes.len(), 62 + 3 * 8);
+        assert_eq!(&bytes[..8], &SNAPSHOT_MAGIC);
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")),
+            SNAPSHOT_VERSION
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = snapshot_bytes(&trained(64));
+        bytes[0] ^= 0xFF;
+        assert_eq!(
+            GraphHdModel::load_from(&mut bytes.as_slice()).unwrap_err(),
+            Error::Snapshot(SnapshotError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let mut bytes = snapshot_bytes(&trained(64));
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            GraphHdModel::load_from(&mut bytes.as_slice()).unwrap_err(),
+            Error::Snapshot(SnapshotError::UnsupportedVersion { found: 99 })
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_boundary() {
+        let bytes = snapshot_bytes(&trained(65));
+        // Cut inside the magic, the header, and the payload.
+        for cut in [3usize, 20, 40, 61, bytes.len() - 1] {
+            assert_eq!(
+                GraphHdModel::load_from(&mut bytes[..cut].as_ref()).unwrap_err(),
+                Error::Snapshot(SnapshotError::Truncated),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = snapshot_bytes(&trained(64));
+        bytes.push(0);
+        assert_eq!(
+            GraphHdModel::load_from(&mut bytes.as_slice()).unwrap_err(),
+            Error::Snapshot(SnapshotError::TrailingBytes)
+        );
+    }
+
+    #[test]
+    fn rejects_corrupt_header_fields() {
+        let model = trained(64);
+        // Centrality tag out of range.
+        let mut bytes = snapshot_bytes(&model);
+        bytes[28] = 9;
+        assert_eq!(
+            GraphHdModel::load_from(&mut bytes.as_slice()).unwrap_err(),
+            Error::Snapshot(SnapshotError::Corrupt {
+                what: "centrality tag"
+            })
+        );
+        // Tie-break tag out of range.
+        let mut bytes = snapshot_bytes(&model);
+        bytes[29] = 7;
+        assert_eq!(
+            GraphHdModel::load_from(&mut bytes.as_slice()).unwrap_err(),
+            Error::Snapshot(SnapshotError::Corrupt {
+                what: "tie-break fields"
+            })
+        );
+        // Non-finite damping.
+        let mut bytes = snapshot_bytes(&model);
+        bytes[46..54].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert_eq!(
+            GraphHdModel::load_from(&mut bytes.as_slice()).unwrap_err(),
+            Error::Snapshot(SnapshotError::Corrupt {
+                what: "pagerank damping"
+            })
+        );
+        // Zero classes.
+        let mut bytes = snapshot_bytes(&model);
+        bytes[54..62].copy_from_slice(&0u64.to_le_bytes());
+        // (payload still present -> either corrupt count or trailing data;
+        // the count check fires first)
+        assert_eq!(
+            GraphHdModel::load_from(&mut bytes.as_slice()).unwrap_err(),
+            Error::Snapshot(SnapshotError::Corrupt {
+                what: "class count"
+            })
+        );
+        // Zero dimension.
+        let mut bytes = snapshot_bytes(&model);
+        bytes[12..20].copy_from_slice(&0u64.to_le_bytes());
+        assert_eq!(
+            GraphHdModel::load_from(&mut bytes.as_slice()).unwrap_err(),
+            Error::Snapshot(SnapshotError::Corrupt { what: "dimension" })
+        );
+    }
+
+    #[test]
+    fn forged_huge_header_lengths_fail_cleanly_not_in_the_allocator() {
+        // dim = 2^60 passes the numeric header checks; the payload is
+        // absent, so the load must report Truncated (after clamped,
+        // harmless preallocation) rather than aborting on an
+        // exabyte-scale `Vec::with_capacity`.
+        let mut bytes = snapshot_bytes(&trained(64));
+        bytes[12..20].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        let err = GraphHdModel::load_from(&mut bytes.as_slice()).unwrap_err();
+        assert_eq!(err, Error::Snapshot(SnapshotError::Truncated));
+        // Same for a forged class count.
+        let mut bytes = snapshot_bytes(&trained(64));
+        bytes[54..62].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        let err = GraphHdModel::load_from(&mut bytes.as_slice()).unwrap_err();
+        assert_eq!(err, Error::Snapshot(SnapshotError::Truncated));
+    }
+
+    #[test]
+    fn rejects_set_tail_bits() {
+        let model = trained(63);
+        let mut bytes = snapshot_bytes(&model);
+        let last = bytes.len() - 1;
+        bytes[last] |= 0x80; // bit 63 of a 63-dim vector's only word
+        assert_eq!(
+            GraphHdModel::load_from(&mut bytes.as_slice()).unwrap_err(),
+            Error::Snapshot(SnapshotError::Corrupt {
+                what: "class vector tail bits"
+            })
+        );
+    }
+
+    #[test]
+    fn loaded_model_supports_retraining() {
+        let model = trained(256);
+        let bytes = snapshot_bytes(&model);
+        let mut restored = GraphHdModel::load_from(&mut bytes.as_slice()).expect("valid snapshot");
+        let graphs: Vec<_> = (6..14)
+            .flat_map(|n| [generate::complete(n), generate::path(n)])
+            .collect();
+        let labels: Vec<u32> = (0..graphs.len()).map(|i| (i % 2) as u32).collect();
+        let encodings = restored.encoder().encode_all(&graphs);
+        let report = restored.retrain(&encodings, &labels, 5);
+        assert!(!report.epoch_errors.is_empty());
+    }
+}

@@ -20,7 +20,7 @@ proptest! {
     fn bitsliced_encoding_equals_naive_accumulation(g in arb_graph()) {
         // The production encoder bundles edges with bit-sliced counters;
         // re-derive the same accumulator naively and compare exactly.
-        let encoder = GraphEncoder::new(GraphHdConfig::with_dim(512)).expect("valid");
+        let encoder = GraphEncoder::new(GraphHdConfig::builder().dim(512).build().expect("valid dimension")).expect("valid");
         let fast = encoder.encode_to_accumulator(&g);
 
         let ranks = encoder.vertex_ranks(&g);
@@ -53,13 +53,13 @@ proptest! {
         }
         let permuted = builder.build();
 
-        let encoder = GraphEncoder::new(GraphHdConfig::with_dim(256)).expect("valid");
+        let encoder = GraphEncoder::new(GraphHdConfig::builder().dim(256).build().expect("valid dimension")).expect("valid");
         prop_assert_eq!(encoder.encode(&g), encoder.encode(&permuted));
     }
 
     #[test]
     fn accumulator_edge_budget(g in arb_graph()) {
-        let encoder = GraphEncoder::new(GraphHdConfig::with_dim(128)).expect("valid");
+        let encoder = GraphEncoder::new(GraphHdConfig::builder().dim(128).build().expect("valid dimension")).expect("valid");
         let acc = encoder.encode_to_accumulator(&g);
         prop_assert_eq!(acc.added(), g.edge_count() as u64);
         // Counter magnitudes cannot exceed the number of edges.
@@ -73,7 +73,7 @@ proptest! {
         let graphs: Vec<Graph> = (0..count)
             .map(|i| generate::erdos_renyi(5 + i % 7, 0.3, &mut rng).expect("valid"))
             .collect();
-        let encoder = GraphEncoder::new(GraphHdConfig::with_dim(256)).expect("valid");
+        let encoder = GraphEncoder::new(GraphHdConfig::builder().dim(256).build().expect("valid dimension")).expect("valid");
         let parallel = encoder.encode_all(&graphs);
         let serial: Vec<_> = graphs.iter().map(|g| encoder.encode(g)).collect();
         prop_assert_eq!(parallel, serial);

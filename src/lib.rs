@@ -19,8 +19,10 @@
 //! - [`kernelsvm`] — SMO-trained C-SVMs on precomputed kernels;
 //! - [`tinynn`] — tape autograd and the GIN-ε / GIN-ε-JK networks;
 //! - [`graphhd`] — the paper's contribution plus its future-work
-//!   extensions;
-//! - [`baselines`] — the four baselines under the shared harness.
+//!   extensions, the unified error surface and model snapshots;
+//! - [`baselines`] — the four baselines under the shared harness;
+//! - [`engine`] — the serving front door: a long-lived, queue-backed
+//!   [`Engine`](engine::Engine) answering classify/score requests.
 //!
 //! See `README.md` for a tour of the workspace, build/test/bench
 //! instructions and the crate dependency map.
@@ -39,6 +41,7 @@
 
 pub use baselines;
 pub use datasets;
+pub use engine;
 pub use graphcore;
 pub use graphhd;
 pub use hdvec;

@@ -106,11 +106,18 @@ fn graphhd_pipeline_is_deterministic_end_to_end() {
         60,
     );
     let run = || {
-        let mut clf = GraphHdClassifier::new(GraphHdConfig::with_seed(123));
-        let train: Vec<usize> = (0..40).collect();
-        let test: Vec<usize> = (40..60).collect();
-        clf.fit(&dataset, &train);
-        clf.predict(&dataset, &test)
+        let mut clf = GraphHdClassifier::new(
+            GraphHdConfig::builder()
+                .seed(123)
+                .build()
+                .expect("valid config"),
+        );
+        let train: Vec<&graphcore::Graph> = dataset.graphs()[..40].iter().collect();
+        let train_labels = &dataset.labels()[..40];
+        let test: Vec<&graphcore::Graph> = dataset.graphs()[40..60].iter().collect();
+        clf.fit(&train, train_labels, dataset.num_classes())
+            .expect("consistent dataset");
+        clf.predict(&test)
     };
     assert_eq!(run(), run());
 }

@@ -26,7 +26,10 @@ fn retraining_never_hurts_training_accuracy() {
     let graphs: Vec<&Graph> = train.iter().map(|&i| dataset.graph(i)).collect();
     let labels: Vec<u32> = train.iter().map(|&i| dataset.label(i)).collect();
 
-    let config = GraphHdConfig::with_dim(4096);
+    let config = GraphHdConfig::builder()
+        .dim(4096)
+        .build()
+        .expect("valid dimension");
     let encoder = GraphEncoder::new(config).expect("valid config");
     let encodings = encoder.encode_all(&graphs);
     let mut model = GraphHdModel::fit_encoded(encoder, &encodings, &labels, 2);
@@ -60,7 +63,10 @@ fn multi_prototype_model_runs_on_surrogates() {
     let graphs: Vec<&Graph> = train.iter().map(|&i| dataset.graph(i)).collect();
     let labels: Vec<u32> = train.iter().map(|&i| dataset.label(i)).collect();
     let config = PrototypeConfig {
-        base: GraphHdConfig::with_dim(4096),
+        base: GraphHdConfig::builder()
+            .dim(4096)
+            .build()
+            .expect("valid dimension"),
         ..PrototypeConfig::default()
     };
     let model = MultiPrototypeModel::fit(config, &graphs, &labels, dataset.num_classes())
@@ -76,8 +82,20 @@ fn multi_prototype_model_runs_on_surrogates() {
 fn label_aware_encoding_separates_label_patterns_topology_cannot() {
     // Two "datasets" share identical topology; only vertex labels differ.
     // The structural encoder is blind to this; the labeled one is not.
-    let structural = GraphEncoder::new(GraphHdConfig::with_dim(4096)).expect("valid");
-    let labeled = LabeledGraphEncoder::new(GraphHdConfig::with_dim(4096)).expect("valid");
+    let structural = GraphEncoder::new(
+        GraphHdConfig::builder()
+            .dim(4096)
+            .build()
+            .expect("valid dimension"),
+    )
+    .expect("valid");
+    let labeled = LabeledGraphEncoder::new(
+        GraphHdConfig::builder()
+            .dim(4096)
+            .build()
+            .expect("valid dimension"),
+    )
+    .expect("valid");
     let graph = graphcore::generate::cycle(12);
     let pattern_a: Vec<u32> = (0..12).map(|v| v % 2).collect(); // alternating
     let pattern_b: Vec<u32> = (0..12).map(|v| u32::from(v >= 6)).collect(); // halves

@@ -20,7 +20,10 @@ fn parallel_cv_reproduces_the_serial_report_for_graphhd_on_surrogate_mutag() {
         repetitions: 2,
         seed: 5,
     };
-    let config = GraphHdConfig::with_dim(2048);
+    let config = GraphHdConfig::builder()
+        .dim(2048)
+        .build()
+        .expect("valid dimension");
 
     let serial = evaluate_cv(&mut GraphHdClassifier::new(config), &dataset, &protocol)
         .expect("dataset splits under the protocol");
@@ -66,7 +69,10 @@ fn retraining_classifier_is_also_reproduced_in_parallel() {
         repetitions: 1,
         seed: 2,
     };
-    let config = GraphHdConfig::with_dim(1024);
+    let config = GraphHdConfig::builder()
+        .dim(1024)
+        .build()
+        .expect("valid dimension");
     let serial = evaluate_cv(
         &mut GraphHdClassifier::new(config).with_retraining(4),
         &dataset,

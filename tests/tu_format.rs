@@ -27,7 +27,10 @@ fn surrogate_roundtrips_through_tudataset_files_and_trains() {
 
     // The loaded dataset drives the pipeline exactly like the original.
     let model = GraphHdModel::fit(
-        GraphHdConfig::with_dim(2048),
+        GraphHdConfig::builder()
+            .dim(2048)
+            .build()
+            .expect("valid dimension"),
         roundtripped.graphs(),
         roundtripped.labels(),
         roundtripped.num_classes(),
