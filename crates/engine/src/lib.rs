@@ -222,13 +222,18 @@ impl Shared {
                         let encoded = model.encoder().encode(&request.graph);
                         model.scores_encoded_into(&encoded, &mut scratch);
                         let response = match request.work {
-                            Work::Classify => Response::Class(
-                                argmax_tie_low(&scratch).expect("models always have >= 1 class")
-                                    as u32,
-                            ),
-                            Work::Scores => Response::Scores(scratch.clone()),
+                            // A fitted model always scores >= 1 class;
+                            // an empty score vector fails the request
+                            // rather than aborting the dispatcher.
+                            Work::Classify => match argmax_tie_low(&scratch) {
+                                Some(best) => Ok(Response::Class(best as u32)),
+                                None => Err(Error::Internal {
+                                    what: "model produced an empty score vector",
+                                }),
+                            },
+                            Work::Scores => Ok(Response::Scores(scratch.clone())),
                         };
-                        request.slot.fulfill(Ok(response));
+                        request.slot.fulfill(response);
                     }
                 });
         }));
@@ -353,7 +358,9 @@ impl Engine {
         let slot = self.shared.submit(graph.clone(), Work::Classify)?;
         match slot.wait()? {
             Response::Class(class) => Ok(class),
-            Response::Scores(_) => unreachable!("classify requests yield classes"),
+            Response::Scores(_) => Err(Error::Internal {
+                what: "classify request answered with a score vector",
+            }),
         }
     }
 
@@ -367,7 +374,9 @@ impl Engine {
         let slot = self.shared.submit(graph.clone(), Work::Scores)?;
         match slot.wait()? {
             Response::Scores(scores) => Ok(scores),
-            Response::Class(_) => unreachable!("scores requests yield score vectors"),
+            Response::Class(_) => Err(Error::Internal {
+                what: "scores request answered with a class id",
+            }),
         }
     }
 
@@ -388,7 +397,11 @@ impl Engine {
         for slot in slots {
             match slot.wait()? {
                 Response::Class(class) => results.push(class),
-                Response::Scores(_) => unreachable!("classify requests yield classes"),
+                Response::Scores(_) => {
+                    return Err(Error::Internal {
+                        what: "classify request answered with a score vector",
+                    })
+                }
             }
         }
         Ok(results)

@@ -1,0 +1,218 @@
+//! Model checking of the engine's bounded request queue.
+//!
+//! `Shared` in `src/lib.rs` implements a close-aware bounded MPSC
+//! queue: submitters block on `not_full` (backpressure), the dispatcher
+//! blocks on `not_empty`, and `close` wakes everyone — with the
+//! contract that **every accepted request is answered** because the
+//! dispatcher keeps draining after close until the queue is empty.
+//! These tests rebuild that protocol in miniature on
+//! `parallel::model` primitives and explore every interleaving within
+//! the preemption bound. The last test hands the checker a dispatcher
+//! with the classic drain bug (checking `closed` before emptiness) and
+//! requires that the stranded-request schedule is found.
+
+use parallel::model::{self, AtomicUsize, Condvar, Config, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+fn exhaustive() -> Config {
+    Config {
+        max_schedules: 2_000_000,
+        max_steps: 20_000,
+        preemption_bound: 3,
+    }
+}
+
+/// The queue of `engine::Shared`, reduced to its synchronization
+/// skeleton: requests are just ids, "answering" is a counter bump.
+struct Queue {
+    /// `(requests, closed)` — one mutex guards both, as in the engine.
+    state: Mutex<(VecDeque<usize>, bool)>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    max_batch: usize,
+    accepted: AtomicUsize,
+    answered: AtomicUsize,
+}
+
+impl Queue {
+    fn new(capacity: usize, max_batch: usize) -> Self {
+        Self {
+            state: Mutex::new((VecDeque::new(), false)),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+            max_batch,
+            accepted: AtomicUsize::new(0),
+            answered: AtomicUsize::new(0),
+        }
+    }
+
+    /// Mirrors `Shared::submit`: wait for space, enqueue, wake the
+    /// dispatcher. Returns whether the request was accepted.
+    fn submit(&self, id: usize) -> bool {
+        let mut state = self.state.lock();
+        loop {
+            if state.1 {
+                return false;
+            }
+            if state.0.len() < self.capacity {
+                break;
+            }
+            state = self.not_full.wait(state);
+        }
+        state.0.push_back(id);
+        self.accepted.fetch_add(1);
+        self.not_empty.notify_one();
+        drop(state);
+        true
+    }
+
+    /// Mirrors `Shared::close`: mark closed, wake both sides.
+    fn close(&self) {
+        let mut state = self.state.lock();
+        state.1 = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Mirrors `Shared::dispatch`: drain up to `max_batch`, wake
+    /// submitters, answer the batch outside the lock; on close keep
+    /// draining until empty, **checking emptiness before closed-ness**.
+    fn dispatch(&self) {
+        loop {
+            let batch: Vec<usize> = {
+                let mut state = self.state.lock();
+                loop {
+                    if !state.0.is_empty() {
+                        break;
+                    }
+                    if state.1 {
+                        return;
+                    }
+                    state = self.not_empty.wait(state);
+                }
+                let take = state.0.len().min(self.max_batch);
+                let batch: Vec<usize> = state.0.drain(..take).collect();
+                self.not_full.notify_all();
+                batch
+            };
+            self.answered.fetch_add(batch.len());
+        }
+    }
+
+    /// The classic drain bug: `closed` checked before emptiness, so a
+    /// request enqueued just before close is silently dropped.
+    fn dispatch_broken(&self) {
+        loop {
+            let batch: Vec<usize> = {
+                let mut state = self.state.lock();
+                loop {
+                    // BROKEN on purpose: order of the two checks is
+                    // swapped relative to `dispatch`.
+                    if state.1 {
+                        return;
+                    }
+                    if !state.0.is_empty() {
+                        break;
+                    }
+                    state = self.not_empty.wait(state);
+                }
+                let take = state.0.len().min(self.max_batch);
+                let batch: Vec<usize> = state.0.drain(..take).collect();
+                self.not_full.notify_all();
+                batch
+            };
+            self.answered.fetch_add(batch.len());
+        }
+    }
+}
+
+/// Capacity 1 with two submissions forces the backpressure path: the
+/// second submit must block on `not_full` in some schedules and resume
+/// when the dispatcher drains. Every accepted request must be answered
+/// and both threads must terminate under every interleaving.
+#[test]
+fn queue_backpressure_never_strands_or_deadlocks() {
+    let report = model::check(exhaustive(), || {
+        let queue = Arc::new(Queue::new(1, 1));
+        let dispatcher_queue = Arc::clone(&queue);
+        let dispatcher = model::spawn(move || dispatcher_queue.dispatch());
+        assert!(queue.submit(0), "queue closed before close() was called");
+        assert!(queue.submit(1), "queue closed before close() was called");
+        queue.close();
+        dispatcher.join();
+        assert_eq!(
+            queue.answered.load(),
+            queue.accepted.load(),
+            "an accepted request was never answered"
+        );
+        assert_eq!(queue.accepted.load(), 2);
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(
+        report.complete,
+        "space not exhausted in {} runs",
+        report.schedules
+    );
+}
+
+/// A submit racing `close` must either be accepted (and then answered)
+/// or rejected — never accepted-and-dropped. The closing thread here
+/// runs concurrently with the submitter, unlike the test above where
+/// close follows the submissions in program order.
+#[test]
+fn close_racing_submit_never_strands_a_request() {
+    let report = model::check(exhaustive(), || {
+        let queue = Arc::new(Queue::new(1, 1));
+        let dispatcher_queue = Arc::clone(&queue);
+        let dispatcher = model::spawn(move || dispatcher_queue.dispatch());
+        let closer_queue = Arc::clone(&queue);
+        let closer = model::spawn(move || closer_queue.close());
+        let accepted = queue.submit(0);
+        closer.join();
+        dispatcher.join();
+        if accepted {
+            assert_eq!(
+                queue.answered.load(),
+                1,
+                "the accepted request was never answered"
+            );
+        } else {
+            assert_eq!(queue.answered.load(), 0);
+        }
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(
+        report.complete,
+        "space not exhausted in {} runs",
+        report.schedules
+    );
+}
+
+/// Checker validation for this protocol family: with the two drain
+/// checks swapped, some schedule accepts a request and then lets the
+/// dispatcher exit on `closed` without draining it. The checker must
+/// find that schedule.
+#[test]
+fn checker_finds_stranded_request_in_broken_dispatcher() {
+    let report = model::check(exhaustive(), || {
+        let queue = Arc::new(Queue::new(1, 1));
+        let dispatcher_queue = Arc::clone(&queue);
+        let dispatcher = model::spawn(move || dispatcher_queue.dispatch_broken());
+        assert!(queue.submit(0), "queue closed before close() was called");
+        queue.close();
+        dispatcher.join();
+        assert_eq!(
+            queue.answered.load(),
+            queue.accepted.load(),
+            "an accepted request was never answered"
+        );
+    });
+    let failure = report.failure.expect("the stranded request must be found");
+    assert!(
+        failure.message.contains("never answered"),
+        "unexpected failure: {failure:?}"
+    );
+}

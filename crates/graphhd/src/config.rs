@@ -96,7 +96,7 @@ impl GraphHdConfig {
     /// A default configuration with the given hypervector dimensionality.
     #[deprecated(
         since = "0.1.0",
-        note = "use the validating `GraphHdConfig::builder().dim(..).build()` instead"
+        note = "use the validating `GraphHdConfig::builder().dim(..).build()` instead; remove in PR 8"
     )]
     #[must_use]
     pub fn with_dim(dim: usize) -> Self {
@@ -109,7 +109,7 @@ impl GraphHdConfig {
     /// A default configuration with a different centrality metric.
     #[deprecated(
         since = "0.1.0",
-        note = "use the validating `GraphHdConfig::builder().centrality(..).build()` instead"
+        note = "use the validating `GraphHdConfig::builder().centrality(..).build()` instead; remove in PR 8"
     )]
     #[must_use]
     pub fn with_centrality(centrality: CentralityKind) -> Self {
@@ -122,7 +122,7 @@ impl GraphHdConfig {
     /// A default configuration with a different seed.
     #[deprecated(
         since = "0.1.0",
-        note = "use the validating `GraphHdConfig::builder().seed(..).build()` instead"
+        note = "use the validating `GraphHdConfig::builder().seed(..).build()` instead; remove in PR 8"
     )]
     #[must_use]
     pub fn with_seed(seed: u64) -> Self {

@@ -70,6 +70,13 @@ pub enum Error {
     ShutDown,
     /// A serving request was dropped because its batch panicked.
     TaskFailed,
+    /// An internal invariant did not hold. Seeing this variant is a bug
+    /// in this crate, not a caller mistake; it exists so invariant
+    /// violations surface as request failures instead of process aborts.
+    Internal {
+        /// Which invariant was violated.
+        what: &'static str,
+    },
 }
 
 /// Ways a model snapshot can fail to decode (see
@@ -139,6 +146,9 @@ impl core::fmt::Display for Error {
             Error::Data { context, message } => write!(f, "{context} failed: {message}"),
             Error::ShutDown => write!(f, "engine has shut down"),
             Error::TaskFailed => write!(f, "request batch failed"),
+            Error::Internal { what } => {
+                write!(f, "internal invariant violated (library bug): {what}")
+            }
         }
     }
 }

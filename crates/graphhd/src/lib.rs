@@ -72,5 +72,5 @@ pub use snapshot::{SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 
 /// The historical name of [`Error`], kept so downstream code written
 /// against the pre-engine API keeps compiling.
-#[deprecated(since = "0.1.0", note = "renamed to `graphhd::Error`")]
+#[deprecated(since = "0.1.0", note = "renamed to `graphhd::Error`; remove in PR 8")]
 pub type TrainError = Error;

@@ -439,7 +439,7 @@ mod avx2 {
     /// `psadbw` folds bytes into the four u64 lanes).
     #[inline]
     #[target_feature(enable = "avx2")]
-    unsafe fn popcnt256(v: __m256i) -> __m256i {
+    fn popcnt256(v: __m256i) -> __m256i {
         #[rustfmt::skip]
         let lookup = _mm256_setr_epi8(
             0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
@@ -458,7 +458,7 @@ mod avx2 {
     /// Sums the four u64 lanes of an accumulator vector.
     #[inline]
     #[target_feature(enable = "avx2")]
-    unsafe fn hsum256(v: __m256i) -> u64 {
+    fn hsum256(v: __m256i) -> u64 {
         let a = _mm256_extract_epi64::<0>(v) as u64;
         let b = _mm256_extract_epi64::<1>(v) as u64;
         let c = _mm256_extract_epi64::<2>(v) as u64;
@@ -466,14 +466,24 @@ mod avx2 {
         a.wrapping_add(b).wrapping_add(c).wrapping_add(d)
     }
 
+    /// # Safety
+    ///
+    /// The caller must have verified at runtime that the CPU supports
+    /// AVX2 and POPCNT, and `b` must be at least as long as `a`.
     #[target_feature(enable = "avx2,popcnt")]
     pub unsafe fn hamming(a: &[u64], b: &[u64]) -> u64 {
         let n = a.len();
         let vectors = n / 4;
         let mut acc = _mm256_setzero_si256();
         for i in 0..vectors {
-            let va = _mm256_loadu_si256(a.as_ptr().add(4 * i).cast());
-            let vb = _mm256_loadu_si256(b.as_ptr().add(4 * i).cast());
+            // SAFETY: `4 * i + 3 < n` holds for every `i < n / 4`, so
+            // both unaligned 4-word loads stay inside the slices.
+            let (va, vb) = unsafe {
+                (
+                    _mm256_loadu_si256(a.as_ptr().add(4 * i).cast()),
+                    _mm256_loadu_si256(b.as_ptr().add(4 * i).cast()),
+                )
+            };
             acc = _mm256_add_epi64(acc, popcnt256(_mm256_xor_si256(va, vb)));
         }
         let mut total = hsum256(acc);
@@ -483,13 +493,19 @@ mod avx2 {
         total
     }
 
+    /// # Safety
+    ///
+    /// The caller must have verified at runtime that the CPU supports
+    /// AVX2 and POPCNT.
     #[target_feature(enable = "avx2,popcnt")]
     pub unsafe fn popcount(words: &[u64]) -> u64 {
         let n = words.len();
         let vectors = n / 4;
         let mut acc = _mm256_setzero_si256();
         for i in 0..vectors {
-            let v = _mm256_loadu_si256(words.as_ptr().add(4 * i).cast());
+            // SAFETY: `4 * i + 3 < n` holds for every `i < n / 4`, so
+            // the unaligned 4-word load stays inside the slice.
+            let v = unsafe { _mm256_loadu_si256(words.as_ptr().add(4 * i).cast()) };
             acc = _mm256_add_epi64(acc, popcnt256(v));
         }
         let mut total = hsum256(acc);
@@ -499,14 +515,24 @@ mod avx2 {
         total
     }
 
+    /// # Safety
+    ///
+    /// The caller must have verified at runtime that the CPU supports
+    /// AVX2, and `src` must be at least as long as `dst`.
     #[target_feature(enable = "avx2")]
     pub unsafe fn xor_assign(dst: &mut [u64], src: &[u64]) {
         let n = dst.len();
         let vectors = n / 4;
         for i in 0..vectors {
-            let d = _mm256_loadu_si256(dst.as_ptr().add(4 * i).cast());
-            let s = _mm256_loadu_si256(src.as_ptr().add(4 * i).cast());
-            _mm256_storeu_si256(dst.as_mut_ptr().add(4 * i).cast(), _mm256_xor_si256(d, s));
+            // SAFETY: `4 * i + 3 < n` holds for every `i < n / 4`, so
+            // the loads and the store stay inside their slices; `dst`
+            // and `src` are distinct borrows, so the store cannot alias
+            // the `src` load.
+            unsafe {
+                let d = _mm256_loadu_si256(dst.as_ptr().add(4 * i).cast());
+                let s = _mm256_loadu_si256(src.as_ptr().add(4 * i).cast());
+                _mm256_storeu_si256(dst.as_mut_ptr().add(4 * i).cast(), _mm256_xor_si256(d, s));
+            }
         }
         for i in vectors * 4..n {
             dst[i] ^= src[i];
@@ -517,12 +543,17 @@ mod avx2 {
     /// mask per set bit.
     #[inline]
     #[target_feature(enable = "avx2")]
-    unsafe fn bit_mask8(word: u64, group: usize) -> __m256i {
+    fn bit_mask8(word: u64, group: usize) -> __m256i {
         let byte = _mm256_set1_epi32(((word >> (8 * group)) & 0xff) as i32);
         let bits = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
         _mm256_cmpeq_epi32(_mm256_and_si256(byte, bits), bits)
     }
 
+    /// # Safety
+    ///
+    /// The caller must have verified at runtime that the CPU supports
+    /// AVX2 and POPCNT, and `counts` must hold 64 counters per word of
+    /// `words` (`counts.len() >= 64 * words.len()` up to the tail).
     #[target_feature(enable = "avx2,popcnt")]
     pub unsafe fn add_weighted(counts: &mut [i32], words: &[u64], weight: i32) {
         let full = counts.len() / 64;
@@ -534,9 +565,14 @@ mod avx2 {
                 // (w ^ m) − m with m ∈ {0, −1} per lane.
                 let mask = bit_mask8(word, group);
                 let delta = _mm256_sub_epi32(_mm256_xor_si256(vw, mask), mask);
-                let ptr: *mut __m256i = counts.as_mut_ptr().add(base + 8 * group).cast();
-                let cur = _mm256_loadu_si256(ptr);
-                _mm256_storeu_si256(ptr, _mm256_add_epi32(cur, delta));
+                // SAFETY: `base + 8 * group + 7 < 64 * full <=
+                // counts.len()`, so the 8-counter read-modify-write
+                // stays inside `counts`.
+                unsafe {
+                    let ptr: *mut __m256i = counts.as_mut_ptr().add(base + 8 * group).cast();
+                    let cur = _mm256_loadu_si256(ptr);
+                    _mm256_storeu_si256(ptr, _mm256_add_epi32(cur, delta));
+                }
             }
         }
         if full < words.len() {
@@ -544,6 +580,11 @@ mod avx2 {
         }
     }
 
+    /// # Safety
+    ///
+    /// The caller must have verified at runtime that the CPU supports
+    /// AVX2 and POPCNT; `tie` must cover `counts.len()` counters when it
+    /// is a pattern.
     #[target_feature(enable = "avx2,popcnt")]
     pub unsafe fn threshold(counts: &[i32], tie: TieWords<'_>) -> Vec<u64> {
         let mut words = Vec::with_capacity(counts.len().div_ceil(64));
@@ -553,7 +594,12 @@ mod avx2 {
             let tie_word = tie.word(chunk_idx);
             let mut word = 0u64;
             for group in 0..8 {
-                let c = _mm256_loadu_si256(counts.as_ptr().add(chunk_idx * 64 + 8 * group).cast());
+                // SAFETY: `chunk_idx * 64 + 8 * group + 7 < 64 * full
+                // <= counts.len()`, so the 8-counter load stays inside
+                // `counts`.
+                let c = unsafe {
+                    _mm256_loadu_si256(counts.as_ptr().add(chunk_idx * 64 + 8 * group).cast())
+                };
                 let negative = _mm256_cmpgt_epi32(zero, c);
                 let tied =
                     _mm256_and_si256(_mm256_cmpeq_epi32(c, zero), bit_mask8(tie_word, group));
@@ -575,6 +621,10 @@ mod avx2 {
         words
     }
 
+    /// # Safety
+    ///
+    /// The caller must have verified at runtime that the CPU supports
+    /// AVX2 and POPCNT.
     #[target_feature(enable = "avx2,popcnt")]
     pub unsafe fn pack_components(components: &[i8]) -> Result<Vec<u64>, (usize, i8)> {
         let mut words = Vec::with_capacity(components.len().div_ceil(64));
@@ -584,8 +634,12 @@ mod avx2 {
         for word_idx in 0..full {
             let mut word = 0u64;
             for half in 0..2 {
-                let ptr = components.as_ptr().add(word_idx * 64 + 32 * half).cast();
-                let v = _mm256_loadu_si256(ptr);
+                // SAFETY: `word_idx * 64 + 32 * half + 31 < 64 * full
+                // <= components.len()`, so the 32-byte load stays
+                // inside `components`.
+                let v = unsafe {
+                    _mm256_loadu_si256(components.as_ptr().add(word_idx * 64 + 32 * half).cast())
+                };
                 let neg = _mm256_cmpeq_epi8(v, minus);
                 let pos = _mm256_cmpeq_epi8(v, plus);
                 let valid = _mm256_movemask_epi8(_mm256_or_si256(neg, pos));
@@ -607,6 +661,11 @@ mod avx2 {
         Ok(words)
     }
 
+    /// # Safety
+    ///
+    /// The caller must have verified at runtime that the CPU supports
+    /// AVX2 and POPCNT, and `block` must hold [`BLOCK_LANES`] words per
+    /// query word (`block.len() >= BLOCK_LANES * query.len()`).
     #[target_feature(enable = "avx2,popcnt")]
     pub unsafe fn hamming_block(query: &[u64], block: &[u64], acc: &mut [u64; BLOCK_LANES]) {
         let mut acc_lo = _mm256_setzero_si256();
@@ -614,14 +673,24 @@ mod avx2 {
         for (w, &q) in query.iter().enumerate() {
             let vq = _mm256_set1_epi64x(q as i64);
             let base = w * BLOCK_LANES;
-            let lo = _mm256_loadu_si256(block.as_ptr().add(base).cast());
-            let hi = _mm256_loadu_si256(block.as_ptr().add(base + 4).cast());
+            // SAFETY: the caller guarantees `base + BLOCK_LANES <=
+            // block.len()`, so both 4-word loads stay inside `block`.
+            let (lo, hi) = unsafe {
+                (
+                    _mm256_loadu_si256(block.as_ptr().add(base).cast()),
+                    _mm256_loadu_si256(block.as_ptr().add(base + 4).cast()),
+                )
+            };
             acc_lo = _mm256_add_epi64(acc_lo, popcnt256(_mm256_xor_si256(vq, lo)));
             acc_hi = _mm256_add_epi64(acc_hi, popcnt256(_mm256_xor_si256(vq, hi)));
         }
         let mut lanes = [0u64; BLOCK_LANES];
-        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc_lo);
-        _mm256_storeu_si256(lanes.as_mut_ptr().add(4).cast(), acc_hi);
+        // SAFETY: `lanes` is exactly `BLOCK_LANES == 8` words, so the
+        // two 4-word stores exactly tile it.
+        unsafe {
+            _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc_lo);
+            _mm256_storeu_si256(lanes.as_mut_ptr().add(4).cast(), acc_hi);
+        }
         for (slot, lane) in acc.iter_mut().zip(lanes) {
             *slot += lane;
         }

@@ -48,6 +48,11 @@
 //! # Ok::<(), hdvec::HdvError>(())
 //! ```
 
+// Unsafe code is allowed only in vetted leaf modules, and even
+// there every unsafe operation inside an `unsafe fn` must sit in
+// an explicit `unsafe {}` block with its own `// SAFETY:` record.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 mod accumulator;
 pub mod backend;
 mod bitslice;

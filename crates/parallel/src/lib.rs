@@ -45,6 +45,12 @@
 //! assert_eq!(total, data.iter().sum::<u64>());
 //! ```
 
+// Unsafe code is allowed only in vetted leaf modules, and even
+// there every unsafe operation inside an `unsafe fn` must sit in
+// an explicit `unsafe {}` block with its own `// SAFETY:` record.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod model;
 mod ops;
 mod pool;
 

@@ -1,0 +1,103 @@
+//! The audit allowlist: the small set of findings the repo has decided
+//! to live with, each with a written justification.
+//!
+//! Format (`docs/audit-allowlist.txt`): one entry per line,
+//!
+//! ```text
+//! <lint> <file> <item> -- <justification>
+//! ```
+//!
+//! e.g. `no-panic crates/parallel/src/pool.rs expect -- poisoned lock
+//! means a worker panicked; aborting is correct`. Blank lines and `#`
+//! comments are ignored. An entry suppresses every finding of `<lint>`
+//! in `<file>` whose item key equals `<item>`. Entries that suppress
+//! nothing are themselves reported as findings — the allowlist can
+//! never silently outlive the code it excuses.
+
+use crate::Finding;
+
+/// One parsed allowlist entry.
+#[derive(Debug)]
+pub struct Entry {
+    /// Lint name the entry applies to.
+    pub lint: String,
+    /// Repo-relative file path.
+    pub file: String,
+    /// The finding's item key (`unwrap`, an env-var name, an item
+    /// identifier, …).
+    pub item: String,
+    /// 1-based line in the allowlist file (for stale-entry reports).
+    pub line: u32,
+}
+
+/// Parses allowlist text into entries.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line: every entry needs
+/// `lint file item` fields and a ` -- justification` tail.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (fields, justification) = line
+            .split_once(" -- ")
+            .ok_or_else(|| format!("allowlist line {}: missing ` -- justification`", idx + 1))?;
+        if justification.trim().is_empty() {
+            return Err(format!("allowlist line {}: empty justification", idx + 1));
+        }
+        let mut parts = fields.split_whitespace();
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(lint), Some(file), Some(item), None) => entries.push(Entry {
+                lint: lint.to_string(),
+                file: file.to_string(),
+                item: item.to_string(),
+                line: (idx + 1) as u32,
+            }),
+            _ => {
+                return Err(format!(
+                    "allowlist line {}: expected `lint file item -- justification`",
+                    idx + 1
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Removes allowlisted findings and reports stale entries.
+///
+/// Returns the surviving findings plus one `allowlist` finding per
+/// entry that matched nothing.
+#[must_use]
+pub fn apply(findings: Vec<Finding>, entries: &[Entry], allowlist_file: &str) -> Vec<Finding> {
+    let mut used = vec![false; entries.len()];
+    let mut kept = Vec::new();
+    for finding in findings {
+        let matched = entries.iter().enumerate().find(|(_, e)| {
+            e.lint == finding.lint && e.file == finding.file && e.item == finding.item
+        });
+        match matched {
+            Some((idx, _)) => used[idx] = true,
+            None => kept.push(finding),
+        }
+    }
+    for (entry, used) in entries.iter().zip(used) {
+        if !used {
+            kept.push(Finding {
+                lint: "allowlist",
+                file: allowlist_file.to_string(),
+                line: entry.line,
+                item: entry.item.clone(),
+                message: format!(
+                    "stale allowlist entry `{} {} {}`: it suppresses no finding — remove it",
+                    entry.lint, entry.file, entry.item
+                ),
+            });
+        }
+    }
+    kept
+}

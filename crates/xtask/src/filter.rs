@@ -1,0 +1,123 @@
+//! Test-region detection: which tokens of a source file belong to
+//! test-only code.
+//!
+//! The panic-freedom lint applies to *library* code only, but this repo
+//! keeps unit tests inline in `src/` files behind `#[cfg(test)]`. This
+//! module computes a per-token mask: a token is test-only when it sits
+//! inside an item annotated `#[test]`, `#[cfg(test)]` (also via `any(…)`
+//! / `all(…)` combinators, but not under `not(…)`), or inside a file
+//! whose inner attributes gate the whole module on `cfg(test)`.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Returns a mask parallel to `tokens`: `true` = test-only code.
+#[must_use]
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    let mut pending_test_attr = false;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') {
+            let inner = matches!(tokens.get(i + 1), Some(t) if t.is_punct('!'));
+            let open = i + 1 + usize::from(inner);
+            if matches!(tokens.get(open), Some(t) if t.is_punct('[')) {
+                let close = match matching(tokens, open, '[', ']') {
+                    Some(close) => close,
+                    None => break,
+                };
+                let is_test = attr_gates_test(&tokens[open + 1..close]);
+                if inner && is_test {
+                    // `#![cfg(test)]`: the whole file is test-only.
+                    mask.fill(true);
+                    return mask;
+                }
+                if is_test {
+                    pending_test_attr = true;
+                    for slot in &mut mask[i..=close] {
+                        *slot = true;
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        if pending_test_attr && !tokens[i].is_comment() && !tokens[i].is_punct('#') {
+            let end = item_end(tokens, i).unwrap_or(tokens.len() - 1);
+            for slot in &mut mask[i..=end] {
+                *slot = true;
+            }
+            pending_test_attr = false;
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Whether an attribute's tokens (between `[` and `]`) gate the item on
+/// test builds: `test`, `cfg(test)`, `cfg(any(test, …))` — but not
+/// `cfg(not(test))`.
+fn attr_gates_test(attr: &[Token]) -> bool {
+    let mut scopes: Vec<String> = Vec::new();
+    let mut prev_ident: Option<&str> = None;
+    for token in attr {
+        match token.kind {
+            TokenKind::Punct if token.is_punct('(') => {
+                scopes.push(prev_ident.unwrap_or("").to_string());
+                prev_ident = None;
+            }
+            TokenKind::Punct if token.is_punct(')') => {
+                scopes.pop();
+                prev_ident = None;
+            }
+            TokenKind::Ident => {
+                if token.text == "test" && !scopes.iter().any(|s| s == "not") {
+                    return true;
+                }
+                prev_ident = Some(&token.text);
+            }
+            _ => prev_ident = None,
+        }
+    }
+    false
+}
+
+/// The index of the last token of the item starting at `start`: the
+/// matching `}` of the first brace block encountered outside
+/// parens/brackets, or the first `;` at nesting depth zero, whichever
+/// comes first.
+fn item_end(tokens: &[Token], start: usize) -> Option<usize> {
+    let mut depth = 0isize;
+    let mut i = start;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Punct {
+            match t.text.chars().next() {
+                Some('(' | '[') => depth += 1,
+                Some(')' | ']') => depth -= 1,
+                Some('{') if depth == 0 => return matching(tokens, i, '{', '}'),
+                Some(';') if depth == 0 => return Some(i),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the punct matching the opener at `open`.
+pub fn matching(tokens: &[Token], open: usize, opener: char, closer: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (offset, token) in tokens[open..].iter().enumerate() {
+        if token.is_punct(opener) {
+            depth += 1;
+        } else if token.is_punct(closer) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(open + offset);
+            }
+        }
+    }
+    None
+}

@@ -1,0 +1,371 @@
+//! A minimal Rust lexer: just enough structure to tell code apart from
+//! comments, string/char literals, and attributes, with source lines
+//! attached to every token.
+//!
+//! The audit lints need exactly that much and no more — no parse tree,
+//! no spans into a token interner. The hazards a naive scanner gets
+//! wrong are handled here once: nested block comments, raw strings with
+//! arbitrary `#` fences, byte/raw-byte literals, raw identifiers
+//! (`r#match`), and the `'a` lifetime versus `'a'` char-literal
+//! ambiguity.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers).
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Any string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// A char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// A numeric literal (lexed loosely; suffixes are included).
+    Number,
+    /// A `//` comment, including doc comments (`///`, `//!`).
+    LineComment,
+    /// A `/* … */` comment (nesting-aware), including `/** … */`.
+    BlockComment,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// The token's full source text (comments keep their markers,
+    /// strings keep their quotes and prefixes).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this is an outer or inner doc comment.
+    #[must_use]
+    pub fn is_doc_comment(&self) -> bool {
+        match self.kind {
+            TokenKind::LineComment => self.text.starts_with("///") || self.text.starts_with("//!"),
+            TokenKind::BlockComment => self.text.starts_with("/**") || self.text.starts_with("/*!"),
+            _ => false,
+        }
+    }
+
+    /// Whether this token is a comment of either flavour.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this is an identifier with exactly the given text.
+    #[must_use]
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this is the given punctuation character.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(ch)
+    }
+
+    /// The contents of a string literal with prefix, fences, and quotes
+    /// stripped (escape sequences are left as written). Returns the raw
+    /// text for non-string tokens.
+    #[must_use]
+    pub fn str_value(&self) -> &str {
+        if self.kind != TokenKind::Str {
+            return &self.text;
+        }
+        let body = self.text.trim_start_matches(['b', 'r']);
+        let body = body.trim_matches('#');
+        body.strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .unwrap_or(body)
+    }
+}
+
+/// Lexes `source` into a token stream. Whitespace is dropped; comments
+/// are kept as tokens (several lints key off their placement).
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, offset: usize) -> Option<char> {
+        self.chars.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+            } else if c == '"' {
+                self.string(line, String::new());
+            } else if c == 'b' || c == 'r' {
+                self.maybe_literal_prefix(line);
+            } else if c == '\'' {
+                self.char_or_lifetime(line);
+            } else if is_ident_start(c) {
+                self.ident(line);
+            } else if c.is_ascii_digit() {
+                self.number(line);
+            } else {
+                self.bump();
+                self.push(TokenKind::Punct, c.to_string(), line);
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line);
+    }
+
+    /// Handles `b` / `r` starts: byte strings, byte chars, raw strings,
+    /// raw identifiers — or a plain identifier when none of those match.
+    fn maybe_literal_prefix(&mut self, line: u32) {
+        let c = self.peek(0);
+        let next = self.peek(1);
+        match (c, next) {
+            (Some('b'), Some('"')) => {
+                self.bump();
+                self.string(line, String::from("b"));
+            }
+            (Some('b'), Some('\'')) => {
+                self.bump(); // `b`
+                self.char_literal(line, String::from("b"));
+            }
+            (Some('b'), Some('r')) if self.raw_string_follows(2) => {
+                self.bump();
+                self.bump();
+                self.raw_string(line, String::from("br"));
+            }
+            (Some('r'), _) if self.raw_string_follows(1) => {
+                self.bump();
+                self.raw_string(line, String::from("r"));
+            }
+            (Some('r'), Some('#')) => {
+                // Raw identifier `r#ident`.
+                self.bump();
+                self.bump();
+                self.ident(line);
+            }
+            _ => self.ident(line),
+        }
+    }
+
+    /// Whether the characters at `offset` begin the `#*"` tail of a raw
+    /// string fence.
+    fn raw_string_follows(&self, offset: usize) -> bool {
+        let mut at = offset;
+        while self.peek(at) == Some('#') {
+            at += 1;
+        }
+        self.peek(at) == Some('"')
+    }
+
+    fn string(&mut self, line: u32, prefix: String) {
+        let mut text = prefix;
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(escaped) = self.bump() {
+                    text.push(escaped);
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    fn raw_string(&mut self, line: u32, prefix: String) {
+        let mut text = prefix;
+        let mut fences = 0usize;
+        while self.peek(0) == Some('#') {
+            fences += 1;
+            text.push('#');
+            self.bump();
+        }
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                let mut matched = 0;
+                while matched < fences && self.peek(0) == Some('#') {
+                    matched += 1;
+                    text.push('#');
+                    self.bump();
+                }
+                if matched == fences {
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Disambiguates `'a'` (char), `'\n'` (char) and `'a` / `'static`
+    /// (lifetimes): after the quote, an identifier character *not*
+    /// followed by a closing quote is a lifetime.
+    fn char_or_lifetime(&mut self, line: u32) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime = match next {
+            Some(c) if is_ident_start(c) => after != Some('\''),
+            _ => false,
+        };
+        if is_lifetime {
+            let mut text = String::from("'");
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        } else {
+            self.char_literal(line, String::new());
+        }
+    }
+
+    fn char_literal(&mut self, line: u32, prefix: String) {
+        let mut text = prefix;
+        text.push('\'');
+        self.bump(); // opening quote
+        match self.bump() {
+            Some('\\') => {
+                text.push('\\');
+                if let Some(escaped) = self.bump() {
+                    text.push(escaped);
+                    if escaped == 'u' && self.peek(0) == Some('{') {
+                        while let Some(c) = self.bump() {
+                            text.push(c);
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                    } else if matches!(escaped, 'x') {
+                        for _ in 0..2 {
+                            if let Some(c) = self.bump() {
+                                text.push(c);
+                            }
+                        }
+                    }
+                }
+            }
+            Some(c) => text.push(c),
+            None => {}
+        }
+        if self.peek(0) == Some('\'') {
+            text.push('\'');
+            self.bump();
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+}

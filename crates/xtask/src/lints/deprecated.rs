@@ -1,0 +1,87 @@
+//! `deprecated-milestone`: `#[deprecated]` shims must name when they go
+//! away.
+//!
+//! A deprecation without a removal plan lives forever. The lint
+//! requires every `#[deprecated]` attribute's `note` to contain the
+//! word `remove` together with a concrete milestone — `PR <n>` or a
+//! `v<n>`-style version — e.g. `note = "use builder(); remove in PR 8"`.
+
+use crate::filter::matching;
+use crate::lexer::{Token, TokenKind};
+use crate::Finding;
+
+/// Runs the lint.
+#[must_use]
+pub fn check(file: &str, tokens: &[Token]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#')
+            && matches!(tokens.get(i + 1), Some(t) if t.is_punct('['))
+            && matches!(tokens.get(i + 2), Some(t) if t.is_ident("deprecated"))
+        {
+            let close = matching(tokens, i + 1, '[', ']').unwrap_or(tokens.len() - 1);
+            let note = note_value(&tokens[i + 2..close]);
+            let ok = note.as_deref().is_some_and(has_removal_milestone);
+            if !ok {
+                findings.push(Finding {
+                    lint: "deprecated-milestone",
+                    file: file.to_string(),
+                    line: tokens[i].line,
+                    item: "deprecated".to_string(),
+                    message: match note {
+                        Some(_) => "`#[deprecated]` note names no removal milestone — say \
+                                    e.g. `remove in PR 9`"
+                            .to_string(),
+                        None => "`#[deprecated]` without a `note` — document the replacement \
+                                 and a removal milestone (e.g. `remove in PR 9`)"
+                            .to_string(),
+                    },
+                });
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    findings
+}
+
+/// The `note = "…"` string inside a `deprecated` attribute body.
+fn note_value(attr: &[Token]) -> Option<String> {
+    for (i, token) in attr.iter().enumerate() {
+        if token.is_ident("note") {
+            let mut rest = attr[i + 1..].iter().filter(|t| !t.is_comment());
+            if matches!(rest.next(), Some(t) if t.is_punct('=')) {
+                if let Some(value) = rest.next() {
+                    if value.kind == TokenKind::Str {
+                        return Some(value.str_value().to_string());
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether the note contains `remove` plus a `PR <n>` or `v<n>`
+/// milestone.
+fn has_removal_milestone(note: &str) -> bool {
+    let lower = note.to_lowercase();
+    if !lower.contains("remove") {
+        return false;
+    }
+    let bytes = lower.as_bytes();
+    for (i, window) in bytes.windows(2).enumerate() {
+        if window == b"pr" {
+            let mut rest = lower[i + 2..].chars().skip_while(|c| c.is_whitespace());
+            if rest.next().is_some_and(|c| c.is_ascii_digit()) {
+                return true;
+            }
+        }
+        if window[0] == b'v' && window[1].is_ascii_digit() {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,92 @@
+//! `env-registry`: every environment variable the code reads must be
+//! documented in `docs/ENV.md`.
+//!
+//! Runtime knobs (`GRAPHHD_THREADS`, `GRAPHHD_FORCE_SCALAR`, …) shape
+//! behaviour invisibly; the registry is the single checked-in place
+//! that lists them all. The lint finds `std::env::var` / `env::var_os`
+//! call sites, resolves the variable name (string literal, or a `const
+//! NAME: &str = "…";` defined in the same file), and requires the
+//! backticked name to appear in the registry. Unresolvable names are
+//! findings too — dynamic env lookups hide knobs from the registry.
+
+use crate::lexer::{Token, TokenKind};
+use crate::Finding;
+
+/// Runs the lint. `registry` is the contents of `docs/ENV.md` (or
+/// `None` when the registry file is missing).
+#[must_use]
+pub fn check(file: &str, tokens: &[Token], registry: Option<&str>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if !(token.is_ident("var") || token.is_ident("var_os")) {
+            continue;
+        }
+        // Match the `env :: var` path tail.
+        let mut before = tokens[..i].iter().rev().filter(|t| !t.is_comment());
+        let (c1, c2, seg) = (before.next(), before.next(), before.next());
+        let path_matches = matches!(c1, Some(t) if t.is_punct(':'))
+            && matches!(c2, Some(t) if t.is_punct(':'))
+            && matches!(seg, Some(t) if t.is_ident("env"));
+        if !path_matches {
+            continue;
+        }
+        let mut after = tokens[i + 1..].iter().filter(|t| !t.is_comment());
+        if !matches!(after.next(), Some(t) if t.is_punct('(')) {
+            continue;
+        }
+        let name = match after.next() {
+            Some(arg) if arg.kind == TokenKind::Str => Some(arg.str_value().to_string()),
+            Some(arg) if arg.kind == TokenKind::Ident => resolve_const(tokens, &arg.text),
+            _ => None,
+        };
+        match name {
+            Some(name) => {
+                let registered = registry.is_some_and(|text| text.contains(&format!("`{name}`")));
+                if !registered {
+                    findings.push(Finding {
+                        lint: "env-registry",
+                        file: file.to_string(),
+                        line: token.line,
+                        item: name.clone(),
+                        message: format!(
+                            "env var `{name}` is read here but not registered in docs/ENV.md"
+                        ),
+                    });
+                }
+            }
+            None => findings.push(Finding {
+                lint: "env-registry",
+                file: file.to_string(),
+                line: token.line,
+                item: "<dynamic>".to_string(),
+                message: "env read whose variable name cannot be resolved to a literal \
+                          (use a string literal or a same-file `const NAME: &str`)"
+                    .to_string(),
+            }),
+        }
+    }
+    findings
+}
+
+/// The string value of `const <name>: … = "…";` defined in this file.
+fn resolve_const(tokens: &[Token], name: &str) -> Option<String> {
+    for (i, token) in tokens.iter().enumerate() {
+        if !token.is_ident("const") {
+            continue;
+        }
+        let mut rest = tokens[i + 1..].iter().filter(|t| !t.is_comment());
+        if !matches!(rest.next(), Some(t) if t.is_ident(name)) {
+            continue;
+        }
+        // Scan a short window for the initializer literal.
+        for t in rest.take(8) {
+            if t.kind == TokenKind::Str {
+                return Some(t.str_value().to_string());
+            }
+            if t.is_punct(';') {
+                break;
+            }
+        }
+    }
+    None
+}

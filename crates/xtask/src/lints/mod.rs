@@ -1,0 +1,10 @@
+//! The audit's lint implementations. Each lint is a pure function from
+//! a lexed file (plus whatever registry context it needs) to a list of
+//! [`crate::Finding`]s; `crate::audit` wires them to the workspace and
+//! the allowlist.
+
+pub mod deprecated;
+pub mod envreg;
+pub mod panics;
+pub mod pubdocs;
+pub mod safety;

@@ -1,0 +1,59 @@
+//! `no-panic`: library code must not contain panicking escape hatches.
+//!
+//! Flags `.unwrap()` / `.expect(…)` (and their `_err` twins) plus the
+//! `panic!` / `unreachable!` / `todo!` / `unimplemented!` macros in
+//! non-test library code. Test code — `#[cfg(test)]` modules, `#[test]`
+//! functions — is exempt (see [`crate::filter`]), as are `assert!`-family
+//! macros (contract checks are welcome). The few justified sites go in
+//! the allowlist with a written reason; everything else should return
+//! [`graphhd::Error`]-style results instead.
+
+use crate::lexer::Token;
+use crate::Finding;
+
+/// Panicking methods (must be preceded by `.`).
+const METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// Panicking macros (must be followed by `!`).
+const MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the lint. `test_mask[i]` marks test-only tokens.
+#[must_use]
+pub fn check(file: &str, tokens: &[Token], test_mask: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if test_mask.get(i).copied().unwrap_or(false)
+            || token.kind != crate::lexer::TokenKind::Ident
+        {
+            continue;
+        }
+        let name = token.text.as_str();
+        let hit = if METHODS.contains(&name) {
+            matches!(prev_code(tokens, i), Some(t) if t.is_punct('.'))
+        } else if MACROS.contains(&name) {
+            matches!(next_code(tokens, i), Some(t) if t.is_punct('!'))
+        } else {
+            false
+        };
+        if hit {
+            findings.push(Finding {
+                lint: "no-panic",
+                file: file.to_string(),
+                line: token.line,
+                item: name.to_string(),
+                message: format!(
+                    "`{name}` in library code — return an error (or allowlist it with a reason)"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+fn prev_code(tokens: &[Token], i: usize) -> Option<&Token> {
+    tokens[..i].iter().rev().find(|t| !t.is_comment())
+}
+
+fn next_code(tokens: &[Token], i: usize) -> Option<&Token> {
+    tokens[i + 1..].iter().find(|t| !t.is_comment())
+}

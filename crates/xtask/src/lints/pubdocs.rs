@@ -1,0 +1,283 @@
+//! `pub-docs`: the serving-surface crates must document every public
+//! item.
+//!
+//! Applies to `hdvec`, `parallel`, `engine` and `graphhd` (the crates
+//! other code builds against). An item is flagged when it is `pub`
+//! (unrestricted), every enclosing module is `pub` too (or it sits at
+//! the crate root), and no doc comment or `#[doc …]` attribute
+//! introduces it. `pub use` re-exports and trait-body items are exempt;
+//! `pub mod name;` declarations are satisfied by inner `//!` docs in the
+//! referenced file.
+
+use crate::filter::matching;
+use crate::lexer::{Token, TokenKind};
+use crate::Finding;
+use std::path::Path;
+
+/// Item-level contexts the walker descends into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ctx {
+    /// A `mod` block; `true` = the module itself is public.
+    Mod(bool),
+    /// An `impl` block.
+    Impl,
+}
+
+/// A block the walker is currently inside: its context and the token
+/// index of its closing brace.
+#[derive(Debug)]
+struct Scope {
+    ctx: Ctx,
+    close: usize,
+}
+
+/// What one item intro parsed to.
+#[derive(Debug)]
+struct Item {
+    has_doc: bool,
+    is_pub: bool,
+    kind: String,
+    name: String,
+    line: u32,
+    /// Index of the body's `{` (to descend or skip), if any.
+    body_open: Option<usize>,
+    /// First token index after the whole item.
+    next: usize,
+}
+
+/// Runs the lint on one file. `file_path` is the on-disk path (used to
+/// resolve `pub mod name;` targets), `file` the repo-relative label.
+#[must_use]
+pub fn check(file: &str, file_path: &Path, tokens: &[Token]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(top) = scopes.last() {
+            if i == top.close {
+                scopes.pop();
+                i += 1;
+                continue;
+            }
+        }
+        let item = match parse_item(tokens, i) {
+            Some(item) => item,
+            None => {
+                i += 1;
+                continue;
+            }
+        };
+        let mods_public = scopes.iter().all(|s| !matches!(s.ctx, Ctx::Mod(false)));
+        let effective_pub = item.is_pub && mods_public;
+        let needs_doc = matches!(
+            item.kind.as_str(),
+            "fn" | "struct" | "enum" | "union" | "trait" | "type" | "const" | "static" | "mod"
+        );
+        if effective_pub && needs_doc && !item.has_doc && !mod_decl_has_inner_docs(&item, file_path)
+        {
+            findings.push(Finding {
+                lint: "pub-docs",
+                file: file.to_string(),
+                line: item.line,
+                item: item.name.clone(),
+                message: format!("public {} `{}` has no doc comment", item.kind, item.name),
+            });
+        }
+        match (item.kind.as_str(), item.body_open) {
+            ("mod", Some(open)) => {
+                if let Some(close) = matching(tokens, open, '{', '}') {
+                    scopes.push(Scope {
+                        ctx: Ctx::Mod(item.is_pub),
+                        close,
+                    });
+                    i = open + 1;
+                    continue;
+                }
+            }
+            ("impl", Some(open)) => {
+                if let Some(close) = matching(tokens, open, '{', '}') {
+                    scopes.push(Scope {
+                        ctx: Ctx::Impl,
+                        close,
+                    });
+                    i = open + 1;
+                    continue;
+                }
+            }
+            _ => {}
+        }
+        i = item.next;
+    }
+    findings
+}
+
+/// Whether a `pub mod name;` declaration's target file opens with inner
+/// (`//!`) docs.
+fn mod_decl_has_inner_docs(item: &Item, file_path: &Path) -> bool {
+    if item.kind != "mod" || item.body_open.is_some() {
+        return false;
+    }
+    let dir = match file_path.parent() {
+        Some(dir) => dir,
+        None => return false,
+    };
+    let candidates = [
+        dir.join(format!("{}.rs", item.name)),
+        dir.join(&item.name).join("mod.rs"),
+    ];
+    candidates.iter().any(|path| {
+        std::fs::read_to_string(path)
+            .map(|text| text.trim_start().starts_with("//!"))
+            .unwrap_or(false)
+    })
+}
+
+/// Keywords that modify an item without being its kind.
+const MODIFIERS: [&str; 5] = ["const", "async", "unsafe", "default", "extern"];
+
+/// Item kinds the walker understands. `const` doubles as a modifier
+/// (`const fn`) and is only the kind when no kind keyword follows.
+const KINDS: [&str; 14] = [
+    "fn",
+    "struct",
+    "enum",
+    "union",
+    "trait",
+    "type",
+    "mod",
+    "use",
+    "impl",
+    "const",
+    "static",
+    "macro",
+    "macro_rules",
+    "extern",
+];
+
+/// Parses one item intro starting at `start` (comments, attributes,
+/// visibility, modifiers, kind keyword, name), and locates its body.
+/// Returns `None` when `start` does not begin an item.
+fn parse_item(tokens: &[Token], start: usize) -> Option<Item> {
+    let mut i = start;
+    let mut has_doc = false;
+    // Leading trivia: doc comments and attributes.
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_comment() {
+            has_doc |= t.is_doc_comment();
+            i += 1;
+        } else if t.is_punct('#') {
+            let open = i + 1 + usize::from(matches!(tokens.get(i + 1), Some(n) if n.is_punct('!')));
+            if !matches!(tokens.get(open), Some(n) if n.is_punct('[')) {
+                return None;
+            }
+            let close = matching(tokens, open, '[', ']')?;
+            has_doc |= tokens[open + 1..close].iter().any(|t| t.is_ident("doc"));
+            i = close + 1;
+        } else {
+            break;
+        }
+    }
+    // Anchor findings to the first non-trivia token, not to leading
+    // comments that merely precede the item.
+    let line = tokens.get(i)?.line;
+    // Visibility.
+    let mut is_pub = false;
+    if matches!(tokens.get(i), Some(t) if t.is_ident("pub")) {
+        is_pub = true;
+        i += 1;
+        if matches!(tokens.get(i), Some(t) if t.is_punct('(')) {
+            // `pub(crate)` / `pub(super)` / `pub(in …)`: restricted.
+            is_pub = false;
+            i = matching(tokens, i, '(', ')')? + 1;
+        }
+    }
+    // Modifiers, then the kind keyword. A `const` is only a modifier
+    // when a kind keyword follows (`const fn` vs `const NAME`).
+    let mut kind: Option<String> = None;
+    while i < tokens.len() {
+        let t = tokens.get(i)?;
+        if t.kind != TokenKind::Ident {
+            return None;
+        }
+        let word = t.text.as_str();
+        let next_is_kind = matches!(
+            tokens.get(i + 1),
+            Some(n) if n.kind == TokenKind::Ident
+                && (KINDS.contains(&n.text.as_str()) || MODIFIERS.contains(&n.text.as_str()))
+        ) || matches!(
+            (word, tokens.get(i + 1)),
+            ("extern", Some(n)) if n.kind == TokenKind::Str
+        );
+        if MODIFIERS.contains(&word) && next_is_kind {
+            i += 1;
+            // `extern "C" fn`: skip the ABI string.
+            if matches!(tokens.get(i), Some(n) if n.kind == TokenKind::Str) {
+                i += 1;
+            }
+            continue;
+        }
+        if KINDS.contains(&word) {
+            kind = Some(word.to_string());
+            i += 1;
+            break;
+        }
+        return None;
+    }
+    let kind = kind?;
+    // Name (impl and use have none we need).
+    let name = match kind.as_str() {
+        "impl" | "use" | "extern" => String::new(),
+        _ => {
+            let t = tokens.get(i)?;
+            if kind == "macro_rules" && t.is_punct('!') {
+                tokens.get(i + 1)?.text.clone()
+            } else if t.kind == TokenKind::Ident {
+                t.text.clone()
+            } else {
+                String::new()
+            }
+        }
+    };
+    // Body: `type`/`const`/`static`/`use` end at `;` (skipping brace
+    // groups in initializers); everything else ends at the first `{`
+    // outside parens/brackets, or at `;` for declarations.
+    let value_like = matches!(kind.as_str(), "type" | "const" | "static" | "use");
+    let mut depth = 0isize;
+    let mut j = i;
+    let mut body_open = None;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == TokenKind::Punct {
+            match t.text.chars().next() {
+                Some('(' | '[') => depth += 1,
+                Some(')' | ']') => depth -= 1,
+                Some('{') if depth == 0 => {
+                    if value_like {
+                        // Initializer expression block: skip it.
+                        j = matching(tokens, j, '{', '}')?;
+                    } else {
+                        body_open = Some(j);
+                        break;
+                    }
+                }
+                Some(';') if depth == 0 => break,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    let next = match body_open {
+        Some(open) => matching(tokens, open, '{', '}').map_or(tokens.len(), |c| c + 1),
+        None => j + 1,
+    };
+    Some(Item {
+        has_doc,
+        is_pub,
+        kind,
+        name,
+        line,
+        body_open,
+        next,
+    })
+}

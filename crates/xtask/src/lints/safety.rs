@@ -1,0 +1,128 @@
+//! `unsafe-safety`: every `unsafe` site must explain itself.
+//!
+//! - `unsafe { … }` blocks and `unsafe impl`/`unsafe trait` items need a
+//!   comment containing `SAFETY:` within the five preceding source
+//!   lines.
+//! - `unsafe fn` declarations need either a doc comment with a
+//!   `# Safety` section or an adjacent `SAFETY:` comment.
+//! - A crate that uses `unsafe` at all must carry
+//!   `#![deny(unsafe_op_in_unsafe_fn)]` on its root, so unsafe
+//!   operations inside unsafe fns still need their own documented
+//!   blocks (checked crate-wide in [`crate::audit`]).
+
+use crate::lexer::Token;
+use crate::Finding;
+
+/// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
+const ADJACENCY_LINES: u32 = 5;
+
+/// Runs the per-file part of the lint.
+#[must_use]
+pub fn check(file: &str, tokens: &[Token]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if !token.is_ident("unsafe") {
+            continue;
+        }
+        let next = tokens[i + 1..].iter().find(|t| !t.is_comment());
+        let is_fn = matches!(next, Some(t) if t.is_ident("fn") || t.is_ident("extern"));
+        let ok = if is_fn {
+            has_safety_doc(tokens, i) || has_safety_comment(tokens, i, token.line)
+        } else {
+            has_safety_comment(tokens, i, token.line)
+        };
+        if !ok {
+            let what = if is_fn { "fn" } else { "block" };
+            findings.push(Finding {
+                lint: "unsafe-safety",
+                file: file.to_string(),
+                line: token.line,
+                item: "unsafe".to_string(),
+                message: format!(
+                    "`unsafe` {what} without an adjacent `// SAFETY:` comment{}",
+                    if is_fn {
+                        " (or a `# Safety` doc section)"
+                    } else {
+                        ""
+                    }
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Whether the nearest comment block above `line` (scanning tokens
+/// before index `at`, allowing up to [`ADJACENCY_LINES`] of intervening
+/// code — the start of the annotated statement) contains `SAFETY:`. A
+/// contiguous run of comment lines counts as one block, however long.
+fn has_safety_comment(tokens: &[Token], at: usize, line: u32) -> bool {
+    let mut i = at;
+    while i > 0 {
+        i -= 1;
+        let t = &tokens[i];
+        if t.is_comment() {
+            // Scan the whole contiguous comment run above this point.
+            let mut j = i;
+            loop {
+                if tokens[j].text.contains("SAFETY:") {
+                    return true;
+                }
+                if j == 0 || !tokens[j - 1].is_comment() {
+                    return false;
+                }
+                j -= 1;
+            }
+        }
+        if t.line + ADJACENCY_LINES < line {
+            return false;
+        }
+    }
+    false
+}
+
+/// Whether the doc comment block introducing the item at `at` has a
+/// `# Safety` section. Walks back over attributes, comments and the
+/// usual visibility/modifier tokens.
+fn has_safety_doc(tokens: &[Token], at: usize) -> bool {
+    let mut i = at;
+    while i > 0 {
+        i -= 1;
+        let t = &tokens[i];
+        if t.is_doc_comment() && t.text.contains("# Safety") {
+            return true;
+        }
+        let skippable = t.is_comment()
+            || t.is_ident("pub")
+            || t.is_ident("crate")
+            || t.is_ident("super")
+            || t.is_ident("const")
+            || t.is_ident("async")
+            || t.is_punct('(')
+            || t.is_punct(')')
+            || t.is_punct(']')
+            || t.is_punct('#')
+            || within_attribute(tokens, i);
+        if !skippable {
+            return false;
+        }
+    }
+    false
+}
+
+/// Whether token `i` sits inside an attribute (`#[ … ]`) — approximated
+/// by looking back for an unclosed `[` preceded by `#`.
+fn within_attribute(tokens: &[Token], i: usize) -> bool {
+    let mut depth = 0isize;
+    for t in tokens[..=i].iter().rev() {
+        if t.is_punct(']') {
+            depth += 1;
+        } else if t.is_punct('[') {
+            if depth == 0 {
+                return true;
+            }
+            depth -= 1;
+        }
+    }
+    false
+}

@@ -1,0 +1,62 @@
+//! CLI entry point: `cargo xtask audit [--root <path>]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("audit") => run_audit(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo xtask audit [--root <path>]");
+            eprintln!();
+            eprintln!("Runs the repo lint suite: unsafe-safety, no-panic, env-registry,");
+            eprintln!("deprecated-milestone, pub-docs. Exits non-zero on any finding.");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_audit(args: &[String]) -> ExitCode {
+    let root = match parse_root(args) {
+        Ok(root) => root,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match xtask::audit(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("audit: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            println!("audit: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: `--root <path>` when given, else the directory
+/// two levels above this crate (compile-time location), else the
+/// current directory.
+fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+    if let Some(at) = args.iter().position(|a| a == "--root") {
+        let path = args
+            .get(at + 1)
+            .ok_or_else(|| "--root needs a path".to_string())?;
+        return Ok(PathBuf::from(path));
+    }
+    let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match manifest_dir.parent().and_then(|p| p.parent()) {
+        Some(root) => Ok(root.to_path_buf()),
+        None => Ok(PathBuf::from(".")),
+    }
+}

@@ -1,0 +1,100 @@
+//! Workspace discovery: which crates and source files the audit scans.
+//!
+//! The scan set is every workspace member's `src/` tree (the umbrella
+//! crate at the repo root included). `vendor/` is excluded — the
+//! proptest/criterion shims mirror external APIs — and `tests/`,
+//! `benches/`, and `examples/` trees are out of scope: the lints police
+//! *shipped* code, and test code is recognised and skipped even inside
+//! `src/` files (see [`crate::filter`]).
+
+use std::path::{Path, PathBuf};
+
+/// One scanned crate: its name and the `.rs` files under its `src/`.
+#[derive(Debug)]
+pub struct CrateSrc {
+    /// The crate directory name (`hdvec`, `parallel`, …; the umbrella
+    /// crate at the repo root is `graphhd_suite`).
+    pub name: String,
+    /// All `.rs` files under `src/`, sorted for deterministic reports.
+    pub files: Vec<PathBuf>,
+}
+
+/// Discovers every scanned crate under `root` (the repo root).
+///
+/// # Errors
+///
+/// Returns a message if a directory cannot be read.
+pub fn discover(root: &Path) -> Result<Vec<CrateSrc>, String> {
+    let mut crates = Vec::new();
+    let umbrella = root.join("src");
+    if umbrella.is_dir() {
+        crates.push(CrateSrc {
+            name: "graphhd_suite".to_string(),
+            files: rust_files(&umbrella)?,
+        });
+    }
+    let crates_dir = root.join("crates");
+    let mut names = Vec::new();
+    for entry in read_dir(&crates_dir)? {
+        let path = entry
+            .map_err(|e| format!("cannot list crates/: {e}"))?
+            .path();
+        if path.join("src").is_dir() {
+            if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                names.push(name.to_string());
+            }
+        }
+    }
+    names.sort();
+    for name in names {
+        let src = crates_dir.join(&name).join("src");
+        crates.push(CrateSrc {
+            name,
+            files: rust_files(&src)?,
+        });
+    }
+    Ok(crates)
+}
+
+/// All `.rs` files under `dir`, recursively, sorted.
+fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(current) = stack.pop() {
+        for entry in read_dir(&current)? {
+            let path = entry
+                .map_err(|e| format!("cannot list {}: {e}", current.display()))?
+                .path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn read_dir(dir: &Path) -> Result<std::fs::ReadDir, String> {
+    std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))
+}
+
+/// Reads a file to a string with a path-labelled error.
+///
+/// # Errors
+///
+/// Returns a message if the file cannot be read.
+pub fn read_file(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
+}
+
+/// `path` relative to `root`, with `/` separators, for stable report
+/// lines and allowlist keys.
+#[must_use]
+pub fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}

@@ -1,0 +1,13 @@
+// Fixture: deprecations that must be flagged by `deprecated-milestone`.
+
+/// No note at all.
+#[deprecated]
+pub fn bare() {}
+
+/// A note that names the replacement but no removal milestone.
+#[deprecated(since = "0.1.0", note = "use `shiny` instead")]
+pub fn no_milestone() {}
+
+/// Says "remove" but never says when.
+#[deprecated(note = "will be removed eventually")]
+pub fn vague_removal() {}

@@ -1,0 +1,10 @@
+// Fixture: deprecations with concrete removal milestones;
+// `deprecated-milestone` must stay quiet.
+
+/// Milestone as a PR number.
+#[deprecated(since = "0.1.0", note = "use `shiny` instead; remove in PR 9")]
+pub fn pr_milestone() {}
+
+/// Milestone as a version.
+#[deprecated(note = "superseded by `better`; remove after v0.2 ships")]
+pub fn version_milestone() {}

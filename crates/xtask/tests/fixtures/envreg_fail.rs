@@ -1,0 +1,20 @@
+// Fixture: env reads that must be flagged by `env-registry` (against a
+// registry that only knows `GRAPHHD_REGISTERED`).
+
+/// Reads a variable the registry has never heard of.
+pub fn unregistered() -> Option<String> {
+    std::env::var("GRAPHHD_UNREGISTERED").ok()
+}
+
+/// Reads through a same-file const that resolves to an unregistered
+/// name.
+pub const SECRET_ENV: &str = "GRAPHHD_SECRET_KNOB";
+
+pub fn unregistered_via_const() -> Option<String> {
+    std::env::var(SECRET_ENV).ok()
+}
+
+/// A dynamic name can never be checked against the registry.
+pub fn dynamic(name: &str) -> Option<std::ffi::OsString> {
+    std::env::var_os(name)
+}

@@ -1,0 +1,32 @@
+// Fixture: env reads the registry (`GRAPHHD_REGISTERED`) covers, plus
+// decoys that are not env reads at all.
+
+/// Environment variable documented in the fixture registry.
+pub const REGISTERED_ENV: &str = "GRAPHHD_REGISTERED";
+
+/// Literal read of a registered name.
+pub fn registered_literal() -> Option<String> {
+    std::env::var("GRAPHHD_REGISTERED").ok()
+}
+
+/// Const-resolved read of a registered name.
+pub fn registered_const() -> Option<std::ffi::OsString> {
+    std::env::var_os(REGISTERED_ENV)
+}
+
+/// `env!` is a compile-time macro, not a runtime env read.
+pub fn compile_time() -> &'static str {
+    env!("CARGO_PKG_NAME")
+}
+
+/// A method named `var` on something that is not `env` is unrelated.
+pub fn var_method_decoy(map: &std::collections::HashMap<String, f64>) -> f64 {
+    struct Stats;
+    impl Stats {
+        fn var(&self, _: usize) -> f64 {
+            0.0
+        }
+    }
+    let _ = map;
+    Stats.var(3)
+}

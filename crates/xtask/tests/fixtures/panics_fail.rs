@@ -1,0 +1,27 @@
+// Fixture: every panic site here is in library code and must be
+// flagged by `no-panic`.
+
+pub fn uses_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn uses_expect(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+
+pub fn uses_panic(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+pub fn uses_unreachable(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn uses_todo() {
+    todo!()
+}

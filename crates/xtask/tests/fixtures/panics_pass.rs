@@ -1,0 +1,46 @@
+// Fixture: nothing here may trip `no-panic` — panics live only in test
+// code, near-miss identifiers, comments, and strings.
+
+/// `unwrap_or` and friends are not `unwrap`.
+pub fn near_miss_idents(v: Option<u32>) -> u32 {
+    let out = v.unwrap_or(0);
+    let out = Some(out).unwrap_or_else(|| 0);
+    Some(out).unwrap_or_default()
+}
+
+/// Mentions of panic!("…") and .unwrap() in comments are fine.
+pub fn decoys() -> &'static str {
+    // A comment saying x.unwrap() or panic!("no") must not count.
+    "a string with .unwrap() and panic!(\"no\") inside"
+}
+
+/// `panic` as a path segment (no `!`) is not the macro.
+pub fn panic_path() {
+    let _ = std::panic::catch_unwind(|| 1);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        v.expect("fine in tests");
+        if false {
+            panic!("fine in tests");
+        }
+    }
+}
+
+#[test]
+fn top_level_test_may_unwrap() {
+    let v: Option<u32> = Some(2);
+    assert_eq!(v.unwrap(), 2);
+}
+
+#[cfg(not(test))]
+pub fn not_test_is_library_code(v: Option<u32>) -> u32 {
+    // This item is NOT test-gated (`not(test)`), so it stays library
+    // code — but it contains no panics, keeping this a pass fixture.
+    v.unwrap_or(7)
+}

@@ -1,0 +1,23 @@
+// Fixture: public items without docs; every one must be flagged by
+// `pub-docs`.
+
+pub fn undocumented_fn() {}
+
+pub struct UndocumentedStruct;
+
+pub enum UndocumentedEnum {
+    A,
+}
+
+pub const UNDOCUMENTED_CONST: usize = 1;
+
+pub mod undocumented_mod {
+    pub fn undocumented_nested() {}
+}
+
+/// Documented wrapper type.
+pub struct Wrapper;
+
+impl Wrapper {
+    pub fn undocumented_method(&self) {}
+}

@@ -1,0 +1,38 @@
+// Fixture: everything public is documented (or exempt); `pub-docs`
+// must stay quiet.
+
+/// A documented function.
+pub fn documented_fn() {}
+
+/// A documented struct.
+pub struct Documented;
+
+impl Documented {
+    /// A documented method.
+    pub fn documented_method(&self) {}
+
+    fn private_method(&self) {}
+}
+
+/// A documented module.
+pub mod documented_mod {
+    /// Nested and documented.
+    pub fn nested() {}
+}
+
+mod private_mod {
+    // Public-in-private is not part of the crate surface.
+    pub fn not_really_public() {}
+}
+
+pub(crate) fn crate_visible() {}
+
+#[doc = "Attribute docs count too."]
+pub fn attr_documented() {}
+
+pub use std::collections::HashMap;
+
+/// Trait bodies are exempt from per-item doc checks.
+pub trait DocumentedTrait {
+    fn method(&self);
+}

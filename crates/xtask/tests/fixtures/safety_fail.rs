@@ -1,0 +1,27 @@
+// Fixture: every unsafe site here must be flagged by `unsafe-safety`.
+
+pub fn undocumented_block(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}
+
+pub unsafe fn undocumented_fn(ptr: *const u8) -> u8 {
+    *ptr
+}
+
+/// Documented, but the docs never explain the contract.
+pub unsafe fn doc_without_safety_section(ptr: *const u8) -> u8 {
+    *ptr
+}
+
+pub fn comment_too_far(ptr: *const u8) -> u8 {
+    // SAFETY: this comment is stranded too many lines above the site,
+    // with a full statement in between, so adjacency must not credit
+    // it.
+    let _unrelated = 1;
+    let _also_unrelated = 2;
+    let _more = 3;
+    let _and_more = 4;
+    let _padding = 5;
+    let _final = 6;
+    unsafe { *ptr }
+}

@@ -1,0 +1,33 @@
+// Fixture: every unsafe site here is documented; `unsafe-safety` must
+// stay quiet.
+
+pub fn documented_block(ptr: *const u8) -> u8 {
+    // SAFETY: the caller upholds `ptr` validity; see fixture contract.
+    unsafe { *ptr }
+}
+
+/// Reads one byte.
+///
+/// # Safety
+///
+/// `ptr` must be valid for reads.
+pub unsafe fn documented_fn(ptr: *const u8) -> u8 {
+    // SAFETY: validity is the caller's documented obligation.
+    unsafe { *ptr }
+}
+
+pub fn multi_line_safety_block(ptr: *const u8) -> u8 {
+    // SAFETY: a long argument can span many lines; the marker sits on
+    // the first line of the run but the whole contiguous comment block
+    // must count, even when the annotated statement itself adds a line
+    // or two between the comment and the `unsafe` keyword — exactly
+    // the `let x = unsafe { … }` shape below.
+    let value = unsafe { *ptr };
+    value
+}
+
+pub fn string_and_comment_decoys() -> &'static str {
+    // The word below appears only in string/comment positions, so the
+    // lint must not treat it as a keyword: "unsafe".
+    "unsafe { not_code() }"
+}

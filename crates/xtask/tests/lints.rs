@@ -1,0 +1,205 @@
+//! Fixture tests: every lint must fire on its fail fixture (at the
+//! expected sites) and stay quiet on its pass fixture.
+
+use std::path::{Path, PathBuf};
+use xtask::lexer::{self, Token};
+use xtask::{filter, lints};
+
+fn fixture(name: &str) -> (PathBuf, Vec<Token>) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path).expect("fixture exists");
+    let tokens = lexer::lex(&source);
+    (path, tokens)
+}
+
+#[test]
+fn safety_lint_fires_on_every_undocumented_site() {
+    let (_, tokens) = fixture("safety_fail.rs");
+    let findings = lints::safety::check("safety_fail.rs", &tokens);
+    assert_eq!(
+        findings.len(),
+        4,
+        "one finding per undocumented unsafe site: {findings:?}"
+    );
+    assert!(findings.iter().all(|f| f.lint == "unsafe-safety"));
+}
+
+#[test]
+fn safety_lint_accepts_documented_sites_and_decoys() {
+    let (_, tokens) = fixture("safety_pass.rs");
+    let findings = lints::safety::check("safety_pass.rs", &tokens);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn panic_lint_fires_on_every_panicking_site() {
+    let (_, tokens) = fixture("panics_fail.rs");
+    let mask = filter::test_mask(&tokens);
+    let findings = lints::panics::check("panics_fail.rs", &tokens, &mask);
+    let items: Vec<&str> = findings.iter().map(|f| f.item.as_str()).collect();
+    assert_eq!(
+        items,
+        ["unwrap", "expect", "panic", "unreachable", "todo"],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn panic_lint_ignores_tests_near_misses_and_decoys() {
+    let (_, tokens) = fixture("panics_pass.rs");
+    let mask = filter::test_mask(&tokens);
+    let findings = lints::panics::check("panics_pass.rs", &tokens, &mask);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn env_lint_fires_on_unregistered_and_dynamic_reads() {
+    let (_, tokens) = fixture("envreg_fail.rs");
+    let registry = "| `GRAPHHD_REGISTERED` | a knob |";
+    let findings = lints::envreg::check("envreg_fail.rs", &tokens, Some(registry));
+    let items: Vec<&str> = findings.iter().map(|f| f.item.as_str()).collect();
+    assert_eq!(
+        items,
+        ["GRAPHHD_UNREGISTERED", "GRAPHHD_SECRET_KNOB", "<dynamic>"],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn env_lint_accepts_registered_reads_and_decoys() {
+    let (_, tokens) = fixture("envreg_pass.rs");
+    let registry = "| `GRAPHHD_REGISTERED` | a knob |";
+    let findings = lints::envreg::check("envreg_pass.rs", &tokens, Some(registry));
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn env_lint_flags_everything_when_registry_is_missing() {
+    let (_, tokens) = fixture("envreg_pass.rs");
+    let findings = lints::envreg::check("envreg_pass.rs", &tokens, None);
+    assert_eq!(findings.len(), 2, "{findings:?}");
+}
+
+#[test]
+fn deprecated_lint_fires_without_milestone() {
+    let (_, tokens) = fixture("deprecated_fail.rs");
+    let findings = lints::deprecated::check("deprecated_fail.rs", &tokens);
+    assert_eq!(findings.len(), 3, "{findings:?}");
+}
+
+#[test]
+fn deprecated_lint_accepts_concrete_milestones() {
+    let (_, tokens) = fixture("deprecated_pass.rs");
+    let findings = lints::deprecated::check("deprecated_pass.rs", &tokens);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn pubdocs_lint_fires_on_every_undocumented_public_item() {
+    let (path, tokens) = fixture("pubdocs_fail.rs");
+    let findings = lints::pubdocs::check("pubdocs_fail.rs", &path, &tokens);
+    let items: Vec<&str> = findings.iter().map(|f| f.item.as_str()).collect();
+    assert_eq!(
+        items,
+        [
+            "undocumented_fn",
+            "UndocumentedStruct",
+            "UndocumentedEnum",
+            "UNDOCUMENTED_CONST",
+            "undocumented_mod",
+            "undocumented_nested",
+            "undocumented_method",
+        ],
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn pubdocs_lint_accepts_documented_restricted_and_private_items() {
+    let (path, tokens) = fixture("pubdocs_pass.rs");
+    let findings = lints::pubdocs::check("pubdocs_pass.rs", &path, &tokens);
+    assert!(findings.is_empty(), "unexpected: {findings:?}");
+}
+
+#[test]
+fn allowlist_suppresses_and_reports_stale_entries() {
+    let (_, tokens) = fixture("panics_fail.rs");
+    let mask = filter::test_mask(&tokens);
+    let findings = lints::panics::check("panics_fail.rs", &tokens, &mask);
+    let entries = xtask::allowlist::parse(
+        "no-panic panics_fail.rs unwrap -- fixture justification\n\
+         no-panic panics_fail.rs never_matches -- stale entry\n",
+    )
+    .expect("well-formed allowlist");
+    let surviving = xtask::allowlist::apply(findings, &entries, "allow.txt");
+    // `unwrap` suppressed; 4 original findings survive plus 1 stale
+    // report.
+    assert_eq!(surviving.len(), 5, "{surviving:?}");
+    assert!(surviving.iter().any(|f| f.lint == "allowlist"));
+    assert!(!surviving.iter().any(|f| f.item == "unwrap"));
+}
+
+#[test]
+fn allowlist_rejects_malformed_lines() {
+    assert!(xtask::allowlist::parse("no-panic file.rs unwrap").is_err());
+    assert!(xtask::allowlist::parse("no-panic file.rs --  \n").is_err());
+}
+
+#[test]
+fn lexer_handles_the_classic_hazards() {
+    let tokens = lexer::lex(
+        r##"
+        // comment with "quote and unsafe
+        let s = "str with // not a comment";
+        let r = r#"raw "quoted" string"#;
+        let b = b"bytes";
+        let c = 'x';
+        let esc = '\n';
+        let lt: &'static str = "life";
+        /* block /* nested */ still comment */
+        let n = 0x1f_u64;
+        "##,
+    );
+    let strings: Vec<&str> = tokens
+        .iter()
+        .filter(|t| t.kind == lexer::TokenKind::Str)
+        .map(|t| t.str_value())
+        .collect();
+    assert_eq!(
+        strings,
+        [
+            "str with // not a comment",
+            r#"raw "quoted" string"#,
+            "bytes",
+            "life"
+        ]
+    );
+    assert!(tokens.iter().any(|t| t.kind == lexer::TokenKind::Lifetime));
+    assert_eq!(
+        tokens
+            .iter()
+            .filter(|t| t.kind == lexer::TokenKind::Char)
+            .count(),
+        2
+    );
+    assert_eq!(
+        tokens
+            .iter()
+            .filter(|t| t.kind == lexer::TokenKind::BlockComment)
+            .count(),
+        1
+    );
+    assert!(!tokens.iter().any(|t| t.is_ident("unsafe")));
+}
+
+#[test]
+fn line_numbers_survive_multiline_tokens() {
+    let tokens = lexer::lex("let a = 1;\n/* two\nlines */\nlet b = 2;\n");
+    let b_token = tokens
+        .iter()
+        .find(|t| t.is_ident("b"))
+        .expect("token for b");
+    assert_eq!(b_token.line, 4);
+}

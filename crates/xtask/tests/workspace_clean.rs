@@ -1,0 +1,25 @@
+//! Self-check: the live workspace must be clean under its own audit.
+//!
+//! This is the same check CI runs as `cargo xtask audit`; keeping it as
+//! a test means `cargo test` alone catches regressions.
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_passes_its_own_audit() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels below the workspace root");
+    let findings = xtask::audit(root).expect("audit runs");
+    assert!(
+        findings.is_empty(),
+        "audit found {} issue(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
