@@ -1,0 +1,85 @@
+//! Ablation A5 — how much does the encoding *strategy* matter? The
+//! paper's centrality recipe against the VS-Graph-style
+//! vertex-similarity and CiliaGraph-style edge-weighted strategies on
+//! every benchmark surrogate: CV accuracy plus single-thread encode
+//! throughput (graphs/second), since the alternative strategies pay for
+//! their extra features at encode time.
+//!
+//! Run: `cargo run -p bench --release --bin ablation_encoder [--quick]`
+
+use std::time::Instant;
+
+use datasets::harness::evaluate_cv;
+use graphcore::Graph;
+use graphhd::{EncoderKind, GraphEncoder, GraphHdClassifier, GraphHdConfig};
+use parallel::Pool;
+use std::sync::Arc;
+
+/// Graphs/second for one serial pass over the dataset (pinned to one
+/// thread so strategies are compared on work done, not on scheduling).
+fn encode_throughput(config: GraphHdConfig, graphs: &[&Graph]) -> f64 {
+    let encoder = GraphEncoder::new(config)
+        .expect("valid config")
+        .with_pool(Arc::new(Pool::with_threads(1)));
+    let start = Instant::now();
+    let encodings = encoder.encode_all(graphs);
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(encodings.len(), graphs.len());
+    graphs.len() as f64 / elapsed.max(1e-12)
+}
+
+fn main() {
+    let options = bench::Options::parse(std::env::args());
+    let protocol = options.effort.protocol(options.seed);
+    let datasets = options.load_datasets();
+
+    let mut rows = Vec::new();
+    for dataset in &datasets {
+        eprintln!("== {} ==", dataset.name());
+        let graphs: Vec<&Graph> = dataset.graphs().iter().collect();
+        for kind in [
+            EncoderKind::Centrality,
+            EncoderKind::vertex_similarity(),
+            EncoderKind::edge_weighted(),
+        ] {
+            let config = GraphHdConfig::builder()
+                .with_encoder(kind)
+                .seed(options.seed)
+                .build()
+                .expect("valid config");
+            let mut clf = GraphHdClassifier::new(config);
+            let report = evaluate_cv(&mut clf, dataset, &protocol).expect("protocol fits datasets");
+            let accuracy = report.accuracy();
+            let throughput = encode_throughput(config, &graphs);
+            eprintln!(
+                "  {:<18} acc {:.3} ± {:.3}  encode {:.0} graphs/s  train {}s",
+                kind.name(),
+                accuracy.mean,
+                accuracy.std_dev,
+                throughput,
+                bench::fmt_seconds(report.train_seconds().mean)
+            );
+            rows.push(vec![
+                dataset.name().to_string(),
+                kind.name().to_string(),
+                format!("{:.4}", accuracy.mean),
+                format!("{:.4}", accuracy.std_dev),
+                format!("{throughput:.1}"),
+                bench::fmt_seconds(report.train_seconds().mean),
+            ]);
+        }
+    }
+    bench::emit_results(
+        &options,
+        "ablation_encoder",
+        &[
+            "dataset",
+            "encoder",
+            "accuracy_mean",
+            "accuracy_std",
+            "encode_graphs_per_second",
+            "train_seconds_per_fold",
+        ],
+        &rows,
+    );
+}

@@ -51,7 +51,7 @@
 
 use graphcore::Graph;
 use graphhd::select::argmax_tie_low;
-use graphhd::{CentralityKind, Error, GraphHdConfig, GraphHdModel};
+use graphhd::{CentralityKind, EncoderKind, Error, GraphHdConfig, GraphHdModel};
 use hdvec::TieBreak;
 use parallel::Pool;
 use std::borrow::Borrow;
@@ -507,6 +507,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Selects the graph encoding strategy (paper default: the GraphHD
+    /// centrality recipe). The choice is recorded in snapshots, so an
+    /// engine restored via [`Engine::from_snapshot`] serves the same
+    /// encoder it was trained with.
+    pub fn with_encoder(mut self, encoder: EncoderKind) -> Self {
+        self.config.encoder = encoder;
+        self
+    }
+
     /// Replaces the whole model configuration (e.g. one restored from a
     /// config file); individual setters can still refine it afterwards.
     pub fn config(mut self, config: GraphHdConfig) -> Self {
@@ -718,6 +727,31 @@ mod tests {
             engine.classify_batch(&refs).expect("engine alive"),
             expected
         );
+    }
+
+    #[test]
+    fn with_encoder_survives_fit_and_snapshot_restore() {
+        let (graphs, labels) = toy();
+        let kind = EncoderKind::EdgeWeighted { weight_cap: 3 };
+        let engine = Engine::builder()
+            .dim(512)
+            .with_encoder(kind)
+            .fit(&graphs, &labels, 2)
+            .expect("valid inputs");
+        assert_eq!(engine.model().encoder().config().encoder, kind);
+        let expected: Vec<u32> = graphs.iter().map(|g| engine.model().predict(g)).collect();
+
+        let path =
+            std::env::temp_dir().join(format!("graphhd-engine-encoder-{}.ghd", std::process::id()));
+        engine.snapshot(&path).expect("snapshot written");
+        let restored = Engine::from_snapshot(&path).expect("valid snapshot");
+        std::fs::remove_file(&path).expect("cleanup");
+        assert_eq!(restored.model().encoder().config().encoder, kind);
+        let served: Vec<u32> = graphs
+            .iter()
+            .map(|g| restored.classify(g).expect("engine alive"))
+            .collect();
+        assert_eq!(served, expected);
     }
 
     #[test]

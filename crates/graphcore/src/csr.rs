@@ -146,6 +146,36 @@ impl Graph {
         self.edges().collect()
     }
 
+    /// Counts the common neighbors of `u` and `v` (the size of
+    /// N(u) ∩ N(v)) by merging the two sorted adjacency lists.
+    ///
+    /// This is the structural edge weight used by the edge-weighted
+    /// encoder strategy: an edge closing many triangles carries more
+    /// evidence about local topology than a bridge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex is out of range.
+    #[must_use]
+    pub fn common_neighbors(&self, u: u32, v: u32) -> usize {
+        let nu = self.neighbors(u);
+        let nv = self.neighbors(v);
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut count = 0usize;
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                core::cmp::Ordering::Less => i += 1,
+                core::cmp::Ordering::Greater => j += 1,
+                core::cmp::Ordering::Equal => {
+                    count += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        count
+    }
+
     /// Counts the triangles in the graph (each counted once).
     ///
     /// Uses the standard neighbor-intersection method over sorted
@@ -303,6 +333,23 @@ mod tests {
         assert_eq!(g.max_degree(), 0);
         assert_eq!(g.isolated_count(), 5);
         assert_eq!(g.density(), 0.0);
+    }
+
+    #[test]
+    fn common_neighbors_counts_shared_adjacency() {
+        // K4: every pair of adjacent vertices shares the other two.
+        let k4 = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .expect("valid edges");
+        assert_eq!(k4.common_neighbors(0, 1), 2);
+        // Path 0-1-2: the endpoints share the middle, adjacent pairs none.
+        let path = Graph::from_edges(3, [(0, 1), (1, 2)]).expect("valid edges");
+        assert_eq!(path.common_neighbors(0, 2), 1);
+        assert_eq!(path.common_neighbors(0, 1), 0);
+        // Symmetric, and zero against an isolated vertex.
+        let star = Graph::from_edges(4, [(0, 1), (0, 2)]).expect("valid edges");
+        assert_eq!(star.common_neighbors(1, 2), star.common_neighbors(2, 1));
+        assert_eq!(star.common_neighbors(1, 2), 1);
+        assert_eq!(star.common_neighbors(0, 3), 0);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! - [`pagerank`] — PageRank power iteration with the paper's fixed
 //!   iteration count (10), plus degree centrality and deterministic
 //!   score-to-rank conversion (Section IV-C).
+//! - [`similarity`] — per-vertex neighborhood-similarity features, the
+//!   signal behind the VS-Graph-style encoder strategy.
 //! - [`io`] — the TUDataset text format (`DS_A.txt`,
 //!   `DS_graph_indicator.txt`, `DS_graph_labels.txt`) reader and writer, so
 //!   real benchmark files drop into the suite unchanged.
@@ -34,6 +36,7 @@ mod error;
 pub mod generate;
 pub mod io;
 mod pagerank;
+pub mod similarity;
 
 pub use csr::{Graph, GraphBuilder};
 pub use error::GraphError;

@@ -1,0 +1,143 @@
+//! Vertex-similarity features (the VS-Graph signal).
+//!
+//! The VS-Graph follow-up to GraphHD replaces centrality ranking with a
+//! *vertex similarity* score: how strongly a vertex's neighborhood
+//! overlaps with the neighborhoods of its own neighbors. Vertices inside
+//! dense, clustered regions score high; bridges and leaves score low.
+//! This module computes that per-vertex feature deterministically so the
+//! encoder layer can rank and quantize it.
+
+use crate::Graph;
+
+/// Per-vertex neighborhood similarity: the mean Jaccard overlap between
+/// `N(v)` and `N(u)` over all neighbors `u` of `v`.
+///
+/// For each neighbor `u`, the overlap is
+/// `|N(v) ∩ N(u)| / |N(v) ∪ N(u)|`; the score of `v` averages this over
+/// its neighbors. Isolated vertices score `0.0`. Every score lies in
+/// `[0, 1)` on simple graphs (a vertex is never its own neighbor, so the
+/// union always strictly exceeds the intersection).
+///
+/// The computation is a pure function of the graph — neighbor lists are
+/// iterated in CSR (sorted) order and the summation order is fixed, so
+/// scores are bit-reproducible across runs and machines, which the
+/// encoder layer's determinism contract requires.
+///
+/// # Examples
+///
+/// ```
+/// use graphcore::{similarity, Graph};
+///
+/// // Triangle + pendant: the triangle vertices share neighbors, the
+/// // pendant shares none.
+/// let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (2, 3)])?;
+/// let scores = similarity::neighborhood_similarity(&g);
+/// assert!(scores[0] > scores[3]);
+/// assert_eq!(scores[3], 0.0); // leaf: its one neighbor shares nothing
+/// # Ok::<(), graphcore::GraphError>(())
+/// ```
+#[must_use]
+pub fn neighborhood_similarity(graph: &Graph) -> Vec<f64> {
+    let n = graph.vertex_count();
+    let mut scores = vec![0.0f64; n];
+    for v in 0..n as u32 {
+        let nv = graph.neighbors(v);
+        if nv.is_empty() {
+            continue;
+        }
+        let mut total = 0.0f64;
+        for &u in nv {
+            let inter = graph.common_neighbors(v, u);
+            let union = nv.len() + graph.degree(u) - inter;
+            // `union` >= 1: u is a neighbor of v, so deg(u) >= 1.
+            total += inter as f64 / union as f64;
+        }
+        scores[v as usize] = total / nv.len() as f64;
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use prng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn scores_are_in_unit_interval_and_sized_to_the_graph() {
+        for g in [
+            generate::complete(9),
+            generate::path(9),
+            generate::star(9),
+            Graph::empty(4),
+        ] {
+            let scores = neighborhood_similarity(&g);
+            assert_eq!(scores.len(), g.vertex_count());
+            for &s in &scores {
+                assert!((0.0..1.0).contains(&s), "score {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_vertices_all_agree() {
+        // K_n is vertex-transitive: every vertex must score identically,
+        // and the shared score is (n-2)/n (n-1 neighbors each contribute
+        // (n-2)/n overlap).
+        let n = 7usize;
+        let scores = neighborhood_similarity(&generate::complete(n));
+        let expected = (n as f64 - 2.0) / n as f64;
+        for &s in &scores {
+            assert!((s - expected).abs() < 1e-12, "score {s} != {expected}");
+        }
+    }
+
+    #[test]
+    fn triangle_free_graphs_score_zero() {
+        // In a star or a path, no two adjacent vertices share a neighbor.
+        for g in [generate::star(8), generate::path(8)] {
+            for s in neighborhood_similarity(&g) {
+                assert_eq!(s, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_score_zero() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 2)]).expect("valid edges");
+        let scores = neighborhood_similarity(&g);
+        assert_eq!(scores[3], 0.0);
+        assert_eq!(scores[4], 0.0);
+        assert!(scores[0] > 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(99);
+        let g = generate::erdos_renyi(40, 0.2, &mut rng).expect("valid parameters");
+        assert_eq!(neighborhood_similarity(&g), neighborhood_similarity(&g));
+    }
+
+    #[test]
+    fn clustered_regions_outscore_bridges() {
+        // Two triangles joined by a bridge vertex chain: triangle members
+        // outscore the bridge.
+        let g = Graph::from_edges(
+            7,
+            [
+                (0, 1),
+                (0, 2),
+                (1, 2), // triangle A
+                (2, 3),
+                (3, 4), // bridge path
+                (4, 5),
+                (4, 6),
+                (5, 6), // triangle B
+            ],
+        )
+        .expect("valid edges");
+        let scores = neighborhood_similarity(&g);
+        assert!(scores[0] > scores[3]);
+        assert!(scores[5] > scores[3]);
+    }
+}

@@ -8,7 +8,7 @@
 //! re-exports it for compatibility and its CV driver, the serving
 //! engine, baselines and examples all program against this one trait.
 
-use crate::{Error, GraphEncoder, GraphHdConfig, GraphHdModel};
+use crate::{EncoderKind, Error, GraphEncoder, GraphHdConfig, GraphHdModel};
 use graphcore::Graph;
 use parallel::{Pool, PoolHandle};
 use std::sync::Arc;
@@ -105,6 +105,23 @@ pub struct GraphHdClassifier {
     retrain_epochs: usize,
     pool: PoolHandle,
     model: Option<GraphHdModel>,
+    name: String,
+}
+
+/// Table name for a configuration: the plain centrality recipe keeps the
+/// paper's `"GraphHD"` label, the alternative strategies get a bracketed
+/// suffix, and retraining appends `+retrain` as before.
+fn display_name(config: &GraphHdConfig, retrain_epochs: usize) -> String {
+    let base = match config.encoder {
+        EncoderKind::Centrality => "GraphHD",
+        EncoderKind::VertexSimilarity { .. } => "GraphHD[vs]",
+        EncoderKind::EdgeWeighted { .. } => "GraphHD[ew]",
+    };
+    if retrain_epochs > 0 {
+        format!("{base}+retrain")
+    } else {
+        base.to_owned()
+    }
 }
 
 impl GraphHdClassifier {
@@ -116,6 +133,7 @@ impl GraphHdClassifier {
             retrain_epochs: 0,
             pool: PoolHandle::Global,
             model: None,
+            name: display_name(&config, 0),
         }
     }
 
@@ -123,6 +141,7 @@ impl GraphHdClassifier {
     #[must_use]
     pub fn with_retraining(mut self, epochs: usize) -> Self {
         self.retrain_epochs = epochs;
+        self.name = display_name(&self.config, epochs);
         self
     }
 
@@ -156,11 +175,7 @@ impl Default for GraphHdClassifier {
 
 impl GraphClassifier for GraphHdClassifier {
     fn name(&self) -> &str {
-        if self.retrain_epochs > 0 {
-            "GraphHD+retrain"
-        } else {
-            "GraphHD"
-        }
+        &self.name
     }
 
     fn fit(&mut self, graphs: &[&Graph], labels: &[u32], num_classes: usize) -> Result<(), Error> {
@@ -254,6 +269,23 @@ mod tests {
         let clf = GraphHdClassifier::default().with_retraining(5);
         assert_eq!(clf.name(), "GraphHD+retrain");
         assert_eq!(GraphHdClassifier::default().name(), "GraphHD");
+    }
+
+    #[test]
+    fn alternative_strategies_rename_the_classifier() {
+        let vs = GraphHdConfig::builder()
+            .with_encoder(EncoderKind::vertex_similarity())
+            .build()
+            .expect("valid config");
+        assert_eq!(GraphHdClassifier::new(vs).name(), "GraphHD[vs]");
+        let ew = GraphHdConfig::builder()
+            .with_encoder(EncoderKind::edge_weighted())
+            .build()
+            .expect("valid config");
+        assert_eq!(
+            GraphHdClassifier::new(ew).with_retraining(3).name(),
+            "GraphHD[ew]+retrain"
+        );
     }
 
     #[test]

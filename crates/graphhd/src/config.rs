@@ -1,6 +1,6 @@
 //! GraphHD configuration and its fluent builder.
 
-use crate::Error;
+use crate::{EncoderKind, Error};
 use graphcore::PageRankConfig;
 use hdvec::TieBreak;
 
@@ -63,6 +63,9 @@ pub struct GraphHdConfig {
     pub pagerank: PageRankConfig,
     /// The centrality metric used for vertex identifiers.
     pub centrality: CentralityKind,
+    /// The encoding strategy (paper default: [`EncoderKind::Centrality`];
+    /// see [`crate::strategy`] for the alternatives).
+    pub encoder: EncoderKind,
     /// Tie-break policy for bundling majorities.
     pub tie_break: TieBreak,
     /// Seed for the basis item memory (and derived randomness).
@@ -75,6 +78,7 @@ impl Default for GraphHdConfig {
             dim: hdvec::DEFAULT_DIM,
             pagerank: PageRankConfig::default(),
             centrality: CentralityKind::PageRank,
+            encoder: EncoderKind::Centrality,
             tie_break: TieBreak::default(),
             seed: 0x6_12A,
         }
@@ -90,45 +94,6 @@ impl GraphHdConfig {
     pub fn builder() -> GraphHdConfigBuilder {
         GraphHdConfigBuilder {
             config: Self::default(),
-        }
-    }
-
-    /// A default configuration with the given hypervector dimensionality.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the validating `GraphHdConfig::builder().dim(..).build()` instead; remove in PR 8"
-    )]
-    #[must_use]
-    pub fn with_dim(dim: usize) -> Self {
-        Self {
-            dim,
-            ..Self::default()
-        }
-    }
-
-    /// A default configuration with a different centrality metric.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the validating `GraphHdConfig::builder().centrality(..).build()` instead; remove in PR 8"
-    )]
-    #[must_use]
-    pub fn with_centrality(centrality: CentralityKind) -> Self {
-        Self {
-            centrality,
-            ..Self::default()
-        }
-    }
-
-    /// A default configuration with a different seed.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the validating `GraphHdConfig::builder().seed(..).build()` instead; remove in PR 8"
-    )]
-    #[must_use]
-    pub fn with_seed(seed: u64) -> Self {
-        Self {
-            seed,
-            ..Self::default()
         }
     }
 }
@@ -180,6 +145,14 @@ impl GraphHdConfigBuilder {
         self
     }
 
+    /// Selects the encoding strategy (see [`crate::strategy`] for the
+    /// available kinds). Strategy parameters are validated by
+    /// [`build`](Self::build).
+    pub fn with_encoder(mut self, encoder: EncoderKind) -> Self {
+        self.config.encoder = encoder;
+        self
+    }
+
     /// Sets the tie-break policy for bundling majorities.
     pub fn tie_break(mut self, tie_break: TieBreak) -> Self {
         self.config.tie_break = tie_break;
@@ -196,11 +169,14 @@ impl GraphHdConfigBuilder {
     ///
     /// # Errors
     ///
-    /// Returns [`Error::ZeroDimension`] if the dimension is zero.
+    /// Returns [`Error::ZeroDimension`] if the dimension is zero and
+    /// [`Error::InvalidEncoderConfig`] if the selected encoder strategy
+    /// has degenerate parameters.
     pub fn build(self) -> Result<GraphHdConfig, Error> {
         if self.config.dim == 0 {
             return Err(Error::ZeroDimension);
         }
+        self.config.encoder.validate()?;
         Ok(self.config)
     }
 }
@@ -264,23 +240,29 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_builder() {
-        assert_eq!(
-            GraphHdConfig::with_dim(512),
-            GraphHdConfig::builder().dim(512).build().expect("valid")
-        );
-        assert_eq!(
-            GraphHdConfig::with_centrality(CentralityKind::Degree),
+    fn builder_selects_and_validates_encoder_strategies() {
+        let config = GraphHdConfig::builder()
+            .with_encoder(EncoderKind::VertexSimilarity { levels: 8 })
+            .build()
+            .expect("valid");
+        assert_eq!(config.encoder, EncoderKind::VertexSimilarity { levels: 8 });
+        // Default configs keep the paper's recipe.
+        assert_eq!(GraphHdConfig::default().encoder, EncoderKind::Centrality);
+        // Degenerate strategy parameters are rejected at build time.
+        assert!(matches!(
             GraphHdConfig::builder()
-                .centrality(CentralityKind::Degree)
+                .with_encoder(EncoderKind::VertexSimilarity { levels: 0 })
                 .build()
-                .expect("valid")
-        );
-        assert_eq!(
-            GraphHdConfig::with_seed(9),
-            GraphHdConfig::builder().seed(9).build().expect("valid")
-        );
+                .unwrap_err(),
+            Error::InvalidEncoderConfig { .. }
+        ));
+        assert!(matches!(
+            GraphHdConfig::builder()
+                .with_encoder(EncoderKind::EdgeWeighted { weight_cap: 0 })
+                .build()
+                .unwrap_err(),
+            Error::InvalidEncoderConfig { .. }
+        ));
     }
 
     #[test]

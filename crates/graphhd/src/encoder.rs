@@ -1,19 +1,22 @@
 //! The GraphHD graph encoder (paper Section IV-B/IV-C, Figure 2).
 
-use crate::{CentralityKind, Error, GraphHdConfig};
-use graphcore::{degree_centrality, pagerank_ranks, ranks_by_score, Graph};
-use hdvec::{Accumulator, BitSliceAccumulator, Hypervector, ItemMemory};
+use crate::strategy::{self, GraphEncodingStrategy};
+use crate::{EncoderKind, Error, GraphHdConfig};
+use graphcore::Graph;
+use hdvec::{Accumulator, Hypervector, ItemMemory};
 use parallel::{Pool, PoolHandle};
 use std::borrow::Borrow;
 use std::sync::Arc;
 
-/// Encodes graphs into hypervectors: PageRank ranks select basis vertex
-/// hypervectors, edges bind their endpoints, and the edge hypervectors are
-/// bundled into the graph hypervector.
+/// Encodes graphs into hypervectors through the configured
+/// [`GraphEncodingStrategy`]. Under the default
+/// [`EncoderKind::Centrality`] this is the paper's recipe: PageRank ranks
+/// select basis vertex hypervectors, edges bind their endpoints, and the
+/// edge hypervectors are bundled into the graph hypervector.
 ///
 /// The same encoder instance (same config/seed) **must** be used for
 /// training and inference — the paper emphasises that `Enc` is shared —
-/// and because the basis memory is a pure function of the seed, encoders
+/// and because every strategy is a pure function of the config, encoders
 /// constructed from equal configs agree across machines.
 ///
 /// # Examples
@@ -33,12 +36,14 @@ use std::sync::Arc;
 pub struct GraphEncoder {
     config: GraphHdConfig,
     memory: ItemMemory,
+    strategy: Arc<dyn GraphEncodingStrategy>,
     pool: PoolHandle,
 }
 
 impl GraphEncoder {
-    /// Creates an encoder from a configuration. Batch operations run on
-    /// the process-wide [`Pool::global`] unless [`with_pool`] selects an
+    /// Creates an encoder from a configuration, building the strategy
+    /// its [`EncoderKind`] selects. Batch operations run on the
+    /// process-wide [`Pool::global`] unless [`with_pool`] selects an
     /// explicit one.
     ///
     /// [`with_pool`]: Self::with_pool
@@ -47,10 +52,13 @@ impl GraphEncoder {
     ///
     /// Returns [`Error::ZeroDimension`] if `config.dim == 0` (the
     /// underlying [`hdvec::HdvError`] is routed through the crate's
-    /// unified error type instead of leaking across the boundary).
+    /// unified error type instead of leaking across the boundary) and
+    /// [`Error::InvalidEncoderConfig`] for degenerate strategy
+    /// parameters.
     pub fn new(config: GraphHdConfig) -> Result<Self, Error> {
         Ok(Self {
             memory: ItemMemory::new(config.dim, config.seed)?,
+            strategy: strategy::build_strategy(&config)?,
             config,
             pool: PoolHandle::Global,
         })
@@ -97,22 +105,33 @@ impl GraphEncoder {
         &self.memory
     }
 
-    /// Computes the vertex identifiers (centrality ranks) of a graph.
+    /// The encoding strategy built from the config's [`EncoderKind`].
+    #[must_use]
+    pub fn strategy(&self) -> &dyn GraphEncodingStrategy {
+        self.strategy.as_ref()
+    }
+
+    /// The strategy kind (including its parameters) this encoder runs.
+    #[must_use]
+    pub fn kind(&self) -> EncoderKind {
+        self.strategy.kind()
+    }
+
+    /// Computes the *centrality* vertex identifiers (ranks) of a graph.
     ///
     /// Rank 0 is the most central vertex; ties are broken by vertex id,
-    /// the deterministic convention adopted suite-wide.
+    /// the deterministic convention adopted suite-wide. This ranking is
+    /// always the centrality one, independent of the encoder strategy —
+    /// it backs the strategy-agnostic [`labeled`](crate::labeled)
+    /// extension and the centrality ablations.
     #[must_use]
     pub fn vertex_ranks(&self, graph: &Graph) -> Vec<u32> {
-        match self.config.centrality {
-            CentralityKind::PageRank => pagerank_ranks(graph, &self.config.pagerank),
-            CentralityKind::Degree => ranks_by_score(&degree_centrality(graph)),
-            CentralityKind::VertexId => (0..graph.vertex_count() as u32).collect(),
-        }
+        strategy::centrality_ranks(graph, &self.config)
     }
 
     /// Encodes a graph into the edge-bundle accumulator (exposed so that
     /// callers needing raw counts — e.g. soft-similarity ablations — avoid
-    /// re-encoding).
+    /// re-encoding). Delegates to the configured strategy.
     ///
     /// An edgeless graph yields an empty accumulator; [`encode`]
     /// thresholds it to the deterministic tie-break pattern, so all
@@ -121,32 +140,7 @@ impl GraphEncoder {
     /// [`encode`]: Self::encode
     #[must_use]
     pub fn encode_to_accumulator(&self, graph: &Graph) -> Accumulator {
-        // Bundle edge hypervectors with bit-sliced vertical counters
-        // (amortized ~2 word-ops per edge per word) instead of d integer
-        // adds — the "binarized bundling" optimization of Schmuck et al.
-        // that the paper cites; the result is bit-identical to the naive
-        // accumulation (property-tested in tests/properties.rs).
-        let ranks = self.vertex_ranks(graph);
-        let mut acc =
-            BitSliceAccumulator::new(self.config.dim).expect("dimension validated at construction");
-        // Per-graph cache: rank r's basis hypervector is reused by every
-        // edge incident to the vertex of rank r.
-        let mut cache: Vec<Option<Hypervector>> = vec![None; graph.vertex_count()];
-        let mut edge =
-            Hypervector::positive(self.config.dim).expect("dimension validated at construction");
-        for (u, v) in graph.edges() {
-            let (u, v) = (u as usize, v as usize);
-            if cache[u].is_none() {
-                cache[u] = Some(self.memory.hypervector(u64::from(ranks[u])));
-            }
-            if cache[v].is_none() {
-                cache[v] = Some(self.memory.hypervector(u64::from(ranks[v])));
-            }
-            edge.clone_from(cache[u].as_ref().expect("filled above"));
-            edge.bind_assign(cache[v].as_ref().expect("filled above"));
-            acc.add(&edge);
-        }
-        acc.to_accumulator()
+        self.strategy.encode_to_accumulator(graph)
     }
 
     /// Encodes a graph into its bipolar graph hypervector — the `Enc_G`
@@ -175,6 +169,7 @@ impl GraphEncoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CentralityKind;
     use graphcore::{generate, GraphBuilder};
     use prng::{WordRng, Xoshiro256PlusPlus};
 
@@ -316,6 +311,30 @@ mod tests {
             let e = encoder(512).with_pool(Arc::new(Pool::with_threads(threads)));
             assert_eq!(e.pool().threads(), threads);
             assert_eq!(e.encode_all(&graphs), serial, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn alternative_strategies_flow_through_the_encoder_surface() {
+        let graphs: Vec<_> = (4..12).map(generate::complete).collect();
+        for kind in [
+            EncoderKind::vertex_similarity(),
+            EncoderKind::edge_weighted(),
+        ] {
+            let e = GraphEncoder::new(
+                GraphHdConfig::builder()
+                    .dim(512)
+                    .with_encoder(kind)
+                    .build()
+                    .expect("valid config"),
+            )
+            .expect("valid config");
+            assert_eq!(e.kind(), kind);
+            assert_eq!(e.strategy().name(), kind.name());
+            // encode/encode_all route through the strategy consistently.
+            let batch = e.encode_all(&graphs);
+            let sequential: Vec<_> = graphs.iter().map(|g| e.encode(g)).collect();
+            assert_eq!(batch, sequential, "{kind:?}");
         }
     }
 

@@ -40,6 +40,12 @@ pub enum Error {
     ZeroDimension,
     /// A multi-prototype model was configured with `max_prototypes == 0`.
     ZeroPrototypes,
+    /// An encoder strategy was configured with invalid parameters (e.g.
+    /// a vertex-similarity quantization depth below 2).
+    InvalidEncoderConfig {
+        /// Which parameter was invalid.
+        what: &'static str,
+    },
     /// A serving queue was configured with zero capacity.
     ZeroQueueCapacity,
     /// A serving dispatcher was configured with a zero batch limit.
@@ -138,6 +144,9 @@ impl core::fmt::Display for Error {
             Error::ZeroClasses => write!(f, "need at least one class"),
             Error::ZeroDimension => write!(f, "hypervector dimension must be positive"),
             Error::ZeroPrototypes => write!(f, "need at least one prototype per class"),
+            Error::InvalidEncoderConfig { what } => {
+                write!(f, "invalid encoder configuration: {what}")
+            }
             Error::ZeroQueueCapacity => write!(f, "request queue capacity must be positive"),
             Error::ZeroBatch => write!(f, "dispatch batch limit must be positive"),
             Error::Hdv(e) => write!(f, "hypervector error: {e}"),
@@ -206,6 +215,10 @@ mod tests {
             Error::ZeroDimension.to_string(),
             Error::ZeroPrototypes.to_string(),
             Error::ZeroQueueCapacity.to_string(),
+            Error::InvalidEncoderConfig {
+                what: "edge weight cap must be positive",
+            }
+            .to_string(),
             Error::ShutDown.to_string(),
             Error::Snapshot(SnapshotError::BadMagic).to_string(),
             Error::Data {

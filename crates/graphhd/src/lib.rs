@@ -22,7 +22,12 @@
 //! directions (Section VII): [`retrain`](model::GraphHdModel::retrain)ing,
 //! [`prototypes`] (multiple class-vectors per class), and
 //! [`labeled`] (vertex-label-aware encoding), plus [`noise`] utilities
-//! backing the robustness claims of Sections I–II.
+//! backing the robustness claims of Sections I–II. The encoding stage
+//! itself is pluggable: [`strategy`] defines the
+//! [`GraphEncodingStrategy`] trait with the paper's centrality recipe
+//! plus VS-Graph-style vertex-similarity and CiliaGraph-style
+//! edge-weighted alternatives, selected via
+//! [`EncoderKind`] on the config builder.
 //!
 //! # Examples
 //!
@@ -62,6 +67,7 @@ pub mod noise;
 pub mod prototypes;
 pub mod select;
 mod snapshot;
+pub mod strategy;
 
 pub use classifier::{validate_fit_inputs, GraphClassifier, GraphHdClassifier};
 pub use config::{CentralityKind, GraphHdConfig, GraphHdConfigBuilder};
@@ -69,8 +75,4 @@ pub use encoder::GraphEncoder;
 pub use error::{Error, SnapshotError};
 pub use model::{GraphHdModel, RetrainReport};
 pub use snapshot::{SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
-
-/// The historical name of [`Error`], kept so downstream code written
-/// against the pre-engine API keeps compiling.
-#[deprecated(since = "0.1.0", note = "renamed to `graphhd::Error`; remove in PR 8")]
-pub type TrainError = Error;
+pub use strategy::{EncoderKind, GraphEncodingStrategy};

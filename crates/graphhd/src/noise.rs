@@ -31,7 +31,7 @@ use std::borrow::Borrow;
 /// let model = GraphHdModel::fit(GraphHdConfig::default(), &graphs, &labels, 2)?;
 /// let clean = noise::accuracy_under_model_noise(&model, &graphs, &labels, 0.0, 1);
 /// assert_eq!(clean, 1.0);
-/// # Ok::<(), graphhd::TrainError>(())
+/// # Ok::<(), graphhd::Error>(())
 /// ```
 #[must_use]
 pub fn accuracy_under_model_noise<G: Borrow<Graph> + Sync>(

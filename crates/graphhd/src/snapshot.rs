@@ -11,11 +11,11 @@
 //! version make foreign or future files fail loudly instead of decoding
 //! into garbage.
 //!
-//! Layout of format version 1 (all integers little-endian):
+//! Layout of format version 2 (all integers little-endian):
 //!
 //! ```text
 //! [0..8)    magic            b"GRAPHHD\0"
-//! [8..12)   format version   u32 (currently 1)
+//! [8..12)   format version   u32 (currently 2)
 //! [12..20)  dim              u64
 //! [20..28)  item-memory seed u64
 //! [28]      centrality tag   u8  (0 PageRank, 1 Degree, 2 VertexId)
@@ -23,12 +23,20 @@
 //! [30..38)  tie-break seed   u64 (0 unless tag is Seeded)
 //! [38..46)  pagerank iters   u64
 //! [46..54)  pagerank damping f64 (IEEE-754 bits)
-//! [54..62)  num_classes      u64
-//! [62..)    class vectors    num_classes × ⌈dim/64⌉ × u64 packed words
+//! [54]      encoder tag      u8  (0 Centrality, 1 VertexSimilarity,
+//!                                 2 EdgeWeighted)
+//! [55..63)  encoder param    u64 (0 / levels / weight cap)
+//! [63..71)  num_classes      u64
+//! [71..)    class vectors    num_classes × ⌈dim/64⌉ × u64 packed words
 //! ```
+//!
+//! Version 1 files — identical except that the two encoder fields are
+//! absent (`num_classes` starts at offset 54) — still load, and decode
+//! as the GraphHD centrality strategy, the only encoder that existed
+//! when they were written.
 
 use crate::error::SnapshotError;
-use crate::{CentralityKind, Error, GraphEncoder, GraphHdConfig, GraphHdModel};
+use crate::{CentralityKind, EncoderKind, Error, GraphEncoder, GraphHdConfig, GraphHdModel};
 use graphcore::PageRankConfig;
 use hdvec::{Hypervector, TieBreak};
 use std::fs::File;
@@ -38,9 +46,13 @@ use std::path::Path;
 /// The 8-byte magic every GraphHD snapshot starts with.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"GRAPHHD\0";
 
-/// The snapshot format version this build writes (and the only one it
-/// currently reads).
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// The snapshot format version this build writes. Version 1 files (the
+/// pre-strategy format without encoder fields) are still readable.
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// The pre-strategy snapshot format, accepted on load for backward
+/// compatibility.
+const SNAPSHOT_VERSION_V1: u32 = 1;
 
 fn centrality_tag(kind: CentralityKind) -> u8 {
     match kind {
@@ -59,6 +71,41 @@ fn centrality_from_tag(tag: u8) -> Result<CentralityKind, SnapshotError> {
             what: "centrality tag",
         }),
     }
+}
+
+fn encoder_fields(kind: EncoderKind) -> (u8, u64) {
+    match kind {
+        EncoderKind::Centrality => (0, 0),
+        EncoderKind::VertexSimilarity { levels } => (1, u64::from(levels)),
+        EncoderKind::EdgeWeighted { weight_cap } => (2, u64::from(weight_cap)),
+    }
+}
+
+fn encoder_from_fields(tag: u8, param: u64) -> Result<EncoderKind, SnapshotError> {
+    let corrupt = SnapshotError::Corrupt {
+        what: "encoder fields",
+    };
+    let kind = match tag {
+        // A non-zero parameter on the parameterless strategy means the
+        // header bytes are shifted or damaged; refuse, as for tie-breaks.
+        0 if param == 0 => EncoderKind::Centrality,
+        0 => return Err(corrupt),
+        1 => EncoderKind::VertexSimilarity {
+            levels: u32::try_from(param).map_err(|_| corrupt)?,
+        },
+        2 => EncoderKind::EdgeWeighted {
+            weight_cap: u32::try_from(param).map_err(|_| corrupt)?,
+        },
+        _ => {
+            return Err(SnapshotError::Corrupt {
+                what: "encoder tag",
+            })
+        }
+    };
+    // Out-of-range parameters (levels < 2, zero weight cap) fail the
+    // same strategy validation the config builder applies.
+    kind.validate().map_err(|_| corrupt)?;
+    Ok(kind)
 }
 
 fn tie_break_fields(tie: TieBreak) -> (u8, u64) {
@@ -127,6 +174,7 @@ impl GraphHdModel {
     pub fn save_to<W: Write>(&self, writer: &mut W) -> Result<(), Error> {
         let config = self.encoder().config();
         let (tie_tag, tie_seed) = tie_break_fields(config.tie_break);
+        let (encoder_tag, encoder_param) = encoder_fields(config.encoder);
         writer.write_all(&SNAPSHOT_MAGIC)?;
         writer.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
         writer.write_all(&(config.dim as u64).to_le_bytes())?;
@@ -135,6 +183,8 @@ impl GraphHdModel {
         writer.write_all(&tie_seed.to_le_bytes())?;
         writer.write_all(&(config.pagerank.iterations as u64).to_le_bytes())?;
         writer.write_all(&config.pagerank.damping.to_bits().to_le_bytes())?;
+        writer.write_all(&[encoder_tag])?;
+        writer.write_all(&encoder_param.to_le_bytes())?;
         writer.write_all(&(self.num_classes() as u64).to_le_bytes())?;
         for class_vector in self.class_vectors() {
             for &word in class_vector.words() {
@@ -176,7 +226,7 @@ impl GraphHdModel {
             return Err(SnapshotError::BadMagic.into());
         }
         let version = read_u32(reader)?;
-        if version != SNAPSHOT_VERSION {
+        if version != SNAPSHOT_VERSION && version != SNAPSHOT_VERSION_V1 {
             return Err(SnapshotError::UnsupportedVersion { found: version }.into());
         }
         let dim = read_len(reader, "dimension")?;
@@ -192,6 +242,14 @@ impl GraphHdModel {
             }
             .into());
         }
+        // Version 1 predates the strategy layer: no encoder fields, and
+        // every v1 model was the centrality encoder.
+        let encoder = if version == SNAPSHOT_VERSION_V1 {
+            EncoderKind::Centrality
+        } else {
+            let tag = read_u8(reader)?;
+            encoder_from_fields(tag, read_u64(reader)?)?
+        };
         let num_classes = read_len(reader, "class count")?;
         if num_classes == 0 {
             return Err(SnapshotError::Corrupt {
@@ -204,12 +262,15 @@ impl GraphHdModel {
             .dim(dim)
             .seed(seed)
             .centrality(centrality)
+            .with_encoder(encoder)
             .tie_break(tie_break)
             .pagerank(PageRankConfig {
                 damping,
                 iterations,
             })
             .build()
+            // The encoder fields were validated above, so the only
+            // builder failure left is a zero dimension.
             .map_err(|_| Error::Snapshot(SnapshotError::Corrupt { what: "dimension" }))?;
 
         let words_per_vector = dim.div_ceil(64);
@@ -343,8 +404,8 @@ mod tests {
     fn snapshot_size_matches_declared_layout() {
         let model = trained(63);
         let bytes = snapshot_bytes(&model);
-        // Header is 62 bytes; 63 dims pack into one word per class.
-        assert_eq!(bytes.len(), 62 + 3 * 8);
+        // Header is 71 bytes; 63 dims pack into one word per class.
+        assert_eq!(bytes.len(), 71 + 3 * 8);
         assert_eq!(&bytes[..8], &SNAPSHOT_MAGIC);
         assert_eq!(
             u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")),
@@ -375,8 +436,9 @@ mod tests {
     #[test]
     fn rejects_truncation_at_every_boundary() {
         let bytes = snapshot_bytes(&trained(65));
-        // Cut inside the magic, the header, and the payload.
-        for cut in [3usize, 20, 40, 61, bytes.len() - 1] {
+        // Cut inside the magic, the header (including the encoder and
+        // class-count fields), and the payload.
+        for cut in [3usize, 20, 40, 58, 66, bytes.len() - 1] {
             assert_eq!(
                 GraphHdModel::load_from(&mut bytes[..cut].as_ref()).unwrap_err(),
                 Error::Snapshot(SnapshotError::Truncated),
@@ -425,9 +487,37 @@ mod tests {
                 what: "pagerank damping"
             })
         );
+        // Encoder tag out of range.
+        let mut bytes = snapshot_bytes(&model);
+        bytes[54] = 9;
+        assert_eq!(
+            GraphHdModel::load_from(&mut bytes.as_slice()).unwrap_err(),
+            Error::Snapshot(SnapshotError::Corrupt {
+                what: "encoder tag"
+            })
+        );
+        // Non-zero parameter on the parameterless centrality encoder.
+        let mut bytes = snapshot_bytes(&model);
+        bytes[55..63].copy_from_slice(&7u64.to_le_bytes());
+        assert_eq!(
+            GraphHdModel::load_from(&mut bytes.as_slice()).unwrap_err(),
+            Error::Snapshot(SnapshotError::Corrupt {
+                what: "encoder fields"
+            })
+        );
+        // Vertex-similarity depth below the minimum of 2 levels.
+        let mut bytes = snapshot_bytes(&model);
+        bytes[54] = 1;
+        bytes[55..63].copy_from_slice(&1u64.to_le_bytes());
+        assert_eq!(
+            GraphHdModel::load_from(&mut bytes.as_slice()).unwrap_err(),
+            Error::Snapshot(SnapshotError::Corrupt {
+                what: "encoder fields"
+            })
+        );
         // Zero classes.
         let mut bytes = snapshot_bytes(&model);
-        bytes[54..62].copy_from_slice(&0u64.to_le_bytes());
+        bytes[63..71].copy_from_slice(&0u64.to_le_bytes());
         // (payload still present -> either corrupt count or trailing data;
         // the count check fires first)
         assert_eq!(
@@ -457,7 +547,7 @@ mod tests {
         assert_eq!(err, Error::Snapshot(SnapshotError::Truncated));
         // Same for a forged class count.
         let mut bytes = snapshot_bytes(&trained(64));
-        bytes[54..62].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        bytes[63..71].copy_from_slice(&(1u64 << 40).to_le_bytes());
         let err = GraphHdModel::load_from(&mut bytes.as_slice()).unwrap_err();
         assert_eq!(err, Error::Snapshot(SnapshotError::Truncated));
     }
@@ -474,6 +564,41 @@ mod tests {
                 what: "class vector tail bits"
             })
         );
+    }
+
+    #[test]
+    fn round_trip_preserves_every_encoder_kind() {
+        let graphs = vec![generate::complete(8), generate::path(8)];
+        for kind in [
+            EncoderKind::Centrality,
+            EncoderKind::VertexSimilarity { levels: 12 },
+            EncoderKind::EdgeWeighted { weight_cap: 3 },
+        ] {
+            let config = GraphHdConfig::builder()
+                .dim(256)
+                .with_encoder(kind)
+                .build()
+                .expect("valid config");
+            let model = GraphHdModel::fit(config, &graphs, &[0, 1], 2).expect("valid inputs");
+            let bytes = snapshot_bytes(&model);
+            let restored = GraphHdModel::load_from(&mut bytes.as_slice()).expect("valid snapshot");
+            assert_eq!(restored.encoder().config().encoder, kind);
+            assert_eq!(restored.class_vectors(), model.class_vectors());
+        }
+    }
+
+    #[test]
+    fn version_1_snapshots_load_as_the_centrality_strategy() {
+        // Reconstruct the pre-strategy layout: same header minus the nine
+        // encoder bytes at [54..63), with the version field set to 1.
+        let model = trained(64);
+        let mut bytes = snapshot_bytes(&model);
+        bytes.drain(54..63);
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let restored = GraphHdModel::load_from(&mut bytes.as_slice()).expect("valid v1 snapshot");
+        assert_eq!(restored.encoder().config(), model.encoder().config());
+        assert_eq!(restored.encoder().config().encoder, EncoderKind::Centrality);
+        assert_eq!(restored.class_vectors(), model.class_vectors());
     }
 
     #[test]

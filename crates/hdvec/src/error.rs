@@ -27,6 +27,11 @@ pub enum HdvError {
     },
     /// A bundle of zero hypervectors was requested.
     EmptyBundle,
+    /// A level memory was requested with fewer than two levels.
+    TooFewLevels {
+        /// The level count supplied.
+        levels: usize,
+    },
 }
 
 impl core::fmt::Display for HdvError {
@@ -40,6 +45,9 @@ impl core::fmt::Display for HdvError {
                 write!(f, "component {index} has value {value}, expected +1 or -1")
             }
             HdvError::EmptyBundle => write!(f, "cannot bundle zero hypervectors"),
+            HdvError::TooFewLevels { levels } => {
+                write!(f, "level memory needs at least 2 levels, got {levels}")
+            }
         }
     }
 }
@@ -57,6 +65,7 @@ mod tests {
             HdvError::DimensionMismatch { left: 3, right: 5 }.to_string(),
             HdvError::InvalidComponent { index: 2, value: 0 }.to_string(),
             HdvError::EmptyBundle.to_string(),
+            HdvError::TooFewLevels { levels: 1 }.to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

@@ -1,0 +1,211 @@
+//! Correlated "level" hypervectors for encoding scalar magnitudes.
+//!
+//! An [`ItemMemory`](crate::ItemMemory) makes every index quasi-orthogonal
+//! to every other — the right property for *categorical* symbols, and the
+//! wrong one for *magnitudes*, where nearby values should stay similar.
+//! A [`LevelMemory`] covers the magnitude case with the standard HDC
+//! level-hypervector scheme: level 0 is a random base vector, and each
+//! subsequent level flips the next slice of a fixed random index
+//! permutation, so adjacent levels are highly correlated while the
+//! extreme levels are quasi-orthogonal (half the bits differ).
+
+use crate::{HdvError, Hypervector};
+use prng::{mix_seed, WordRng, Xoshiro256PlusPlus};
+
+/// A deterministic family of correlated level hypervectors.
+///
+/// The whole family is a pure function of `(dim, levels, seed)`: two
+/// memories built from equal parameters produce bit-identical vectors on
+/// any machine, the same reproducibility contract as
+/// [`ItemMemory`](crate::ItemMemory). Unlike an item memory the family is
+/// materialised eagerly — `levels × dim` bits is small for any sensible
+/// quantization depth, and encoders index levels in hot loops.
+///
+/// # Examples
+///
+/// ```
+/// use hdvec::LevelMemory;
+///
+/// let memory = LevelMemory::new(10_000, 16, 7)?;
+/// // Adjacent levels correlate; extreme levels are quasi-orthogonal.
+/// let lo = memory.hypervector(0);
+/// assert!(lo.cosine(memory.hypervector(1)) > 0.9);
+/// assert!(lo.cosine(memory.hypervector(15)).abs() < 0.05);
+/// // Scalars in [0, 1] quantize onto the level axis.
+/// assert_eq!(memory.quantize(0.0), 0);
+/// assert_eq!(memory.quantize(1.0), 15);
+/// # Ok::<(), hdvec::HdvError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelMemory {
+    dim: usize,
+    seed: u64,
+    vectors: Vec<Hypervector>,
+}
+
+impl LevelMemory {
+    /// Creates a level memory of `levels` correlated `dim`-dimensional
+    /// hypervectors.
+    ///
+    /// Level `i` flips the first `i · d / (2(L−1))` indices of a seeded
+    /// random permutation of the base vector, so the last level differs
+    /// from the first in exactly half the positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdvError::ZeroDimension`] if `dim == 0` and
+    /// [`HdvError::TooFewLevels`] if `levels < 2` (a single level cannot
+    /// express a magnitude).
+    pub fn new(dim: usize, levels: usize, seed: u64) -> Result<Self, HdvError> {
+        if dim == 0 {
+            return Err(HdvError::ZeroDimension);
+        }
+        if levels < 2 {
+            return Err(HdvError::TooFewLevels { levels });
+        }
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(mix_seed(seed, 0));
+        let base = Hypervector::random(dim, &mut rng)?;
+        let mut order: Vec<usize> = (0..dim).collect();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(mix_seed(seed, 1));
+        rng.shuffle(&mut order);
+        let mut vectors = Vec::with_capacity(levels);
+        let mut current = base;
+        let mut flipped = 0usize;
+        for level in 0..levels {
+            // Cumulative flip count for this level; the increment is the
+            // slice of the permutation between the previous target and
+            // this one, so `current` evolves instead of restarting.
+            let target = level * (dim / 2) / (levels - 1);
+            current.flip_indices(&order[flipped..target]);
+            flipped = target;
+            vectors.push(current.clone());
+        }
+        Ok(Self { dim, seed, vectors })
+    }
+
+    /// The dimensionality of the level hypervectors.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The number of levels.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// The base seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The hypervector of `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= self.levels()`; quantize with
+    /// [`quantize`](Self::quantize) to stay in range.
+    #[must_use]
+    pub fn hypervector(&self, level: usize) -> &Hypervector {
+        assert!(
+            level < self.vectors.len(),
+            "level {level} out of range for {} levels",
+            self.vectors.len()
+        );
+        &self.vectors[level]
+    }
+
+    /// Maps a scalar in `[0, 1]` onto a level index.
+    ///
+    /// Values are clamped: anything `<= 0` (including NaN) maps to level
+    /// 0 and anything `>= 1` to the last level, so arbitrary feature
+    /// values never panic downstream.
+    #[must_use]
+    pub fn quantize(&self, value: f64) -> usize {
+        // `is_sign_positive` alone would admit NaN; this branch sends
+        // NaN and every non-positive value to level 0.
+        if value.partial_cmp(&0.0) != Some(core::cmp::Ordering::Greater) {
+            return 0;
+        }
+        let scaled = (value * self.vectors.len() as f64) as usize;
+        scaled.min(self.vectors.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert_eq!(
+            LevelMemory::new(0, 4, 1).unwrap_err(),
+            HdvError::ZeroDimension
+        );
+        assert_eq!(
+            LevelMemory::new(128, 1, 1).unwrap_err(),
+            HdvError::TooFewLevels { levels: 1 }
+        );
+        assert_eq!(
+            LevelMemory::new(128, 0, 1).unwrap_err(),
+            HdvError::TooFewLevels { levels: 0 }
+        );
+    }
+
+    #[test]
+    fn deterministic_for_equal_parameters() {
+        let a = LevelMemory::new(1024, 8, 42).expect("valid");
+        let b = LevelMemory::new(1024, 8, 42).expect("valid");
+        assert_eq!(a, b);
+        let c = LevelMemory::new(1024, 8, 43).expect("valid");
+        assert_ne!(a.hypervector(0), c.hypervector(0));
+    }
+
+    #[test]
+    fn correlation_decays_monotonically_from_the_base() {
+        let m = LevelMemory::new(10_000, 10, 7).expect("valid");
+        let base = m.hypervector(0);
+        let mut last = 1.1f64;
+        for level in 1..m.levels() {
+            let cos = base.cosine(m.hypervector(level));
+            assert!(cos < last, "level {level}: {cos} !< {last}");
+            last = cos;
+        }
+        // Extremes differ in exactly half the positions: cosine 0.
+        assert!(base.cosine(m.hypervector(9)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacent_levels_are_more_similar_than_distant_ones() {
+        let m = LevelMemory::new(4096, 16, 3).expect("valid");
+        let mid = m.hypervector(8);
+        assert!(mid.cosine(m.hypervector(9)) > mid.cosine(m.hypervector(15)));
+        assert!(mid.cosine(m.hypervector(7)) > mid.cosine(m.hypervector(0)));
+    }
+
+    #[test]
+    fn quantize_covers_and_clamps() {
+        let m = LevelMemory::new(256, 4, 1).expect("valid");
+        assert_eq!(m.quantize(-1.0), 0);
+        assert_eq!(m.quantize(0.0), 0);
+        assert_eq!(m.quantize(0.24), 0);
+        assert_eq!(m.quantize(0.26), 1);
+        assert_eq!(m.quantize(0.99), 3);
+        assert_eq!(m.quantize(1.0), 3);
+        assert_eq!(m.quantize(2.5), 3);
+        assert_eq!(m.quantize(f64::NAN), 0);
+        // Every level is reachable.
+        let hit: std::collections::HashSet<usize> =
+            (0..=100).map(|i| m.quantize(i as f64 / 100.0)).collect();
+        assert_eq!(hit.len(), m.levels());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_level_panics() {
+        let m = LevelMemory::new(64, 2, 1).expect("valid");
+        let _ = m.hypervector(2);
+    }
+}

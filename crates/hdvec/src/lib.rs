@@ -60,6 +60,7 @@ mod class_memory;
 mod error;
 mod hypervector;
 mod item_memory;
+mod level_memory;
 
 pub use accumulator::{Accumulator, TieBreak};
 pub use backend::Backend;
@@ -68,6 +69,7 @@ pub use class_memory::ClassMemory;
 pub use error::HdvError;
 pub use hypervector::Hypervector;
 pub use item_memory::{CachedItemMemory, ItemMemory};
+pub use level_memory::LevelMemory;
 
 /// The hypervector dimensionality used by the paper in all experiments
 /// (Section V: "GraphHD uses 10,000-dimensional bipolar hypervectors").

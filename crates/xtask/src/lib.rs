@@ -7,15 +7,15 @@
 //! comments on unsafe sites, panic-free library code, documented public
 //! surfaces, and a registry of environment knobs. Conventions rot
 //! unless a machine checks them, so this crate is a dependency-free
-//! source analyzer — a small Rust [lexer](lexer) that understands
-//! comments, strings and attributes, plus repo-specific [lints](lints):
+//! source analyzer — a small Rust [lexer] that understands
+//! comments, strings and attributes, plus repo-specific [lints]:
 //!
 //! - [`unsafe-safety`](lints::safety) — every `unsafe` block/fn carries
 //!   an adjacent `// SAFETY:` comment (or `# Safety` doc section), and
 //!   crates using `unsafe` deny `unsafe_op_in_unsafe_fn`;
 //! - [`no-panic`](lints::panics) — no `unwrap` / `expect` / `panic!` /
 //!   `unreachable!` in non-test library code, with a justified
-//!   [allowlist](allowlist) (`docs/audit-allowlist.txt`);
+//!   [allowlist] (`docs/audit-allowlist.txt`);
 //! - [`env-registry`](lints::envreg) — every `std::env::var` read names
 //!   a variable registered in `docs/ENV.md`;
 //! - [`deprecated-milestone`](lints::deprecated) — `#[deprecated]`

@@ -6,7 +6,7 @@
 //! functions — is exempt (see [`crate::filter`]), as are `assert!`-family
 //! macros (contract checks are welcome). The few justified sites go in
 //! the allowlist with a written reason; everything else should return
-//! [`graphhd::Error`]-style results instead.
+//! `graphhd::Error`-style results instead.
 
 use crate::lexer::Token;
 use crate::Finding;

@@ -36,7 +36,7 @@
 //! let graphs = vec![generate::complete(8), generate::path(8)];
 //! let model = GraphHdModel::fit(GraphHdConfig::default(), &graphs, &[0, 1], 2)?;
 //! assert_eq!(model.predict(&generate::complete(10)), 0);
-//! # Ok::<(), graphhd_suite::graphhd::TrainError>(())
+//! # Ok::<(), graphhd_suite::graphhd::Error>(())
 //! ```
 
 pub use baselines;

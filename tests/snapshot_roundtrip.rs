@@ -12,7 +12,7 @@
 use datasets::{surrogate, StratifiedKFold};
 use engine::Engine;
 use graphcore::Graph;
-use graphhd::{GraphHdConfig, GraphHdModel};
+use graphhd::{EncoderKind, GraphHdConfig, GraphHdModel};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -119,17 +119,24 @@ const DIMS: [usize; 4] = [63, 64, 65, 10_000];
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Random (dim, seed, tie-seed, class count) → fit on synthetic
-    /// families → save → load through a real temp file → identical
-    /// config, class vectors and predictions.
+    /// Random (dim, seed, tie-seed, class count, encoder strategy) → fit
+    /// on synthetic families → save → load through a real temp file →
+    /// identical config (including encoder identity), class vectors and
+    /// predictions.
     #[test]
     fn snapshot_round_trip_is_bit_identical(
         dim_idx in 0usize..DIMS.len(),
         model_seed in any::<u64>(),
         tie_seed in any::<u64>(),
         classes in 2usize..5,
+        kind_idx in 0usize..3,
     ) {
         let dim = DIMS[dim_idx];
+        let kind = [
+            EncoderKind::Centrality,
+            EncoderKind::VertexSimilarity { levels: 16 },
+            EncoderKind::EdgeWeighted { weight_cap: 4 },
+        ][kind_idx];
         let mut graphs = Vec::new();
         let mut labels = Vec::new();
         for n in 6..(6 + 3 * classes) {
@@ -147,6 +154,7 @@ proptest! {
             .dim(dim)
             .seed(model_seed)
             .tie_break(hdvec::TieBreak::Seeded(tie_seed))
+            .with_encoder(kind)
             .build()
             .expect("valid dimension");
         let model = GraphHdModel::fit(config, &graphs, &labels, classes)
@@ -154,6 +162,7 @@ proptest! {
 
         let restored = save_load_through_file(&model, "prop");
         prop_assert_eq!(restored.encoder().config(), model.encoder().config());
+        prop_assert_eq!(restored.encoder().config().encoder, kind);
         prop_assert_eq!(restored.class_vectors(), model.class_vectors());
         let probes: Vec<Graph> = (4..14).map(graphcore::generate::cycle).collect();
         prop_assert_eq!(
