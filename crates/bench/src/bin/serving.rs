@@ -4,7 +4,16 @@
 //!
 //! This measures the *whole* serving stack against the same model served
 //! directly (`predict_all` with no queue), so the queue/dispatch overhead
-//! is visible rather than assumed. Results feed `BENCH_pr5.json`.
+//! is visible rather than assumed. Results feed `BENCH_pr8.json`.
+//!
+//! Latency numbers come from the engine's own `engine_request_ns`
+//! histogram (acceptance to fulfilment, per request, as an interval
+//! delta via [`HistogramSnapshot::since`]) — the same code path the
+//! production stats surface reads — so the bench and an operator's
+//! dashboard can never disagree about what "p99" means. Throughput
+//! remains wall-clock (queries / elapsed). With `GRAPHHD_TELEMETRY=off`
+//! the histograms are empty and the latency columns degrade to the old
+//! derived mean — that mode exists to measure telemetry's own overhead.
 //!
 //! Run: `cargo run -p bench --release --bin serving [--quick]`
 
@@ -13,6 +22,7 @@ use engine::Engine;
 use graphcore::Graph;
 use graphhd::{GraphHdConfig, GraphHdModel};
 use std::time::Instant;
+use telemetry::HistogramSnapshot;
 
 /// One measured configuration.
 struct Measurement {
@@ -20,6 +30,9 @@ struct Measurement {
     batch_size: usize,
     queries: usize,
     seconds: f64,
+    /// End-to-end per-request latency over the measured interval,
+    /// straight from `engine_request_ns` (empty when timing is off).
+    request_ns: HistogramSnapshot,
 }
 
 impl Measurement {
@@ -28,9 +41,24 @@ impl Measurement {
     }
 
     fn mean_latency_us(&self) -> f64 {
-        // Mean per-query wall time observed by one submitter: total wall
-        // time divided by queries *per submitter*.
-        self.seconds * 1e6 * self.submitters as f64 / self.queries as f64
+        if self.request_ns.is_empty() {
+            // Telemetry off: fall back to the derived mean (total wall
+            // time divided by queries per submitter).
+            self.seconds * 1e6 * self.submitters as f64 / self.queries as f64
+        } else {
+            self.request_ns.mean() / 1e3
+        }
+    }
+
+    /// Percentile of the per-request latency in microseconds, when the
+    /// histogram recorded the interval.
+    fn percentile_us(&self, q: f64) -> Option<f64> {
+        (!self.request_ns.is_empty()).then(|| self.request_ns.percentile(q) as f64 / 1e3)
+    }
+
+    fn percentile_cell(&self, q: f64) -> String {
+        self.percentile_us(q)
+            .map_or_else(|| "-".into(), |us| format!("{us:.1}"))
     }
 }
 
@@ -43,13 +71,16 @@ fn measure(
 ) -> Measurement {
     // Warm-up round so pool threads and caches are hot.
     run_round(engine, queries, submitters, batch_size, rounds / 4 + 1);
+    let before = engine.stats();
     let started = Instant::now();
     let total = run_round(engine, queries, submitters, batch_size, rounds);
+    let seconds = started.elapsed().as_secs_f64();
     Measurement {
         submitters,
         batch_size,
         queries: total,
-        seconds: started.elapsed().as_secs_f64(),
+        seconds,
+        request_ns: engine.stats().request_ns.since(&before.request_ns),
     }
 }
 
@@ -147,9 +178,12 @@ fn main() {
             );
             eprintln!(
                 "submitters {submitters} batch {batch_size:>3}: \
-                 {:>9.0} queries/s, {:>8.1} us mean latency",
+                 {:>9.0} queries/s, {:>8.1} us mean, p50 {} p90 {} p99 {} us",
                 m.throughput(),
                 m.mean_latency_us(),
+                m.percentile_cell(0.50),
+                m.percentile_cell(0.90),
+                m.percentile_cell(0.99),
             );
             rows.push(vec![
                 m.submitters.to_string(),
@@ -157,6 +191,10 @@ fn main() {
                 m.queries.to_string(),
                 format!("{:.0}", m.throughput()),
                 format!("{:.1}", m.mean_latency_us()),
+                m.percentile_cell(0.50),
+                m.percentile_cell(0.90),
+                m.percentile_cell(0.99),
+                m.percentile_cell(1.0),
             ]);
         }
     }
@@ -166,7 +204,18 @@ fn main() {
         (direct_rounds * queries.len()).to_string(),
         format!("{:.0}", 1e6 / direct_per_query),
         format!("{direct_per_query:.1}"),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
     ]);
+
+    // The live stats surface the bench numbers were read from — printed
+    // so a bench run doubles as a smoke test of the production snapshot.
+    eprintln!(
+        "\nengine stats snapshot:\n{}",
+        engine.registry().render_json()
+    );
     engine.shutdown();
 
     bench::emit_results(
@@ -178,6 +227,10 @@ fn main() {
             "queries",
             "throughput_qps",
             "mean_latency_us",
+            "p50_us",
+            "p90_us",
+            "p99_us",
+            "max_us",
         ],
         &rows,
     );

@@ -19,7 +19,13 @@
 //!   buffer, which lands on the blocked+SIMD `hdvec::ClassMemory` engine;
 //! - [`Engine::shutdown`] (and dropping the last handle) closes the
 //!   queue, **drains** every request already accepted, then joins the
-//!   dispatcher — accepted work is never dropped.
+//!   dispatcher — accepted work is never dropped;
+//! - every stage is instrumented with lock-free `telemetry` metrics:
+//!   [`Engine::stats`] returns a typed [`EngineStats`] (queue depth,
+//!   accepted/rejected/failed counters, queue-wait / batch-size /
+//!   dispatch / end-to-end latency distributions with p50/p90/p99), and
+//!   [`Engine::registry`] renders the engine, pool, and model metrics
+//!   as Prometheus text or JSON.
 //!
 //! Construction goes through one fluent [`EngineBuilder`] (dimension,
 //! centrality, seed, retraining epochs, thread count, queue bounds) and
@@ -60,6 +66,12 @@ use std::panic::{self, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use telemetry::{Registry, Stopwatch};
+
+mod stats;
+
+use stats::EngineMetrics;
+pub use stats::EngineStats;
 
 /// Default bound of the request queue (requests, not bytes). Full queue
 /// = blocked submitters = backpressure.
@@ -118,11 +130,14 @@ impl Slot {
     }
 }
 
-/// A queued request: the graph to score, what to return, where to put it.
+/// A queued request: the graph to score, what to return, where to put
+/// it, and when it was accepted (for queue-wait and end-to-end latency;
+/// the stopwatch holds nothing when telemetry is disabled).
 struct Request {
     graph: Graph,
     work: Work,
     slot: Arc<Slot>,
+    watch: Stopwatch,
 }
 
 /// Mutable queue state behind the engine's mutex.
@@ -144,6 +159,8 @@ struct Shared {
     not_empty: Condvar,
     capacity: usize,
     max_batch: usize,
+    /// Serving telemetry (lock-free to record; never touches `state`).
+    metrics: EngineMetrics,
 }
 
 impl Shared {
@@ -163,6 +180,7 @@ impl Shared {
         let mut state = self.state.lock().expect("queue lock");
         loop {
             if state.closed {
+                self.metrics.rejected.inc();
                 return Err(Error::ShutDown);
             }
             if state.requests.len() < self.capacity {
@@ -170,13 +188,35 @@ impl Shared {
             }
             state = self.not_full.wait(state).expect("queue lock");
         }
+        // The stopwatch starts after the backpressure wait: queue-wait
+        // and end-to-end latency measure accepted requests, while time
+        // blocked on a full queue shows up in the submitter's own
+        // end-to-end numbers (the bench measures both).
         state.requests.push_back(Request {
             graph,
             work,
             slot: Arc::clone(&slot),
+            watch: Stopwatch::started(),
         });
+        self.metrics.accepted.inc();
+        self.metrics.queue_depth.inc();
         self.not_empty.notify_one();
         Ok(slot)
+    }
+
+    /// Answers one request: records its outcome and end-to-end latency,
+    /// releases its queue-depth slot, and wakes the submitter. Every
+    /// fulfilment — success, internal error, panicked batch — goes
+    /// through here, which is what keeps the gauge draining to zero.
+    fn finish(&self, request: &Request, response: Result<Response, Error>) {
+        if response.is_err() {
+            self.metrics.failed.inc();
+        } else {
+            self.metrics.completed.inc();
+        }
+        request.watch.observe(&self.metrics.request_ns);
+        self.metrics.queue_depth.dec();
+        request.slot.fulfill(response);
     }
 
     /// Dispatcher loop: drain up to `max_batch` requests, score them as
@@ -196,13 +236,19 @@ impl Shared {
                     state = self.not_empty.wait(state).expect("queue lock");
                 }
                 let take = state.requests.len().min(self.max_batch);
-                let batch = state.requests.drain(..take).collect();
+                let batch: Vec<Request> = state.requests.drain(..take).collect();
                 // Space freed: wake every blocked submitter (capacity may
                 // exceed the number waiting).
                 self.not_full.notify_all();
                 batch
             };
+            self.metrics.batch_size.record(batch.len() as u64);
+            for request in &batch {
+                request.watch.observe(&self.metrics.queue_wait_ns);
+            }
+            let dispatch_span = self.metrics.dispatch_ns.start_span();
             self.run_batch(&batch);
+            drop(dispatch_span);
         }
     }
 
@@ -233,7 +279,7 @@ impl Shared {
                             },
                             Work::Scores => Ok(Response::Scores(scratch.clone())),
                         };
-                        request.slot.fulfill(response);
+                        self.finish(request, response);
                     }
                 });
         }));
@@ -242,7 +288,7 @@ impl Shared {
             // slot the region did not reach reports the failure instead.
             for request in batch {
                 if request.slot.is_pending() {
-                    request.slot.fulfill(Err(Error::TaskFailed));
+                    self.finish(request, Err(Error::TaskFailed));
                 }
             }
         }
@@ -344,6 +390,31 @@ impl Engine {
     #[must_use]
     pub fn pending(&self) -> usize {
         self.shared.state.lock().expect("queue lock").requests.len()
+    }
+
+    /// A typed snapshot of the engine's serving telemetry: queue depth
+    /// (queued **plus** in-flight, unlike [`pending`](Self::pending)),
+    /// accepted/rejected/completed/failed counters, and the
+    /// queue-wait / batch-size / dispatch / end-to-end distributions
+    /// with `p50()`/`p90()`/`p99()`/`max` readouts.
+    ///
+    /// Counters are cumulative; use
+    /// [`HistogramSnapshot::since`](telemetry::HistogramSnapshot::since)
+    /// on two snapshots to measure an interval. With
+    /// `GRAPHHD_TELEMETRY=off` the duration histograms stay empty while
+    /// counts keep flowing.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.shared.metrics.snapshot(self.pending())
+    }
+
+    /// The engine-owned metric registry: the `engine_*` serving metrics
+    /// plus the scheduling metrics of the pool it scores on (`pool_*`)
+    /// and the model crate's global `graphhd_*` metrics. Render with
+    /// [`Registry::render_prometheus`] or [`Registry::render_json`].
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.shared.metrics.registry
     }
 
     /// Classifies one graph: blocks while the queue is full
@@ -634,6 +705,12 @@ impl EngineBuilder {
 
     /// Wraps the model in the shared state and spawns the dispatcher.
     fn spawn(self, model: GraphHdModel) -> Result<Engine, Error> {
+        let metrics = EngineMetrics::new();
+        // One registry per engine, covering all three layers a request
+        // crosses: the serving queue, the pool it is scored on, and the
+        // model crate's process-global encode/predict counters.
+        model.encoder().pool().register_metrics(&metrics.registry);
+        graphhd::metrics::register_into(&metrics.registry);
         let shared = Arc::new(Shared {
             model,
             state: Mutex::new(QueueState {
@@ -644,6 +721,7 @@ impl EngineBuilder {
             not_empty: Condvar::new(),
             capacity: self.queue_capacity,
             max_batch: self.max_batch,
+            metrics,
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -820,6 +898,81 @@ mod tests {
         let _ = reference.retrain(&encodings, &labels, 4);
 
         assert_eq!(engine.model().class_vectors(), reference.class_vectors());
+    }
+
+    #[test]
+    fn stats_track_served_requests() {
+        let (engine, graphs) = toy_engine(512, 8, 4);
+        let n = graphs.len() as u64;
+        for graph in &graphs {
+            engine.classify(graph).expect("engine alive");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.accepted, n);
+        assert_eq!(stats.completed, n);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.queue_depth, 0, "all answered -> gauge drained");
+        // Sum over the batch-size histogram = total requests dispatched.
+        assert_eq!(stats.batch_size.sum, n);
+        assert!(stats.batch_size.max <= 4, "max_batch respected");
+        if telemetry::enabled() {
+            assert_eq!(stats.request_ns.count, n);
+            assert_eq!(stats.queue_wait_ns.count, n);
+            assert!(stats.dispatch_ns.count > 0);
+            assert!(stats.request_ns.p99() >= stats.request_ns.p50());
+            assert!(stats.request_ns.max >= stats.queue_wait_ns.min);
+        }
+
+        engine.shutdown();
+        assert!(engine.classify(&graphs[0]).is_err());
+        let stats = engine.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.queued, 0);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_gauges_to_zero() {
+        // Many clones hammering a tiny queue, then a shutdown racing the
+        // tail of the traffic: every accepted request must be answered
+        // and the depth gauge must come back to exactly zero.
+        let (engine, graphs) = toy_engine(512, 2, 2);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let engine = engine.clone();
+                let graphs = &graphs;
+                scope.spawn(move || {
+                    for graph in graphs {
+                        let _ = engine.classify(graph);
+                    }
+                });
+            }
+        });
+        engine.shutdown();
+        let stats = engine.stats();
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.queued, 0);
+        assert_eq!(stats.accepted, stats.completed + stats.failed);
+    }
+
+    #[test]
+    fn registry_renders_all_three_layers() {
+        let (engine, graphs) = toy_engine(512, 8, 4);
+        engine.classify(&graphs[0]).expect("engine alive");
+        let text = engine.registry().render_prometheus();
+        telemetry::validate_exposition(&text).expect("well-formed exposition");
+        for needle in [
+            "engine_queue_depth",
+            "engine_requests_accepted",
+            "pool_tasks",
+            "graphhd_graphs_encoded",
+        ] {
+            assert!(text.contains(needle), "{needle} missing from exposition");
+        }
+        let json = engine.registry().render_json();
+        assert!(json.contains("\"engine_request_ns\""));
+        assert!(json.contains("\"p99\""));
     }
 
     #[test]

@@ -147,6 +147,7 @@ impl GraphEncoder {
     /// of the paper.
     #[must_use]
     pub fn encode(&self, graph: &Graph) -> Hypervector {
+        crate::metrics::metrics().graphs_encoded.inc();
         self.encode_to_accumulator(graph)
             .to_hypervector(self.config.tie_break)
     }

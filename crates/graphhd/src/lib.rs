@@ -62,6 +62,7 @@ mod config;
 mod encoder;
 mod error;
 pub mod labeled;
+pub mod metrics;
 mod model;
 pub mod noise;
 pub mod prototypes;

@@ -135,6 +135,8 @@ impl GraphHdModel {
         num_classes: usize,
     ) -> Self {
         assert_eq!(encodings.len(), labels.len(), "encoding/label mismatch");
+        crate::metrics::metrics().fits.inc();
+        let _fit_span = crate::metrics::metrics().fit_ns.start_span();
         let dim = encoder.config().dim;
         let fresh = || -> Vec<Accumulator> {
             (0..num_classes)
@@ -288,6 +290,7 @@ impl GraphHdModel {
     /// lower class id).
     #[must_use]
     pub fn predict_encoded(&self, query: &Hypervector) -> u32 {
+        crate::metrics::metrics().predictions.inc();
         argmax_tie_low(&self.scores_encoded(query)).expect("models always have >= 1 class") as u32
     }
 
@@ -412,6 +415,10 @@ impl GraphHdModel {
                 };
                 index = advanced;
             }
+            crate::metrics::metrics().retrain_epochs.inc();
+            crate::metrics::metrics()
+                .retrain_epoch_errors
+                .record(errors as u64);
             epoch_errors.push(errors);
             if errors == 0 {
                 break;

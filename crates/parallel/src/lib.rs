@@ -22,8 +22,12 @@
 //!   and fold states are reduced in chunk order.
 //! - [`PoolHandle`] — how components (the graph encoder, the CV harness)
 //!   select between the global pool and an explicitly owned one.
+//! - [`Pool::stats`] — lock-free scheduling telemetry (chunks executed,
+//!   steals, region timings, per-worker utilization), registrable into a
+//!   [`telemetry::Registry`] via [`Pool::register_metrics`].
 //!
-//! The crate has **no dependencies** and exactly one `unsafe` block: the
+//! The crate depends only on the workspace's zero-dep `telemetry` crate
+//! and has exactly one `unsafe` block: the
 //! lifetime erasure that lets persistent workers run borrowed region
 //! closures (see `Pool::run_region` internals). Its soundness rests on
 //! the submitting call blocking until every chunk has completed.
@@ -54,4 +58,4 @@ pub mod model;
 mod ops;
 mod pool;
 
-pub use pool::{default_threads, Pool, PoolHandle, THREADS_ENV};
+pub use pool::{default_threads, Pool, PoolHandle, PoolStats, WorkerStats, THREADS_ENV};

@@ -6,6 +6,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use telemetry::{Counter, Histogram, HistogramSnapshot, Registry, Stopwatch};
 
 /// How many chunks each executor should get on average. Oversubscribing
 /// the chunk count lets stealing rebalance skewed per-chunk costs (e.g.
@@ -52,6 +53,7 @@ impl Region {
         let outcome = if cancelled {
             Ok(())
         } else {
+            shared.metrics.tasks.inc();
             panic::catch_unwind(AssertUnwindSafe(|| (self.task)(range)))
         };
         let is_last = {
@@ -89,6 +91,45 @@ struct Entry {
     range: Range<usize>,
 }
 
+/// Scheduling metrics shared by the pool handle and its workers.
+/// Recording is lock-free (one relaxed atomic op per update) and never
+/// changes a scheduling decision — telemetry observes, it does not steer.
+#[derive(Debug)]
+struct PoolMetrics {
+    /// Chunks executed, on any thread (workers, submitters, helpers).
+    tasks: Counter,
+    /// Chunks taken from another worker's deque (each stolen entry
+    /// counts, including the ones re-queued locally by a chunked steal).
+    steals: Counter,
+    /// Parallel regions submitted (including serial fast-path regions).
+    regions: Counter,
+    /// Wall-clock nanoseconds per region, submission to quiescence.
+    region_ns: Histogram,
+    /// Per-worker execution counters, indexed like `queues`.
+    workers: Vec<WorkerMetrics>,
+}
+
+/// One background worker's execution counters.
+#[derive(Debug, Default)]
+struct WorkerMetrics {
+    /// Chunks this worker executed.
+    tasks: Counter,
+    /// Nanoseconds this worker spent executing chunks (not sleeping).
+    busy_ns: Counter,
+}
+
+impl PoolMetrics {
+    fn new(workers: usize) -> Self {
+        Self {
+            tasks: Counter::new(),
+            steals: Counter::new(),
+            regions: Counter::new(),
+            region_ns: Histogram::new(),
+            workers: (0..workers).map(|_| WorkerMetrics::default()).collect(),
+        }
+    }
+}
+
 /// State shared between the pool handle and its worker threads.
 struct SharedState {
     /// One deque per worker thread. Entries are pushed at region
@@ -102,6 +143,8 @@ struct SharedState {
     shutdown: Mutex<bool>,
     /// Signalled when new entries arrive or the pool shuts down.
     wake: Condvar,
+    /// Scheduling telemetry (tasks, steals, regions, per-worker load).
+    metrics: PoolMetrics,
 }
 
 impl SharedState {
@@ -124,6 +167,7 @@ impl SharedState {
         };
         let first = stolen.pop_front().expect("split_off takes at least one");
         self.queued.fetch_sub(1, Ordering::SeqCst);
+        self.metrics.steals.add(stolen.len() as u64 + 1);
         if !stolen.is_empty() {
             self.queues[own]
                 .lock()
@@ -165,7 +209,16 @@ impl SharedState {
 fn worker_loop(shared: &SharedState, index: usize) {
     loop {
         if let Some(entry) = shared.claim_worker(index) {
+            // The stopwatch captures nothing (no clock read) when
+            // telemetry is disabled, so the idle path stays clean.
+            let watch = Stopwatch::started();
             entry.region.execute(entry.range.clone(), shared);
+            if let Some(worker) = shared.metrics.workers.get(index) {
+                worker.tasks.inc();
+                if let Some(ns) = watch.elapsed_ns() {
+                    worker.busy_ns.add(ns);
+                }
+            }
             continue;
         }
         let mut shutdown = shared.shutdown.lock().expect("shutdown lock");
@@ -239,6 +292,7 @@ impl Pool {
             queued: AtomicUsize::new(0),
             shutdown: Mutex::new(false),
             wake: Condvar::new(),
+            metrics: PoolMetrics::new(workers),
         });
         let handles = (0..workers)
             .map(|index| {
@@ -298,6 +352,10 @@ impl Pool {
         if n == 0 {
             return;
         }
+        // The guard records the region's wall-clock into `region_ns` even
+        // when a chunk panic unwinds out of this function.
+        self.shared.metrics.regions.inc();
+        let _region_span = self.shared.metrics.region_ns.start_span();
         let min_chunk = min_chunk.max(1);
         let workers = self.shared.queues.len();
         let chunk = n
@@ -307,6 +365,9 @@ impl Pool {
         if workers == 0 || chunk_count <= 1 {
             // Serial fast path — also the `threads == 1` definition of the
             // "serial reference" every parallel result must reproduce.
+            // The whole region is one inline chunk; count it so
+            // `pool_tasks` stays meaningful on single-thread pools.
+            self.shared.metrics.tasks.inc();
             task(0..n);
             return;
         }
@@ -388,6 +449,86 @@ impl Pool {
             panic::resume_unwind(payload);
         }
     }
+
+    /// A snapshot of the pool's scheduling telemetry: chunks executed,
+    /// chunks stolen, regions run with their wall-clock distribution,
+    /// and per-worker utilization. Counters are cumulative since pool
+    /// creation; take two snapshots to measure an interval.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        let metrics = &self.shared.metrics;
+        PoolStats {
+            threads: self.parallelism,
+            tasks: metrics.tasks.get(),
+            steals: metrics.steals.get(),
+            regions: metrics.regions.get(),
+            region_ns: metrics.region_ns.snapshot(),
+            workers: metrics
+                .workers
+                .iter()
+                .map(|w| WorkerStats {
+                    tasks: w.tasks.get(),
+                    busy_ns: w.busy_ns.get(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Registers the pool's aggregate metrics (`pool_tasks`,
+    /// `pool_steals`, `pool_regions`, `pool_region_ns`) into `registry`
+    /// for Prometheus/JSON rendering. Per-worker detail stays on
+    /// [`stats`](Self::stats).
+    pub fn register_metrics(&self, registry: &Registry) {
+        let metrics = &self.shared.metrics;
+        registry.register_counter(
+            "pool_tasks",
+            "Chunks executed across all threads",
+            &metrics.tasks,
+        );
+        registry.register_counter(
+            "pool_steals",
+            "Chunks stolen from another worker's queue",
+            &metrics.steals,
+        );
+        registry.register_counter("pool_regions", "Parallel regions run", &metrics.regions);
+        registry.register_histogram(
+            "pool_region_ns",
+            "Region wall-clock, submission to quiescence",
+            &metrics.region_ns,
+        );
+    }
+}
+
+/// A point-in-time reading of a pool's scheduling telemetry (see
+/// [`Pool::stats`]).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct PoolStats {
+    /// The pool's parallelism degree (workers + submitter).
+    pub threads: usize,
+    /// Chunks executed, on any thread.
+    pub tasks: u64,
+    /// Chunks taken from another worker's deque.
+    pub steals: u64,
+    /// Parallel regions run (serial fast-path regions included).
+    pub regions: u64,
+    /// Distribution of region wall-clock nanoseconds (empty when
+    /// telemetry is disabled).
+    pub region_ns: HistogramSnapshot,
+    /// Per background worker: chunks executed and busy nanoseconds.
+    pub workers: Vec<WorkerStats>,
+}
+
+/// One background worker's share of the pool's work (see
+/// [`Pool::stats`]).
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub struct WorkerStats {
+    /// Chunks this worker executed.
+    pub tasks: u64,
+    /// Nanoseconds spent executing chunks (0 when telemetry is
+    /// disabled — busy time needs clock reads).
+    pub busy_ns: u64,
 }
 
 impl Drop for Pool {
@@ -574,5 +715,45 @@ mod tests {
     #[test]
     fn global_pool_is_a_singleton() {
         assert!(std::ptr::eq(Pool::global(), Pool::global()));
+    }
+
+    #[test]
+    fn stats_count_regions_and_tasks() {
+        let pool = Pool::with_threads(4);
+        pool.par_for_ranges(1_000, 1, |_range| {});
+        pool.par_for_ranges(1_000, 1, |_range| {});
+        let stats = pool.stats();
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.regions, 2);
+        assert!(stats.tasks >= 2, "at least one chunk per region");
+        assert_eq!(stats.workers.len(), 3, "workers = threads - 1");
+        let worker_tasks: u64 = stats.workers.iter().map(|w| w.tasks).sum();
+        assert!(
+            worker_tasks <= stats.tasks,
+            "submitter-executed chunks are counted in the total only"
+        );
+        if telemetry::enabled() {
+            assert_eq!(stats.region_ns.count, 2);
+        }
+    }
+
+    #[test]
+    fn serial_fast_path_counts_as_a_region() {
+        let pool = Pool::with_threads(1);
+        pool.par_for_ranges(10, 1, |_range| {});
+        let stats = pool.stats();
+        assert_eq!(stats.regions, 1);
+        assert_eq!(stats.steals, 0, "nothing to steal with no workers");
+    }
+
+    #[test]
+    fn register_metrics_renders() {
+        let pool = Pool::with_threads(2);
+        pool.par_for_ranges(100, 1, |_range| {});
+        let registry = Registry::new();
+        pool.register_metrics(&registry);
+        let text = registry.render_prometheus();
+        telemetry::validate_exposition(&text).expect("well-formed exposition");
+        assert!(text.contains("pool_regions 1"));
     }
 }

@@ -1,0 +1,146 @@
+//! Lock-free scalar metrics: monotone [`Counter`]s and up/down
+//! [`Gauge`]s.
+//!
+//! Both are cheap-clone handles (`Arc` around one atomic) so the
+//! instrumented component and the [`Registry`](crate::Registry) that
+//! renders it share the same cell. Updates are `Relaxed`: metrics are
+//! monitoring data, not synchronization — readers may observe an update
+//! a moment late but never a torn value.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event count (requests served, graphs
+/// encoded, chunks stolen). Cloning shares the underlying cell.
+///
+/// # Examples
+///
+/// ```
+/// let served = telemetry::Counter::new();
+/// let handle = served.clone();
+/// handle.add(3);
+/// served.inc();
+/// assert_eq!(served.get(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level that moves both ways (queue depth, in-flight
+/// requests). Cloning shares the underlying cell.
+///
+/// # Examples
+///
+/// ```
+/// let depth = telemetry::Gauge::new();
+/// depth.inc();
+/// depth.inc();
+/// depth.dec();
+/// assert_eq!(depth.get(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Adds `delta` (which may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Overwrites the level.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_clones() {
+        let c = Counter::new();
+        let d = c.clone();
+        for _ in 0..10 {
+            c.inc();
+        }
+        d.add(5);
+        assert_eq!(c.get(), 15);
+        assert_eq!(d.get(), 15);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.add(7);
+        g.dec();
+        assert_eq!(g.get(), 6);
+        g.set(-2);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}

@@ -1,0 +1,381 @@
+//! Metric naming and rendering: a [`Registry`] holds handles to
+//! registered metrics and renders them as Prometheus text exposition
+//! format or a structured JSON snapshot.
+//!
+//! Components keep their own metric handles and register clones —
+//! registration never changes the recording hot path, it only tells the
+//! registry what to read at render time. Names follow the crate
+//! conventions (`snake_case`, subsystem prefix, `_ns` suffix for
+//! nanosecond histograms); see `docs/TELEMETRY.md` for the catalog.
+
+use crate::{Counter, Gauge, Histogram};
+use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// One registered metric: a name, a help line, and a handle to read.
+#[derive(Debug, Clone)]
+struct Entry {
+    name: String,
+    help: String,
+    kind: Kind,
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics that renders to Prometheus text
+/// exposition format or JSON. Registration stores a cheap clone of the
+/// metric handle; the component keeps recording into its own copy.
+///
+/// Re-registering a name replaces the previous entry (idempotent
+/// registration for components that may be rebuilt).
+///
+/// # Examples
+///
+/// ```
+/// use telemetry::{Counter, Registry};
+///
+/// let registry = Registry::new();
+/// let served = Counter::new();
+/// registry.register_counter("demo_served", "Requests served", &served);
+/// served.add(2);
+/// let text = registry.render_prometheus();
+/// assert!(text.contains("demo_served 2"));
+/// telemetry::validate_exposition(&text).expect("well-formed");
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a counter under `name`.
+    pub fn register_counter(&self, name: &str, help: &str, counter: &Counter) {
+        self.insert(name, help, Kind::Counter(counter.clone()));
+    }
+
+    /// Registers a gauge under `name`.
+    pub fn register_gauge(&self, name: &str, help: &str, gauge: &Gauge) {
+        self.insert(name, help, Kind::Gauge(gauge.clone()));
+    }
+
+    /// Registers a histogram under `name` (by convention suffixed `_ns`
+    /// when it records nanoseconds).
+    pub fn register_histogram(&self, name: &str, help: &str, histogram: &Histogram) {
+        self.insert(name, help, Kind::Histogram(histogram.clone()));
+    }
+
+    fn insert(&self, name: &str, help: &str, kind: Kind) {
+        let entry = Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+        };
+        let mut entries = self.lock();
+        if let Some(existing) = entries.iter_mut().find(|e| e.name == name) {
+            *existing = entry;
+        } else {
+            entries.push(entry);
+        }
+    }
+
+    /// Metrics are monitoring data: if a rendering thread panicked with
+    /// the lock held we still want every later scrape to succeed, so
+    /// poisoning is deliberately ignored rather than propagated.
+    fn lock(&self) -> MutexGuard<'_, Vec<Entry>> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Names of the registered metrics, in registration order.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.lock().iter().map(|e| e.name.clone()).collect()
+    }
+
+    /// Renders every registered metric in Prometheus text exposition
+    /// format: `# HELP` / `# TYPE` headers, then samples; histograms
+    /// expose cumulative `_bucket{le="…"}` series (non-empty buckets
+    /// plus `+Inf`), `_sum`, and `_count`.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for entry in self.lock().iter() {
+            let name = &entry.name;
+            let _ = writeln!(out, "# HELP {name} {}", entry.help);
+            match &entry.kind {
+                Kind::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter");
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Kind::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge");
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Kind::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cumulative = 0u64;
+                    for (upper, n) in snap.nonzero_buckets() {
+                        cumulative += n;
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{upper}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+                    let _ = writeln!(out, "{name}_sum {}", snap.sum);
+                    let _ = writeln!(out, "{name}_count {}", snap.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every registered metric as a structured JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`,
+    /// with each histogram summarized as count/sum/min/max/mean and
+    /// p50/p90/p99.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let entries = self.lock();
+        let mut counters = String::new();
+        let mut gauges = String::new();
+        let mut histograms = String::new();
+        for entry in entries.iter() {
+            let name = json_escape(&entry.name);
+            match &entry.kind {
+                Kind::Counter(c) => {
+                    push_field(&mut counters, &format!("\"{name}\": {}", c.get()));
+                }
+                Kind::Gauge(g) => {
+                    push_field(&mut gauges, &format!("\"{name}\": {}", g.get()));
+                }
+                Kind::Histogram(h) => {
+                    let s = h.snapshot();
+                    let min = if s.is_empty() { 0 } else { s.min };
+                    push_field(
+                        &mut histograms,
+                        &format!(
+                            "\"{name}\": {{\"count\": {}, \"sum\": {}, \"min\": {min}, \
+                             \"max\": {}, \"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \
+                             \"p99\": {}}}",
+                            s.count,
+                            s.sum,
+                            s.max,
+                            s.mean(),
+                            s.p50(),
+                            s.p90(),
+                            s.p99(),
+                        ),
+                    );
+                }
+            }
+        }
+        format!(
+            "{{\"counters\": {{{counters}}}, \"gauges\": {{{gauges}}}, \
+             \"histograms\": {{{histograms}}}}}"
+        )
+    }
+}
+
+fn push_field(out: &mut String, field: &str) {
+    if !out.is_empty() {
+        out.push_str(", ");
+    }
+    out.push_str(field);
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Checks that `text` is non-empty, well-formed Prometheus text
+/// exposition format: every line is a `# HELP` / `# TYPE` header or a
+/// `name{labels} value` sample, every sample's base name was declared
+/// by a preceding `# TYPE`, and every value parses as a number. Returns
+/// the first problem found.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line (or emptiness).
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut declared: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            let payload = parts.next().unwrap_or("");
+            match keyword {
+                "HELP" => {
+                    if name.is_empty() || payload.is_empty() {
+                        return Err(format!("line {lineno}: HELP without name or text"));
+                    }
+                }
+                "TYPE" => {
+                    if !matches!(payload, "counter" | "gauge" | "histogram" | "summary") {
+                        return Err(format!("line {lineno}: unknown TYPE `{payload}`"));
+                    }
+                    declared.push(name.to_string());
+                }
+                other => return Err(format!("line {lineno}: unknown comment keyword `{other}`")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            // Free-form comment lines ("#comment") are permitted.
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: sample without value"))?;
+        if value.parse::<f64>().is_err() {
+            return Err(format!("line {lineno}: non-numeric value `{value}`"));
+        }
+        let name_part = series.split('{').next().unwrap_or(series);
+        if !valid_metric_name(name_part) {
+            return Err(format!("line {lineno}: invalid metric name `{name_part}`"));
+        }
+        if series.contains('{') && !series.ends_with('}') {
+            return Err(format!("line {lineno}: unterminated label set"));
+        }
+        let base = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| name_part.strip_suffix(suffix))
+            .unwrap_or(name_part);
+        if !declared.iter().any(|d| d == base || d == name_part) {
+            return Err(format!(
+                "line {lineno}: sample `{name_part}` has no preceding # TYPE"
+            ));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no samples in exposition".to_string());
+    }
+    Ok(())
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> (Registry, Counter, Gauge, Histogram) {
+        let registry = Registry::new();
+        let c = Counter::new();
+        let g = Gauge::new();
+        let h = Histogram::new();
+        registry.register_counter("test_requests", "Requests observed", &c);
+        registry.register_gauge("test_depth", "Queue depth", &g);
+        registry.register_histogram("test_latency_ns", "Latency", &h);
+        (registry, c, g, h)
+    }
+
+    #[test]
+    fn prometheus_rendering_validates() {
+        let (registry, c, g, h) = sample_registry();
+        c.add(3);
+        g.set(-1);
+        h.record(250);
+        h.record(9_000);
+        let text = registry.render_prometheus();
+        validate_exposition(&text).unwrap();
+        assert!(text.contains("test_requests 3"));
+        assert!(text.contains("test_depth -1"));
+        assert!(text.contains("test_latency_ns_count 2"));
+        assert!(text.contains("test_latency_ns_sum 9250"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn bucket_series_are_cumulative() {
+        let (registry, _c, _g, h) = sample_registry();
+        for v in [1u64, 1, 100, 10_000] {
+            h.record(v);
+        }
+        let text = registry.render_prometheus();
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("test_latency_ns_bucket"))
+            .filter_map(|l| l.rsplit_once(' '))
+            .filter_map(|(_, v)| v.parse().ok())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(counts.last(), Some(&4));
+    }
+
+    #[test]
+    fn json_rendering_is_structured() {
+        let (registry, c, g, h) = sample_registry();
+        c.inc();
+        g.inc();
+        h.record(500);
+        let json = registry.render_json();
+        assert!(json.contains("\"test_requests\": 1"));
+        assert!(json.contains("\"test_depth\": 1"));
+        assert!(json.contains("\"test_latency_ns\": {\"count\": 1"));
+        assert!(json.contains("\"p99\":"));
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let registry = Registry::new();
+        let a = Counter::new();
+        let b = Counter::new();
+        a.add(5);
+        b.add(7);
+        registry.register_counter("test_c", "first", &a);
+        registry.register_counter("test_c", "second", &b);
+        assert_eq!(registry.names(), vec!["test_c".to_string()]);
+        assert!(registry.render_prometheus().contains("test_c 7"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_text() {
+        assert!(validate_exposition("").is_err());
+        assert!(
+            validate_exposition("# TYPE x counter\n").is_err(),
+            "no samples"
+        );
+        assert!(validate_exposition("x 1\n").is_err(), "no TYPE");
+        assert!(validate_exposition("# TYPE x counter\nx notanumber\n").is_err());
+        assert!(validate_exposition("# TYPE x widget\nx 1\n").is_err());
+        assert!(validate_exposition("# TYPE x counter\n9bad 1\n").is_err());
+        assert!(validate_exposition("# TYPE x counter\nx 1\n").is_ok());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests of the histogram's bucket layout and shard merging.
+//!
+//! The log-linear layout is checked through its public contract: a
+//! recorded value lands in exactly one bucket whose upper bound is at
+//! least the value and within 12.5 % of it (+1 for the integer floor),
+//! with the extremes (0, bucket edges at powers of two, `u64::MAX`)
+//! pinned exactly. Merging per-shard snapshots must be *bit-identical*
+//! to having recorded every value into one histogram — that equality is
+//! what lets the engine publish per-component shards and aggregate them
+//! at render time without a correctness caveat.
+
+use proptest::prelude::*;
+use telemetry::{Histogram, HistogramSnapshot};
+
+/// Upper bound of the single non-empty bucket after recording `v`.
+fn bucket_upper_of(v: u64) -> u64 {
+    let h = Histogram::new();
+    h.record(v);
+    let nonzero = h.snapshot().nonzero_buckets();
+    assert_eq!(nonzero.len(), 1, "one value -> one bucket (v={v})");
+    assert_eq!(nonzero[0].1, 1);
+    nonzero[0].0
+}
+
+#[test]
+fn zero_is_exact() {
+    let h = Histogram::new();
+    h.record(0);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 1);
+    assert_eq!(snap.min, 0);
+    assert_eq!(snap.max, 0);
+    assert_eq!(snap.percentile(1.0), 0);
+    assert_eq!(bucket_upper_of(0), 0);
+}
+
+#[test]
+fn u64_max_is_representable() {
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    let snap = h.snapshot();
+    assert_eq!(snap.max, u64::MAX);
+    assert_eq!(snap.percentile(1.0), u64::MAX);
+    assert_eq!(bucket_upper_of(u64::MAX), u64::MAX);
+}
+
+#[test]
+fn small_values_are_exact_and_edges_separate_buckets() {
+    // Values below 8 get a bucket each; at every power of two above,
+    // the edge value starts a fresh bucket (the value just below it
+    // lands in the previous one).
+    for v in 0u64..8 {
+        assert_eq!(bucket_upper_of(v), v, "sub-octave values are exact");
+    }
+    for exp in 3..64u32 {
+        let edge = 1u64 << exp;
+        assert!(
+            bucket_upper_of(edge - 1) < edge,
+            "edge {edge} not separated from its predecessor"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn bucket_bound_is_tight(v in any::<u64>()) {
+        let upper = bucket_upper_of(v);
+        prop_assert!(upper >= v, "upper {upper} below value {v}");
+        // <= 12.5 % relative width (+1 for the integer floor).
+        let width = upper - v;
+        prop_assert!(
+            width <= v / 8 + 1,
+            "bucket too wide for {v}: upper {upper}"
+        );
+    }
+
+    #[test]
+    fn percentile_brackets_the_order_statistic(
+        mut values in prop::collection::vec(any::<u64>(), 1..200),
+        q_millis in 1u64..=1000,
+    ) {
+        let q = q_millis as f64 / 1000.0;
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let got = h.snapshot().percentile(q);
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+        let exact = values[rank];
+        prop_assert!(got >= exact, "p{q_millis} {got} below exact {exact}");
+        prop_assert!(
+            got <= exact.saturating_add(exact / 8 + 1),
+            "p{q_millis} {got} above bucket of exact {exact}"
+        );
+    }
+
+    #[test]
+    fn merge_of_shards_equals_single_shard(
+        values in prop::collection::vec(any::<u64>(), 0..300),
+        shards in 1usize..6,
+    ) {
+        let single = Histogram::new();
+        let sharded: Vec<Histogram> = (0..shards).map(|_| Histogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            single.record(v);
+            sharded[i % shards].record(v);
+        }
+        let mut merged = HistogramSnapshot::empty();
+        for shard in &sharded {
+            merged.merge(&shard.snapshot());
+        }
+        prop_assert_eq!(merged, single.snapshot());
+    }
+
+    #[test]
+    fn since_recovers_the_interval(
+        before in prop::collection::vec(any::<u64>(), 0..100),
+        after in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let live = Histogram::new();
+        let interval_only = Histogram::new();
+        for &v in &before {
+            live.record(v);
+        }
+        let mark = live.snapshot();
+        for &v in &after {
+            live.record(v);
+            interval_only.record(v);
+        }
+        let delta = live.snapshot().since(&mark);
+        let expected = interval_only.snapshot();
+        prop_assert_eq!(delta.count, expected.count);
+        prop_assert_eq!(delta.sum, expected.sum);
+        prop_assert_eq!(&delta.buckets, &expected.buckets);
+    }
+}

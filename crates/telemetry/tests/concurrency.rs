@@ -1,0 +1,187 @@
+//! Concurrency checks of the metric shards: the `parallel::model`
+//! checker explores every interleaving (within the preemption bound) of
+//! the histogram's record/snapshot protocol re-implemented on model
+//! primitives, and plain multi-thread stress tests hammer the real
+//! atomics.
+//!
+//! What the protocol promises — and what the model pins down — is
+//! **no torn and no lost updates**: a snapshot taken concurrently with
+//! writers may lag, but only by the writes in flight at the read (at
+//! most one per recording thread), and once writers join, totals are
+//! exact.
+
+use parallel::model::{self, AtomicUsize, Config};
+use std::sync::Arc;
+use telemetry::{Counter, Gauge, Histogram};
+
+fn exhaustive() -> Config {
+    Config {
+        max_schedules: 2_000_000,
+        max_steps: 20_000,
+        preemption_bound: 3,
+    }
+}
+
+/// The histogram's recording protocol reduced to model primitives: one
+/// atomic per bucket plus an atomic total, updated bucket-first exactly
+/// like `Histogram::record`, snapshotted total-first exactly like
+/// `Histogram::snapshot`.
+struct ModelHistogram {
+    buckets: Vec<AtomicUsize>,
+    count: AtomicUsize,
+}
+
+impl ModelHistogram {
+    fn new(buckets: usize) -> Self {
+        Self {
+            buckets: (0..buckets).map(|_| AtomicUsize::new(0)).collect(),
+            count: AtomicUsize::new(0),
+        }
+    }
+
+    /// Mirrors `Histogram::record`: bucket increment, then count.
+    fn record(&self, bucket: usize) {
+        self.buckets[bucket].fetch_add(1);
+        self.count.fetch_add(1);
+    }
+
+    /// Mirrors `Histogram::snapshot`'s read order: count first, then
+    /// the buckets.
+    fn snapshot(&self) -> (usize, usize) {
+        let count = self.count.load();
+        let bucket_total = self.buckets.iter().map(AtomicUsize::load).sum();
+        (count, bucket_total)
+    }
+}
+
+/// Two writers and a concurrent snapshot, every interleaving: the
+/// snapshot's bucket total must never fall below its count (buckets are
+/// written first and read last), the shortfall of the count is bounded
+/// by the number of in-flight writers, and after joining both totals
+/// are exact — nothing torn, nothing lost.
+#[test]
+fn model_concurrent_record_and_snapshot_within_bound() {
+    const WRITERS: usize = 2;
+    let report = model::check(exhaustive(), || {
+        let hist = Arc::new(ModelHistogram::new(2));
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|i| {
+                let hist = Arc::clone(&hist);
+                model::spawn(move || hist.record(i % 2))
+            })
+            .collect();
+        let (count, bucket_total) = hist.snapshot();
+        assert!(
+            bucket_total >= count,
+            "snapshot lost a bucket update: count {count}, buckets {bucket_total}"
+        );
+        assert!(
+            bucket_total - count <= WRITERS,
+            "snapshot skew beyond in-flight bound: count {count}, buckets {bucket_total}"
+        );
+        for writer in writers {
+            writer.join();
+        }
+        let (count, bucket_total) = hist.snapshot();
+        assert_eq!(count, WRITERS, "a recorded value was lost");
+        assert_eq!(bucket_total, WRITERS, "a bucket update was lost");
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(
+        report.complete,
+        "space not exhausted in {} runs",
+        report.schedules
+    );
+}
+
+/// Counter shards under the model: increments from two threads merge
+/// without loss under every interleaving.
+#[test]
+fn model_counter_increments_are_never_lost() {
+    let report = model::check(exhaustive(), || {
+        let total = Arc::new(AtomicUsize::new(0));
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let total = Arc::clone(&total);
+                model::spawn(move || {
+                    total.fetch_add(1);
+                    total.fetch_add(1);
+                })
+            })
+            .collect();
+        for writer in writers {
+            writer.join();
+        }
+        assert_eq!(total.load(), 4, "an increment was lost");
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete, "space not exhausted");
+}
+
+/// The real histogram under real threads: heavy concurrent recording
+/// with interleaved snapshots. Snapshots must be monotone in count and
+/// never show more count than bucket mass permits; the final totals are
+/// exact.
+#[test]
+fn stress_concurrent_histogram_recording() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 25_000;
+    let hist = Histogram::new();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let hist = hist.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    hist.record((t * PER_THREAD + i) as u64);
+                }
+            });
+        }
+        let reader = hist.clone();
+        scope.spawn(move || {
+            let mut last = 0u64;
+            for _ in 0..1000 {
+                let snap = reader.snapshot();
+                assert!(snap.count >= last, "count went backwards");
+                let mass: u64 = snap.buckets.iter().sum();
+                assert!(
+                    mass + THREADS as u64 >= snap.count,
+                    "bucket mass {mass} behind count {} beyond bound",
+                    snap.count
+                );
+                last = snap.count;
+            }
+        });
+    });
+    let snap = hist.snapshot();
+    let expected = (THREADS * PER_THREAD) as u64;
+    assert_eq!(snap.count, expected);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), expected);
+    assert_eq!(snap.min, 0);
+    assert_eq!(snap.max, expected - 1);
+    let ramp_sum: u64 = (0..expected).sum();
+    assert_eq!(snap.sum, ramp_sum);
+}
+
+/// Counters and gauges under thread churn: every update lands.
+#[test]
+fn stress_counter_and_gauge_updates() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 50_000;
+    let counter = Counter::new();
+    let gauge = Gauge::new();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let counter = counter.clone();
+            let gauge = gauge.clone();
+            scope.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    counter.inc();
+                    gauge.inc();
+                    gauge.dec();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), (THREADS * PER_THREAD) as u64);
+    assert_eq!(gauge.get(), 0, "balanced inc/dec must cancel exactly");
+}

@@ -1,6 +1,7 @@
 //! Serving lifecycle, end to end: train → snapshot to disk → reload into
 //! a long-lived [`Engine`] → serve queries from multiple threads →
-//! report throughput.
+//! report throughput and the engine's own telemetry (typed stats,
+//! Prometheus exposition, JSON snapshot).
 //!
 //! This is the deployment story of the GraphHD paper's "cheap enough to
 //! serve online" pitch: the trainer and the server only share a file.
@@ -102,7 +103,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         elapsed * 1e3 * CLIENTS as f64 / total,
     );
 
+    // ── Observability ──────────────────────────────────────────────────
+    // The same numbers an operator would scrape in production: the typed
+    // stats surface, plus the registry rendered both ways. The rendering
+    // is validated here, so CI running this example asserts the
+    // exposition stays well-formed.
+    let stats = served.stats();
+    println!(
+        "engine stats: accepted {} completed {} failed {} queue_depth {}",
+        stats.accepted, stats.completed, stats.failed, stats.queue_depth,
+    );
+    if !stats.request_ns.is_empty() {
+        println!(
+            "request latency: p50 {:.1} us, p90 {:.1} us, p99 {:.1} us, max {:.1} us \
+             over {} requests",
+            stats.request_ns.p50() as f64 / 1e3,
+            stats.request_ns.p90() as f64 / 1e3,
+            stats.request_ns.p99() as f64 / 1e3,
+            stats.request_ns.max as f64 / 1e3,
+            stats.request_ns.count,
+        );
+        println!(
+            "queue wait: p50 {:.1} us, p99 {:.1} us; batches: mean {:.1} requests",
+            stats.queue_wait_ns.p50() as f64 / 1e3,
+            stats.queue_wait_ns.p99() as f64 / 1e3,
+            stats.batch_size.mean(),
+        );
+    }
+
+    let exposition = served.registry().render_prometheus();
+    telemetry::validate_exposition(&exposition)
+        .map_err(|why| format!("malformed Prometheus exposition: {why}"))?;
+    println!(
+        "prometheus exposition: {} well-formed lines ({} metrics)",
+        exposition.lines().count(),
+        served.registry().names().len(),
+    );
+    println!("json snapshot: {}", served.registry().render_json());
+
     served.shutdown();
+    let drained = served.stats();
+    assert_eq!(
+        drained.queue_depth, 0,
+        "drained shutdown leaves no request behind"
+    );
     println!("engine drained and shut down");
     Ok(())
 }

@@ -22,7 +22,11 @@
 //!   extensions, the unified error surface and model snapshots;
 //! - [`baselines`] — the four baselines under the shared harness;
 //! - [`engine`] — the serving front door: a long-lived, queue-backed
-//!   [`Engine`](engine::Engine) answering classify/score requests.
+//!   [`Engine`](engine::Engine) answering classify/score requests;
+//! - [`telemetry`] — zero-dependency observability: lock-free counters
+//!   and gauges, log-linear histograms, span timers and a
+//!   Prometheus/JSON registry, threaded through the engine, the pool
+//!   and the model crate.
 //!
 //! See `README.md` for a tour of the workspace, build/test/bench
 //! instructions and the crate dependency map.
@@ -48,5 +52,6 @@ pub use hdvec;
 pub use kernelsvm;
 pub use parallel;
 pub use prng;
+pub use telemetry;
 pub use tinynn;
 pub use wlkernels;
