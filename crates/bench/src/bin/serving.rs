@@ -15,13 +15,19 @@
 //! the histograms are empty and the latency columns degrade to the old
 //! derived mean — that mode exists to measure telemetry's own overhead.
 //!
+//! A second table (`serving_overload.csv`) measures behaviour **past**
+//! saturation: double the queue capacity in submitters, all firing as
+//! fast as they can, once per [`engine::OverloadPolicy`]. Reported per
+//! policy: shed rate, goodput (completed queries/s) and served p99 —
+//! the numbers behind the policy guidance in `docs/RESILIENCE.md`.
+//!
 //! Run: `cargo run -p bench --release --bin serving [--quick]`
 
 use datasets::{surrogate, StratifiedKFold};
-use engine::Engine;
+use engine::{Engine, OverloadPolicy};
 use graphcore::Graph;
-use graphhd::{GraphHdConfig, GraphHdModel};
-use std::time::Instant;
+use graphhd::{Error, GraphHdConfig, GraphHdModel};
+use std::time::{Duration, Instant};
 use telemetry::HistogramSnapshot;
 
 /// One measured configuration.
@@ -118,6 +124,72 @@ fn run_round(
             .map(|h| h.join().expect("submitter thread"))
             .sum()
     })
+}
+
+/// One overload cell: `submitters` threads at full tilt against a
+/// deliberately small queue, under `policy`. Returns the CSV row.
+fn overload_row(
+    model: &GraphHdModel,
+    queries: &[Graph],
+    policy: OverloadPolicy,
+    submitters: usize,
+    rounds: usize,
+) -> Vec<String> {
+    let engine = Engine::builder()
+        .queue_capacity(submitters / 2)
+        .max_batch(4)
+        .overload_policy(policy)
+        .from_model(model.clone())
+        .expect("valid knobs");
+
+    let started = Instant::now();
+    let (completed, shed) = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for submitter in 0..submitters {
+            let engine = engine.clone();
+            handles.push(scope.spawn(move || {
+                let (mut completed, mut shed) = (0u64, 0u64);
+                for round in 0..rounds {
+                    match engine.classify(&queries[(submitter + round) % queries.len()]) {
+                        Ok(_) => completed += 1,
+                        Err(Error::Overloaded) => shed += 1,
+                        Err(other) => panic!("overload bench: unexpected error {other:?}"),
+                    }
+                }
+                (completed, shed)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("submitter thread"))
+            .fold((0u64, 0u64), |(a, b), (c, d)| (a + c, b + d))
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    let stats = engine.stats();
+    engine.shutdown();
+
+    let offered = (submitters * rounds) as u64;
+    let shed_rate = shed as f64 / offered as f64;
+    let goodput = completed as f64 / seconds;
+    let p99 = if stats.request_ns.is_empty() {
+        "-".into()
+    } else {
+        format!("{:.1}", stats.request_ns.percentile(0.99) as f64 / 1e3)
+    };
+    eprintln!(
+        "overload {policy:?}: offered {offered}, completed {completed}, \
+         shed {shed} ({:.1}%), goodput {goodput:.0} queries/s, p99 {p99} us",
+        shed_rate * 100.0,
+    );
+    vec![
+        format!("{policy:?}"),
+        offered.to_string(),
+        completed.to_string(),
+        shed.to_string(),
+        format!("{shed_rate:.4}"),
+        format!("{goodput:.0}"),
+        p99,
+    ]
 }
 
 fn main() {
@@ -233,5 +305,40 @@ fn main() {
             "max_us",
         ],
         &rows,
+    );
+
+    // Past-saturation behaviour: 2x the queue capacity in submitters,
+    // each policy on a fresh engine serving the same model.
+    let overload_submitters = 16usize;
+    let overload_rounds = if quick { 500 } else { 6_000 };
+    let overload_rows: Vec<Vec<String>> = [
+        OverloadPolicy::Block,
+        OverloadPolicy::Shed,
+        OverloadPolicy::Timeout(Duration::from_micros(500)),
+    ]
+    .into_iter()
+    .map(|policy| {
+        overload_row(
+            &model,
+            &queries,
+            policy,
+            overload_submitters,
+            overload_rounds,
+        )
+    })
+    .collect();
+    bench::emit_results(
+        &options,
+        "serving_overload",
+        &[
+            "policy",
+            "offered",
+            "completed",
+            "shed",
+            "shed_rate",
+            "goodput_qps",
+            "p99_us",
+        ],
+        &overload_rows,
     );
 }

@@ -27,6 +27,33 @@
 //!   [`Engine::registry`] renders the engine, pool, and model metrics
 //!   as Prometheus text or JSON.
 //!
+//! # Resilience
+//!
+//! Three mechanisms keep an overloaded or failing engine well-behaved
+//! (full treatment in `docs/RESILIENCE.md`):
+//!
+//! - **Admission control** — [`OverloadPolicy`] decides what a full
+//!   queue does to a submitter: [`Block`](OverloadPolicy::Block)
+//!   (today's backpressure), [`Shed`](OverloadPolicy::Shed) (immediate
+//!   [`Error::Overloaded`]) or [`Timeout`](OverloadPolicy::Timeout)
+//!   (bounded blocking, then `Overloaded`).
+//! - **Deadlines** — [`Engine::classify_within`] /
+//!   [`Engine::scores_within`] (or a builder-wide
+//!   [`default_deadline`](EngineBuilder::default_deadline)) bound each
+//!   request's total latency; an expired request is answered
+//!   [`Error::DeadlineExceeded`] at admission **and re-checked at
+//!   dispatch**, so queue-aged work never wastes pool time.
+//! - **Supervision** — a panicking dispatcher loop is caught by a
+//!   supervisor that answers the dropped batch, respawns the loop with
+//!   capped exponential backoff, and after a bounded number of
+//!   restarts ([`EngineBuilder::dispatcher_restarts`]) moves the
+//!   engine to a terminal *poisoned* state where submits fail fast
+//!   with [`Error::Poisoned`].
+//!
+//! The failure paths are exercised deterministically through the
+//! `faultpoint` fail points `engine.dispatch` and `pool.region` by the
+//! chaos suite (`crates/engine/tests/chaos.rs`).
+//!
 //! Construction goes through one fluent [`EngineBuilder`] (dimension,
 //! centrality, seed, retraining epochs, thread count, queue bounds) and
 //! the unified [`graphhd::Error`]; a model snapshotted with
@@ -64,8 +91,10 @@ use std::borrow::Borrow;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use telemetry::{Registry, Stopwatch};
 
 mod stats;
@@ -80,6 +109,32 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 256;
 /// Default maximum number of requests the dispatcher scores as one
 /// parallel batch.
 pub const DEFAULT_MAX_BATCH: usize = 64;
+
+/// Default number of dispatcher crashes the supervisor absorbs before
+/// declaring the engine poisoned.
+pub const DEFAULT_DISPATCHER_RESTARTS: u32 = 5;
+
+/// What a submitter experiences when the request queue is full.
+///
+/// Selected per engine via
+/// [`EngineBuilder::overload_policy`]; the refusal counters
+/// (`engine_shed`) and the reconciliation rules are documented in
+/// `docs/RESILIENCE.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Block until space frees up (classic backpressure; the default).
+    /// A request with a deadline still stops waiting — and is answered
+    /// [`Error::DeadlineExceeded`] — when the deadline passes.
+    #[default]
+    Block,
+    /// Refuse immediately with [`Error::Overloaded`]. The submitter
+    /// never blocks; the refusal is counted in `engine_shed`.
+    Shed,
+    /// Block up to the given duration, then refuse with
+    /// [`Error::Overloaded`] (counted in `engine_shed`). A sharper
+    /// request deadline bounds the wait further.
+    Timeout(Duration),
+}
 
 /// What a request wants back.
 enum Work {
@@ -96,9 +151,19 @@ enum Response {
 }
 
 /// One-shot response slot a submitter blocks on.
+///
+/// The slot's locks recover from poisoning rather than propagate it:
+/// fulfilment can run inside a `Drop` during a panic unwind (a
+/// supervisor catching a crashed dispatcher), where a second panic
+/// would abort the process — and the stored `Option` is never observable
+/// half-written.
 struct Slot {
     response: Mutex<Option<Result<Response, Error>>>,
     ready: Condvar,
+    /// Set by the first finisher; later finish attempts become no-ops,
+    /// so a request answered by the batch loop is not answered again by
+    /// its own drop-safety net (which would double-count metrics).
+    claimed: AtomicBool,
 }
 
 impl Slot {
@@ -106,44 +171,90 @@ impl Slot {
         Arc::new(Self {
             response: Mutex::new(None),
             ready: Condvar::new(),
+            claimed: AtomicBool::new(false),
         })
     }
 
+    /// True exactly once, for the caller that gets to answer.
+    fn claim(&self) -> bool {
+        !self.claimed.swap(true, Ordering::AcqRel)
+    }
+
     fn fulfill(&self, response: Result<Response, Error>) {
-        let mut guard = self.response.lock().expect("slot lock");
+        let mut guard = self.response.lock().unwrap_or_else(PoisonError::into_inner);
         *guard = Some(response);
         self.ready.notify_one();
     }
 
-    fn is_pending(&self) -> bool {
-        self.response.lock().expect("slot lock").is_none()
-    }
-
     fn wait(&self) -> Result<Response, Error> {
-        let mut guard = self.response.lock().expect("slot lock");
+        let mut guard = self.response.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(response) = guard.take() {
                 return response;
             }
-            guard = self.ready.wait(guard).expect("slot lock");
+            guard = self
+                .ready
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
 
 /// A queued request: the graph to score, what to return, where to put
-/// it, and when it was accepted (for queue-wait and end-to-end latency;
-/// the stopwatch holds nothing when telemetry is disabled).
+/// it, when it was accepted (for queue-wait and end-to-end latency; the
+/// stopwatch holds nothing when telemetry is disabled), when it stops
+/// being worth serving, and the metric handles its outcome is recorded
+/// against.
 struct Request {
     graph: Graph,
     work: Work,
     slot: Arc<Slot>,
     watch: Stopwatch,
+    deadline: Option<Instant>,
+    metrics: Arc<EngineMetrics>,
+}
+
+impl Request {
+    /// Answers the request **exactly once**: classifies the outcome
+    /// into the completed/expired/failed counters, records end-to-end
+    /// latency, releases the queue-depth slot, and wakes the submitter.
+    /// Every fulfilment — success, deadline expiry, internal error,
+    /// panicked batch, poison drain — goes through here, which is what
+    /// keeps the gauge draining to zero; the claim flag makes duplicate
+    /// calls (the drop safety net after an explicit answer) no-ops.
+    fn finish(&self, response: Result<Response, Error>) {
+        if !self.slot.claim() {
+            return;
+        }
+        match &response {
+            Ok(_) => self.metrics.completed.inc(),
+            Err(Error::DeadlineExceeded) => self.metrics.expired.inc(),
+            Err(_) => self.metrics.failed.inc(),
+        }
+        self.watch.observe(&self.metrics.request_ns);
+        self.metrics.queue_depth.dec();
+        self.slot.fulfill(response);
+    }
+}
+
+impl Drop for Request {
+    /// Safety net: an accepted request must never be dropped
+    /// unanswered. The normal paths all finish explicitly; this catches
+    /// a dispatcher panic unwinding with a drained batch still in a
+    /// local buffer, turning a stranded submitter into a
+    /// [`Error::TaskFailed`] response.
+    fn drop(&mut self) {
+        self.finish(Err(Error::TaskFailed));
+    }
 }
 
 /// Mutable queue state behind the engine's mutex.
 struct QueueState {
     requests: VecDeque<Request>,
     closed: bool,
+    /// Terminal: the dispatcher exhausted its restart budget. Implies
+    /// `closed`; submits fail fast with [`Error::Poisoned`].
+    poisoned: bool,
 }
 
 /// State shared by every engine handle and the dispatcher thread.
@@ -159,73 +270,174 @@ struct Shared {
     not_empty: Condvar,
     capacity: usize,
     max_batch: usize,
+    policy: OverloadPolicy,
+    /// Deadline applied to requests submitted without an explicit one.
+    default_deadline: Option<Duration>,
     /// Serving telemetry (lock-free to record; never touches `state`).
-    metrics: EngineMetrics,
+    /// Shared with every queued [`Request`], whose finish path records
+    /// its own outcome.
+    metrics: Arc<EngineMetrics>,
 }
 
 impl Shared {
+    /// The queue lock, recovering from poisoning: every `QueueState`
+    /// mutation is a single push/pop/flag write that cannot be observed
+    /// half-done, and the supervisor must still be able to drain and
+    /// poison the queue after an injected panic unwound the dispatcher.
+    fn state_lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Marks the queue closed and wakes everyone: blocked submitters
     /// return [`Error::ShutDown`], the dispatcher drains and exits.
     fn close(&self) {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.state_lock();
         state.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
 
-    /// Blocking submit: waits for queue space (backpressure), enqueues,
-    /// wakes the dispatcher. Fails once the queue is closed.
-    fn submit(&self, graph: Graph, work: Work) -> Result<Arc<Slot>, Error> {
-        let slot = Slot::new();
-        let mut state = self.state.lock().expect("queue lock");
+    /// Terminal failure: the dispatcher exhausted its restart budget.
+    /// Closes the queue, marks the engine poisoned, fails every queued
+    /// request with [`Error::Poisoned`], and wakes everyone — blocked
+    /// submitters observe the flag and fail fast.
+    fn poison(&self) {
+        let stranded: Vec<Request> = {
+            let mut state = self.state_lock();
+            state.poisoned = true;
+            state.closed = true;
+            state.requests.drain(..).collect()
+        };
+        for request in &stranded {
+            request.finish(Err(Error::Poisoned));
+        }
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Builds the accepted-request record (stopwatch running, counters
+    /// bumped). The caller either queues it or finishes it on the spot.
+    fn accept(&self, graph: Graph, work: Work, deadline: Option<Instant>) -> Request {
+        self.metrics.accepted.inc();
+        self.metrics.queue_depth.inc();
+        Request {
+            graph,
+            work,
+            slot: Slot::new(),
+            watch: Stopwatch::started(),
+            deadline,
+            metrics: Arc::clone(&self.metrics),
+        }
+    }
+
+    /// Submit under the engine's overload policy: waits for queue space
+    /// as the policy allows, enqueues, wakes the dispatcher.
+    ///
+    /// Refusals are never accepted (closed/poisoned → `rejected`, full
+    /// queue under `Shed`/`Timeout` → `shed`). A request whose deadline
+    /// passes before space frees up *is* accepted and immediately
+    /// answered [`Error::DeadlineExceeded`] — expiry is an outcome of
+    /// an admitted request, which is what keeps
+    /// `accepted == completed + failed + expired` reconcilable.
+    fn submit(
+        &self,
+        graph: Graph,
+        work: Work,
+        deadline: Option<Instant>,
+    ) -> Result<Arc<Slot>, Error> {
+        let deadline = deadline.or_else(|| self.default_deadline.map(|d| Instant::now() + d));
+        // Bound of a Timeout-policy wait, fixed at entry.
+        let policy_bound = match self.policy {
+            OverloadPolicy::Timeout(limit) => Some(Instant::now() + limit),
+            _ => None,
+        };
+        let mut state = self.state_lock();
         loop {
+            if state.poisoned {
+                self.metrics.rejected.inc();
+                return Err(Error::Poisoned);
+            }
             if state.closed {
                 self.metrics.rejected.inc();
                 return Err(Error::ShutDown);
             }
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    // Expired while blocked (or dead on arrival):
+                    // accepted, then answered DeadlineExceeded.
+                    drop(state);
+                    let request = self.accept(graph, work, Some(deadline));
+                    request.finish(Err(Error::DeadlineExceeded));
+                    return Ok(request.slot.clone());
+                }
+            }
             if state.requests.len() < self.capacity {
                 break;
             }
-            state = self.not_full.wait(state).expect("queue lock");
+            match self.policy {
+                OverloadPolicy::Shed => {
+                    self.metrics.shed.inc();
+                    return Err(Error::Overloaded);
+                }
+                OverloadPolicy::Block => match deadline {
+                    None => {
+                        state = self
+                            .not_full
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner)
+                    }
+                    Some(deadline) => {
+                        state = self.wait_until(state, deadline);
+                    }
+                },
+                OverloadPolicy::Timeout(_) => {
+                    let bound = policy_bound.unwrap_or_else(Instant::now);
+                    if Instant::now() >= bound {
+                        self.metrics.shed.inc();
+                        return Err(Error::Overloaded);
+                    }
+                    let wake = match deadline {
+                        Some(deadline) => bound.min(deadline),
+                        None => bound,
+                    };
+                    state = self.wait_until(state, wake);
+                }
+            }
         }
         // The stopwatch starts after the backpressure wait: queue-wait
         // and end-to-end latency measure accepted requests, while time
         // blocked on a full queue shows up in the submitter's own
         // end-to-end numbers (the bench measures both).
-        state.requests.push_back(Request {
-            graph,
-            work,
-            slot: Arc::clone(&slot),
-            watch: Stopwatch::started(),
-        });
-        self.metrics.accepted.inc();
-        self.metrics.queue_depth.inc();
+        let request = self.accept(graph, work, deadline);
+        let slot = Arc::clone(&request.slot);
+        state.requests.push_back(request);
         self.not_empty.notify_one();
         Ok(slot)
     }
 
-    /// Answers one request: records its outcome and end-to-end latency,
-    /// releases its queue-depth slot, and wakes the submitter. Every
-    /// fulfilment — success, internal error, panicked batch — goes
-    /// through here, which is what keeps the gauge draining to zero.
-    fn finish(&self, request: &Request, response: Result<Response, Error>) {
-        if response.is_err() {
-            self.metrics.failed.inc();
-        } else {
-            self.metrics.completed.inc();
-        }
-        request.watch.observe(&self.metrics.request_ns);
-        self.metrics.queue_depth.dec();
-        request.slot.fulfill(response);
+    /// Waits on `not_full` until signalled or `until` passes (whichever
+    /// first); the caller re-evaluates the queue and its own bounds.
+    fn wait_until<'a>(
+        &self,
+        state: MutexGuard<'a, QueueState>,
+        until: Instant,
+    ) -> MutexGuard<'a, QueueState> {
+        let timeout = until.saturating_duration_since(Instant::now());
+        let (state, _timed_out) = self
+            .not_full
+            .wait_timeout(state, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        state
     }
 
-    /// Dispatcher loop: drain up to `max_batch` requests, score them as
-    /// one parallel region, repeat. On close, keeps draining until the
-    /// queue is empty — accepted requests are always answered.
+    /// Dispatcher loop: drain up to `max_batch` requests, re-check
+    /// deadlines, score the survivors as one parallel region, repeat.
+    /// On close, keeps draining until the queue is empty — accepted
+    /// requests are always answered.
     fn dispatch(&self) {
         loop {
             let batch: Vec<Request> = {
-                let mut state = self.state.lock().expect("queue lock");
+                let mut state = self.state_lock();
                 loop {
                     if !state.requests.is_empty() {
                         break;
@@ -233,7 +445,10 @@ impl Shared {
                     if state.closed {
                         return;
                     }
-                    state = self.not_empty.wait(state).expect("queue lock");
+                    state = self
+                        .not_empty
+                        .wait(state)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
                 let take = state.requests.len().min(self.max_batch);
                 let batch: Vec<Request> = state.requests.drain(..take).collect();
@@ -246,8 +461,39 @@ impl Shared {
             for request in &batch {
                 request.watch.observe(&self.metrics.queue_wait_ns);
             }
+            // Chaos hook: an injected error fails the drained batch the
+            // way a crashed region would; an injected panic unwinds to
+            // the supervisor (the batch answers itself via Drop); an
+            // injected delay ages the queue behind a slow dispatcher.
+            if faultpoint::inject("engine.dispatch") {
+                for request in &batch {
+                    request.finish(Err(Error::TaskFailed));
+                }
+                continue;
+            }
+            // Deadline re-check at dispatch: a request that aged out in
+            // the queue is answered without spending pool time on it.
+            // One clock read covers the whole batch.
+            let live: Vec<&Request> = if batch.iter().any(|r| r.deadline.is_some()) {
+                let now = Instant::now();
+                batch
+                    .iter()
+                    .filter(|request| match request.deadline {
+                        Some(deadline) if now >= deadline => {
+                            request.finish(Err(Error::DeadlineExceeded));
+                            false
+                        }
+                        _ => true,
+                    })
+                    .collect()
+            } else {
+                batch.iter().collect()
+            };
+            if live.is_empty() {
+                continue;
+            }
             let dispatch_span = self.metrics.dispatch_ns.start_span();
-            self.run_batch(&batch);
+            self.run_batch(&live);
             drop(dispatch_span);
         }
     }
@@ -256,7 +502,7 @@ impl Shared {
     /// one scratch score buffer across its requests
     /// (`scores_encoded_into`), so the scoring path allocates only for
     /// requests that asked for the score vector itself.
-    fn run_batch(&self, batch: &[Request]) {
+    fn run_batch(&self, batch: &[&Request]) {
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
             let model = &self.model;
             model
@@ -279,16 +525,43 @@ impl Shared {
                             },
                             Work::Scores => Ok(Response::Scores(scratch.clone())),
                         };
-                        self.finish(request, response);
+                        request.finish(response);
                     }
                 });
         }));
         if outcome.is_err() {
             // A panicking batch must not strand its submitters: every
-            // slot the region did not reach reports the failure instead.
+            // request the region did not answer reports the failure
+            // instead (already-claimed slots make this a no-op).
             for request in batch {
-                if request.slot.is_pending() {
-                    self.finish(request, Err(Error::TaskFailed));
+                request.finish(Err(Error::TaskFailed));
+            }
+        }
+    }
+
+    /// Supervisor loop, run on the dispatcher thread: catches a
+    /// panicking [`dispatch`](Self::dispatch) loop, counts the restart,
+    /// backs off exponentially (1 ms doubling, capped at 50 ms) and
+    /// respawns the loop — up to `max_restarts` times, after which the
+    /// engine is [poisoned](Self::poison). In-flight requests of a
+    /// crashed iteration are answered by the [`Request`] drop safety
+    /// net as the panic unwinds.
+    fn supervise(&self, max_restarts: u32) {
+        let mut restarts: u32 = 0;
+        loop {
+            let outcome = panic::catch_unwind(AssertUnwindSafe(|| self.dispatch()));
+            match outcome {
+                // Clean exit: queue closed and drained.
+                Ok(()) => return,
+                Err(_) => {
+                    if restarts >= max_restarts {
+                        self.poison();
+                        return;
+                    }
+                    restarts += 1;
+                    self.metrics.dispatcher_restarts.inc();
+                    let backoff = Duration::from_millis((1u64 << restarts.min(6)).min(50));
+                    std::thread::sleep(backoff);
                 }
             }
         }
@@ -304,10 +577,15 @@ struct DispatcherGuard {
 }
 
 impl DispatcherGuard {
+    /// Closes the queue and joins the dispatcher, **holding the handle
+    /// lock through the join**: when an explicit `shutdown` races the
+    /// last handle's drop (or another `shutdown`), the loser blocks
+    /// here until the winner's drain completes, so every caller
+    /// observes a fully-drained engine — not merely a closed one.
     fn shutdown(&self) {
         self.shared.close();
-        let handle = self.handle.lock().expect("dispatcher handle lock").take();
-        if let Some(handle) = handle {
+        let mut handle = self.handle.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(handle) = handle.take() {
             let _ = handle.join();
         }
     }
@@ -389,7 +667,17 @@ impl Engine {
     /// experiencing backpressure.
     #[must_use]
     pub fn pending(&self) -> usize {
-        self.shared.state.lock().expect("queue lock").requests.len()
+        self.shared.state_lock().requests.len()
+    }
+
+    /// Whether the engine is terminally out of service: its dispatcher
+    /// crashed more times than the restart budget
+    /// ([`EngineBuilder::dispatcher_restarts`]) allows. A poisoned
+    /// engine answers every submit with [`Error::Poisoned`]; the only
+    /// recovery is building a new engine.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.state_lock().poisoned
     }
 
     /// A typed snapshot of the engine's serving telemetry: queue depth
@@ -405,7 +693,11 @@ impl Engine {
     /// counts keep flowing.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        self.shared.metrics.snapshot(self.pending())
+        let (queued, poisoned) = {
+            let state = self.shared.state_lock();
+            (state.requests.len(), state.poisoned)
+        };
+        self.shared.metrics.snapshot(queued, poisoned)
     }
 
     /// The engine-owned metric registry: the `engine_*` serving metrics
@@ -417,16 +709,43 @@ impl Engine {
         &self.shared.metrics.registry
     }
 
-    /// Classifies one graph: blocks while the queue is full
-    /// (backpressure), then until the dispatcher has scored the request.
-    /// The result is bit-identical to [`GraphHdModel::predict`].
+    /// Classifies one graph: blocks as the overload policy allows while
+    /// the queue is full, then until the dispatcher has scored the
+    /// request. The result is bit-identical to
+    /// [`GraphHdModel::predict`].
     ///
     /// # Errors
     ///
-    /// Returns [`Error::ShutDown`] after [`shutdown`](Self::shutdown)
-    /// and [`Error::TaskFailed`] if the request's batch panicked.
+    /// Returns [`Error::ShutDown`] after [`shutdown`](Self::shutdown),
+    /// [`Error::Poisoned`] on a dead engine, [`Error::Overloaded`] when
+    /// a full queue sheds the request, [`Error::DeadlineExceeded`] if a
+    /// configured [`default_deadline`](EngineBuilder::default_deadline)
+    /// expires first, and [`Error::TaskFailed`] if the request's batch
+    /// panicked.
     pub fn classify(&self, graph: &Graph) -> Result<u32, Error> {
-        let slot = self.shared.submit(graph.clone(), Work::Classify)?;
+        let slot = self.shared.submit(graph.clone(), Work::Classify, None)?;
+        Self::await_class(&slot)
+    }
+
+    /// [`classify`](Self::classify) with a per-request latency bound:
+    /// the request is answered within roughly `timeout` or fails with
+    /// [`Error::DeadlineExceeded`]. The deadline covers the whole
+    /// journey — admission wait, queue time (re-checked at dispatch, so
+    /// expired requests never waste pool time) — and overrides the
+    /// builder's [`default_deadline`](EngineBuilder::default_deadline).
+    ///
+    /// # Errors
+    ///
+    /// As [`classify`](Self::classify).
+    pub fn classify_within(&self, graph: &Graph, timeout: Duration) -> Result<u32, Error> {
+        let deadline = Instant::now() + timeout;
+        let slot = self
+            .shared
+            .submit(graph.clone(), Work::Classify, Some(deadline))?;
+        Self::await_class(&slot)
+    }
+
+    fn await_class(slot: &Slot) -> Result<u32, Error> {
         match slot.wait()? {
             Response::Class(class) => Ok(class),
             Response::Scores(_) => Err(Error::Internal {
@@ -442,7 +761,25 @@ impl Engine {
     ///
     /// As [`classify`](Self::classify).
     pub fn scores(&self, graph: &Graph) -> Result<Vec<f64>, Error> {
-        let slot = self.shared.submit(graph.clone(), Work::Scores)?;
+        let slot = self.shared.submit(graph.clone(), Work::Scores, None)?;
+        Self::await_scores(&slot)
+    }
+
+    /// [`scores`](Self::scores) with a per-request latency bound (see
+    /// [`classify_within`](Self::classify_within)).
+    ///
+    /// # Errors
+    ///
+    /// As [`classify`](Self::classify).
+    pub fn scores_within(&self, graph: &Graph, timeout: Duration) -> Result<Vec<f64>, Error> {
+        let deadline = Instant::now() + timeout;
+        let slot = self
+            .shared
+            .submit(graph.clone(), Work::Scores, Some(deadline))?;
+        Self::await_scores(&slot)
+    }
+
+    fn await_scores(slot: &Slot) -> Result<Vec<f64>, Error> {
         match slot.wait()? {
             Response::Scores(scores) => Ok(scores),
             Response::Class(_) => Err(Error::Internal {
@@ -462,7 +799,10 @@ impl Engine {
     pub fn classify_batch<G: Borrow<Graph>>(&self, graphs: &[G]) -> Result<Vec<u32>, Error> {
         let mut slots = Vec::with_capacity(graphs.len());
         for graph in graphs {
-            slots.push(self.shared.submit(graph.borrow().clone(), Work::Classify)?);
+            slots.push(
+                self.shared
+                    .submit(graph.borrow().clone(), Work::Classify, None)?,
+            );
         }
         let mut results = Vec::with_capacity(slots.len());
         for slot in slots {
@@ -533,6 +873,9 @@ pub struct EngineBuilder {
     pool: Option<Arc<Pool>>,
     queue_capacity: usize,
     max_batch: usize,
+    overload_policy: OverloadPolicy,
+    default_deadline: Option<Duration>,
+    dispatcher_restarts: u32,
 }
 
 impl Default for EngineBuilder {
@@ -551,6 +894,9 @@ impl EngineBuilder {
             pool: None,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             max_batch: DEFAULT_MAX_BATCH,
+            overload_policy: OverloadPolicy::default(),
+            default_deadline: None,
+            dispatcher_restarts: DEFAULT_DISPATCHER_RESTARTS,
         }
     }
 
@@ -630,6 +976,31 @@ impl EngineBuilder {
         self
     }
 
+    /// Selects what a full queue does to submitters: block (default),
+    /// shed immediately, or block up to a bound. See [`OverloadPolicy`].
+    pub fn overload_policy(mut self, policy: OverloadPolicy) -> Self {
+        self.overload_policy = policy;
+        self
+    }
+
+    /// Applies a deadline of `deadline` from submission to every
+    /// request that does not carry its own (see
+    /// [`Engine::classify_within`]). Unset by default: requests wait as
+    /// long as they must.
+    pub fn default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Bounds how many dispatcher crashes the supervisor absorbs before
+    /// the engine is declared poisoned (default
+    /// [`DEFAULT_DISPATCHER_RESTARTS`]). Zero means the first crash is
+    /// terminal.
+    pub fn dispatcher_restarts(mut self, restarts: u32) -> Self {
+        self.dispatcher_restarts = restarts;
+        self
+    }
+
     /// Validates the serving knobs (the model config is validated by the
     /// construction path that consumes it).
     fn validate(&self) -> Result<(), Error> {
@@ -703,9 +1074,10 @@ impl EngineBuilder {
         self.from_model(model)
     }
 
-    /// Wraps the model in the shared state and spawns the dispatcher.
+    /// Wraps the model in the shared state and spawns the supervised
+    /// dispatcher.
     fn spawn(self, model: GraphHdModel) -> Result<Engine, Error> {
-        let metrics = EngineMetrics::new();
+        let metrics = Arc::new(EngineMetrics::new());
         // One registry per engine, covering all three layers a request
         // crosses: the serving queue, the pool it is scored on, and the
         // model crate's process-global encode/predict counters.
@@ -716,18 +1088,22 @@ impl EngineBuilder {
             state: Mutex::new(QueueState {
                 requests: VecDeque::new(),
                 closed: false,
+                poisoned: false,
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             capacity: self.queue_capacity,
             max_batch: self.max_batch,
+            policy: self.overload_policy,
+            default_deadline: self.default_deadline,
             metrics,
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
+            let max_restarts = self.dispatcher_restarts;
             std::thread::Builder::new()
                 .name("graphhd-engine".into())
-                .spawn(move || shared.dispatch())
+                .spawn(move || shared.supervise(max_restarts))
                 .map_err(Error::from)?
         };
         Ok(Engine {
@@ -973,6 +1349,99 @@ mod tests {
         let json = engine.registry().render_json();
         assert!(json.contains("\"engine_request_ns\""));
         assert!(json.contains("\"p99\""));
+    }
+
+    #[test]
+    fn expired_deadline_is_accepted_and_answered_deadline_exceeded() {
+        let (engine, graphs) = toy_engine(512, 8, 4);
+        // A zero timeout is already expired at admission: the request
+        // is accepted (for reconciliation) and answered immediately.
+        assert_eq!(
+            engine
+                .classify_within(&graphs[0], Duration::ZERO)
+                .unwrap_err(),
+            Error::DeadlineExceeded
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.queue_depth, 0, "expired request released its slot");
+        // A generous timeout serves normally.
+        assert_eq!(
+            engine
+                .classify_within(&graphs[0], Duration::from_secs(60))
+                .expect("served"),
+            engine.model().predict(&graphs[0])
+        );
+        engine.shutdown();
+        let stats = engine.stats();
+        assert_eq!(
+            stats.accepted,
+            stats.completed + stats.failed + stats.expired
+        );
+    }
+
+    #[test]
+    fn default_deadline_applies_to_plain_classify() {
+        let (graphs, labels) = toy();
+        let engine = Engine::builder()
+            .dim(256)
+            .default_deadline(Duration::ZERO)
+            .fit(&graphs, &labels, 2)
+            .expect("valid inputs");
+        assert_eq!(
+            engine.classify(&graphs[0]).unwrap_err(),
+            Error::DeadlineExceeded
+        );
+        assert_eq!(engine.stats().expired, 1);
+    }
+
+    #[test]
+    fn healthy_engine_reports_no_resilience_events() {
+        let (engine, graphs) = toy_engine(512, 8, 4);
+        for graph in &graphs {
+            engine.classify(graph).expect("engine alive");
+        }
+        let stats = engine.stats();
+        assert!(!stats.poisoned);
+        assert!(!engine.is_poisoned());
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.expired, 0);
+        assert_eq!(stats.dispatcher_restarts, 0);
+    }
+
+    #[test]
+    fn concurrent_shutdowns_both_observe_a_drained_engine() {
+        // The drop/shutdown race fix: whichever caller loses the join
+        // race must still block until the drain completes.
+        let (engine, graphs) = toy_engine(512, 4, 2);
+        let clone = engine.clone();
+        std::thread::scope(|scope| {
+            let submitters: Vec<_> = (0..3)
+                .map(|_| {
+                    let engine = engine.clone();
+                    let graphs = &graphs;
+                    scope.spawn(move || {
+                        for graph in graphs {
+                            let _ = engine.classify(graph);
+                        }
+                    })
+                })
+                .collect();
+            scope.spawn(move || clone.shutdown());
+            scope.spawn(|| engine.shutdown());
+            for submitter in submitters {
+                submitter.join().expect("submitter exits");
+            }
+        });
+        let stats = engine.stats();
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.queued, 0);
+        assert_eq!(
+            stats.accepted,
+            stats.completed + stats.failed + stats.expired
+        );
     }
 
     #[test]

@@ -25,7 +25,18 @@ pub(crate) struct EngineMetrics {
     pub completed: Counter,
     /// Requests answered with an error (panicked batch, internal error).
     pub failed: Counter,
-    /// Nanoseconds from acceptance to dispatcher drain.
+    /// Submissions refused at admission because the queue was full
+    /// under a `Shed` or expired `Timeout` overload policy.
+    pub shed: Counter,
+    /// Requests answered [`Error::DeadlineExceeded`] — expired at
+    /// admission or aged out in the queue before dispatch.
+    ///
+    /// [`Error::DeadlineExceeded`]: graphhd::Error::DeadlineExceeded
+    pub expired: Counter,
+    /// Times the supervisor respawned a crashed dispatcher loop.
+    pub dispatcher_restarts: Counter,
+    /// Nanoseconds from acceptance to dispatcher drain (the queue-age
+    /// distribution: how long requests sit before being scored).
     pub queue_wait_ns: Histogram,
     /// Requests per dispatched batch (a value histogram, not a duration).
     pub batch_size: Histogram,
@@ -47,6 +58,9 @@ impl EngineMetrics {
             rejected: Counter::new(),
             completed: Counter::new(),
             failed: Counter::new(),
+            shed: Counter::new(),
+            expired: Counter::new(),
+            dispatcher_restarts: Counter::new(),
             queue_wait_ns: Histogram::new(),
             batch_size: Histogram::new(),
             dispatch_ns: Histogram::new(),
@@ -79,6 +93,21 @@ impl EngineMetrics {
             "Requests answered with an error",
             &metrics.failed,
         );
+        r.register_counter(
+            "engine_shed",
+            "Submissions refused because the queue was full under the overload policy",
+            &metrics.shed,
+        );
+        r.register_counter(
+            "engine_deadline_expired",
+            "Requests answered DeadlineExceeded at admission or dispatch",
+            &metrics.expired,
+        );
+        r.register_counter(
+            "engine_dispatcher_restarts",
+            "Dispatcher loop crashes the supervisor recovered from",
+            &metrics.dispatcher_restarts,
+        );
         r.register_histogram(
             "engine_queue_wait_ns",
             "Acceptance to dispatcher drain",
@@ -103,14 +132,18 @@ impl EngineMetrics {
     }
 
     /// The typed snapshot behind [`Engine::stats`](crate::Engine::stats).
-    pub(crate) fn snapshot(&self, queued: usize) -> EngineStats {
+    pub(crate) fn snapshot(&self, queued: usize, poisoned: bool) -> EngineStats {
         EngineStats {
             queue_depth: self.queue_depth.get(),
             queued,
+            poisoned,
             accepted: self.accepted.get(),
             rejected: self.rejected.get(),
             completed: self.completed.get(),
             failed: self.failed.get(),
+            shed: self.shed.get(),
+            expired: self.expired.get(),
+            dispatcher_restarts: self.dispatcher_restarts.get(),
             queue_wait_ns: self.queue_wait_ns.snapshot(),
             batch_size: self.batch_size.snapshot(),
             dispatch_ns: self.dispatch_ns.snapshot(),
@@ -136,15 +169,30 @@ pub struct EngineStats {
     /// Requests waiting in the queue right now (excludes the in-flight
     /// batch; the same reading as [`Engine::pending`](crate::Engine::pending)).
     pub queued: usize,
-    /// Requests accepted into the queue.
+    /// Whether the engine is terminally out of service (the dispatcher
+    /// exceeded its restart budget; see
+    /// [`Engine::is_poisoned`](crate::Engine::is_poisoned)).
+    pub poisoned: bool,
+    /// Requests accepted into the queue (including ones later answered
+    /// `DeadlineExceeded`). At any drained quiescent point,
+    /// `accepted == completed + failed + expired`.
     pub accepted: u64,
-    /// Submissions refused after shutdown.
+    /// Submissions refused after shutdown or poisoning (never
+    /// accepted; disjoint from `shed`).
     pub rejected: u64,
     /// Requests answered successfully.
     pub completed: u64,
-    /// Requests answered with an error.
+    /// Requests answered with an error other than `DeadlineExceeded`.
     pub failed: u64,
-    /// Nanoseconds from acceptance to dispatcher drain.
+    /// Submissions refused `Overloaded` by the `Shed`/`Timeout`
+    /// overload policies (never accepted; disjoint from `rejected`).
+    pub shed: u64,
+    /// Requests answered `DeadlineExceeded` (counted in `accepted`).
+    pub expired: u64,
+    /// Dispatcher crashes the supervisor recovered from by respawning.
+    pub dispatcher_restarts: u64,
+    /// Nanoseconds from acceptance to dispatcher drain (queue age at
+    /// the moment a request leaves the queue).
     pub queue_wait_ns: HistogramSnapshot,
     /// Requests per dispatched batch.
     pub batch_size: HistogramSnapshot,

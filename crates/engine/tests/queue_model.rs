@@ -7,9 +7,18 @@
 //! dispatcher keeps draining after close until the queue is empty.
 //! These tests rebuild that protocol in miniature on
 //! `parallel::model` primitives and explore every interleaving within
-//! the preemption bound. The last test hands the checker a dispatcher
+//! the preemption bound. One test hands the checker a dispatcher
 //! with the classic drain bug (checking `closed` before emptiness) and
 //! requires that the stranded-request schedule is found.
+//!
+//! The overload policies are modeled too: `Shed` takes no wait
+//! transition at all, and `Timeout` is reduced to its synchronization
+//! essence — wait **at most once** for space, then shed — because
+//! `model::Condvar` deliberately has no `wait_timeout` (a timeout that
+//! fires is indistinguishable, for interleaving purposes, from a wake
+//! that finds the queue still full). `poison` is modeled as the
+//! supervisor's terminal transition: close, drain, answer everything
+//! with an error, wake both sides.
 
 use parallel::model::{self, AtomicUsize, Condvar, Config, Mutex};
 use std::collections::VecDeque;
@@ -34,6 +43,16 @@ struct Queue {
     max_batch: usize,
     accepted: AtomicUsize,
     answered: AtomicUsize,
+    shed: AtomicUsize,
+}
+
+/// What a submit attempt came back with, mirroring the engine's
+/// `Ok(slot)` / `Err(Overloaded)` / `Err(ShutDown | Poisoned)` split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Accepted,
+    Shed,
+    Rejected,
 }
 
 impl Queue {
@@ -46,6 +65,7 @@ impl Queue {
             max_batch,
             accepted: AtomicUsize::new(0),
             answered: AtomicUsize::new(0),
+            shed: AtomicUsize::new(0),
         }
     }
 
@@ -67,6 +87,66 @@ impl Queue {
         self.not_empty.notify_one();
         drop(state);
         true
+    }
+
+    /// Mirrors `Shared::submit` under `OverloadPolicy::Shed`: a full
+    /// queue is answered immediately — **no wait transition exists on
+    /// this path**, so checker termination across every schedule is
+    /// itself the proof that `Shed` can never block.
+    fn submit_shed(&self, id: usize) -> Outcome {
+        let mut state = self.state.lock();
+        if state.1 {
+            return Outcome::Rejected;
+        }
+        if state.0.len() >= self.capacity {
+            self.shed.fetch_add(1);
+            return Outcome::Shed;
+        }
+        state.0.push_back(id);
+        self.accepted.fetch_add(1);
+        self.not_empty.notify_one();
+        Outcome::Accepted
+    }
+
+    /// Mirrors `Shared::submit` under `OverloadPolicy::Timeout`: wait
+    /// at most once for space, then shed. The single wake stands in for
+    /// "deadline fired or space appeared" — either way the submitter
+    /// re-checks `closed` **before** anything else, which is the
+    /// close-awareness this model exists to pin down.
+    fn submit_timeout(&self, id: usize) -> Outcome {
+        let mut state = self.state.lock();
+        let mut waited = false;
+        loop {
+            if state.1 {
+                return Outcome::Rejected;
+            }
+            if state.0.len() < self.capacity {
+                state.0.push_back(id);
+                self.accepted.fetch_add(1);
+                self.not_empty.notify_one();
+                return Outcome::Accepted;
+            }
+            if waited {
+                self.shed.fetch_add(1);
+                return Outcome::Shed;
+            }
+            waited = true;
+            state = self.not_full.wait(state);
+        }
+    }
+
+    /// Mirrors `Shared::poison`: the supervisor's terminal transition.
+    /// Close, drain whatever is queued, answer it all with an error
+    /// (the model counts an error answer as answered — the submitter is
+    /// unblocked either way), and wake both sides.
+    fn poison(&self) {
+        let mut state = self.state.lock();
+        state.1 = true;
+        let drained = state.0.len();
+        state.0.clear();
+        self.answered.fetch_add(drained);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
     }
 
     /// Mirrors `Shared::close`: mark closed, wake both sides.
@@ -214,5 +294,116 @@ fn checker_finds_stranded_request_in_broken_dispatcher() {
     assert!(
         failure.message.contains("never answered"),
         "unexpected failure: {failure:?}"
+    );
+}
+
+/// Under `Shed`, every submit returns immediately — accepted or shed —
+/// in every interleaving, each accepted request is answered, and the
+/// books balance: `accepted + shed` equals the attempts made.
+#[test]
+fn shed_policy_never_blocks_and_reconciles() {
+    let report = model::check(exhaustive(), || {
+        let queue = Arc::new(Queue::new(1, 1));
+        let dispatcher_queue = Arc::clone(&queue);
+        let dispatcher = model::spawn(move || dispatcher_queue.dispatch());
+        let first = queue.submit_shed(0);
+        let second = queue.submit_shed(1);
+        queue.close();
+        dispatcher.join();
+        assert_ne!(first, Outcome::Rejected, "close had not happened yet");
+        assert_ne!(second, Outcome::Rejected, "close had not happened yet");
+        assert_eq!(
+            queue.answered.load(),
+            queue.accepted.load(),
+            "an accepted request was never answered"
+        );
+        assert_eq!(
+            queue.accepted.load() + queue.shed.load(),
+            2,
+            "an attempt was neither accepted nor shed"
+        );
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(
+        report.complete,
+        "space not exhausted in {} runs",
+        report.schedules
+    );
+}
+
+/// Under `Timeout`, a submitter woken on a full queue sheds instead of
+/// re-waiting, and a wake caused by `close` is observed as a rejection
+/// — never a re-wait (the close-after-wake deadlock) and never a
+/// stranded acceptance. The closer races the submits.
+#[test]
+fn timeout_policy_wakes_are_close_aware_and_never_strand() {
+    let report = model::check(exhaustive(), || {
+        let queue = Arc::new(Queue::new(1, 1));
+        let dispatcher_queue = Arc::clone(&queue);
+        let dispatcher = model::spawn(move || dispatcher_queue.dispatch());
+        let closer_queue = Arc::clone(&queue);
+        let closer = model::spawn(move || closer_queue.close());
+        let first = queue.submit_timeout(0);
+        let second = queue.submit_timeout(1);
+        closer.join();
+        dispatcher.join();
+        let attempts = [first, second];
+        let accepted_attempts = attempts.iter().filter(|o| **o == Outcome::Accepted).count();
+        assert_eq!(queue.accepted.load(), accepted_attempts);
+        assert_eq!(
+            queue.answered.load(),
+            queue.accepted.load(),
+            "an accepted request was never answered"
+        );
+        let shed_attempts = attempts.iter().filter(|o| **o == Outcome::Shed).count();
+        assert_eq!(queue.shed.load(), shed_attempts);
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(
+        report.complete,
+        "space not exhausted in {} runs",
+        report.schedules
+    );
+}
+
+/// Poison racing blocked submitters: with **no dispatcher at all**
+/// (the situation after the dispatcher's final crash), `poison` is the
+/// only thing left that can unblock a submitter waiting on
+/// backpressure. Every schedule must terminate, every accepted request
+/// must be answered by the poison drain, and post-poison submits must
+/// be rejected.
+#[test]
+fn poison_wakes_blocked_submitters_and_drains_the_queue() {
+    let report = model::check(exhaustive(), || {
+        let queue = Arc::new(Queue::new(1, 1));
+        let poisoner_queue = Arc::clone(&queue);
+        let poisoner = model::spawn(move || poisoner_queue.poison());
+        let second_accepted = Arc::new(AtomicUsize::new(0));
+        let submitter_queue = Arc::clone(&queue);
+        let submitter_accepted = Arc::clone(&second_accepted);
+        let submitter = model::spawn(move || {
+            if submitter_queue.submit(1) {
+                submitter_accepted.fetch_add(1);
+            }
+        });
+        let first = queue.submit(0);
+        submitter.join();
+        poisoner.join();
+        assert_eq!(
+            queue.accepted.load(),
+            usize::from(first) + second_accepted.load()
+        );
+        assert_eq!(
+            queue.answered.load(),
+            queue.accepted.load(),
+            "an accepted request was never answered by the poison drain"
+        );
+        assert!(!queue.submit(2), "post-poison submits must be refused");
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(
+        report.complete,
+        "space not exhausted in {} runs",
+        report.schedules
     );
 }

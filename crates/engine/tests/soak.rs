@@ -3,9 +3,10 @@
 //! `predict_all` path, under real backpressure, and a racing shutdown
 //! must never strand or corrupt a request.
 
-use engine::Engine;
+use engine::{Engine, OverloadPolicy};
 use graphcore::Graph;
 use graphhd::{Error, GraphHdConfig, GraphHdModel};
+use std::time::{Duration, Instant};
 
 fn workload() -> (Vec<Graph>, Vec<u32>) {
     let mut graphs = Vec::new();
@@ -142,6 +143,98 @@ fn shutdown_racing_submitters_never_corrupts_results() {
             }
         }
     });
+}
+
+/// The overload soak: 8 submitters against a capacity-4 queue, once
+/// per policy. Every response must still be a correct prediction or an
+/// `Overloaded` refusal, the per-policy counters must reconcile
+/// exactly against what the submitters observed, and `Shed` must never
+/// block a submitter (asserted as a generous wall-clock bound on a
+/// loop that would otherwise spend most of its life parked on
+/// backpressure).
+#[test]
+fn overload_policies_reconcile_under_sustained_pressure() {
+    let (graphs, labels) = workload();
+    const SUBMITTERS: usize = 8;
+    const REQUESTS_PER_THREAD: usize = 25;
+    const TOTAL: u64 = (SUBMITTERS * REQUESTS_PER_THREAD) as u64;
+
+    for policy in [
+        OverloadPolicy::Block,
+        OverloadPolicy::Shed,
+        OverloadPolicy::Timeout(Duration::from_millis(2)),
+    ] {
+        let engine = Engine::builder()
+            .dim(512)
+            .queue_capacity(4)
+            .max_batch(2)
+            .overload_policy(policy)
+            .fit(&graphs, &labels, 2)
+            .expect("valid inputs");
+        let expected = engine.model().predict_batch(&graphs);
+
+        let started = Instant::now();
+        let (ok, overloaded) = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for submitter in 0..SUBMITTERS {
+                let engine = engine.clone();
+                let graphs = &graphs;
+                let expected = &expected;
+                handles.push(scope.spawn(move || {
+                    let (mut ok, mut overloaded) = (0u64, 0u64);
+                    for i in 0..REQUESTS_PER_THREAD {
+                        let index = (submitter * 5 + i) % graphs.len();
+                        match engine.classify(&graphs[index]) {
+                            Ok(class) => {
+                                assert_eq!(class, expected[index], "graph {index}");
+                                ok += 1;
+                            }
+                            Err(Error::Overloaded) => overloaded += 1,
+                            Err(other) => panic!("{policy:?}: unexpected error {other:?}"),
+                        }
+                    }
+                    (ok, overloaded)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("submitter thread"))
+                .fold((0u64, 0u64), |(a, b), (c, d)| (a + c, b + d))
+        });
+
+        if policy == OverloadPolicy::Shed {
+            // A shedding submit never parks: 200 requests against a
+            // capacity-4 queue either enter or bounce immediately, so
+            // the whole soak must finish far inside this bound.
+            assert!(
+                started.elapsed() < Duration::from_secs(10),
+                "Shed blocked: soak took {:?}",
+                started.elapsed()
+            );
+        }
+
+        engine.shutdown();
+        let stats = engine.stats();
+        assert_eq!(
+            stats.accepted,
+            stats.completed + stats.failed + stats.expired,
+            "{policy:?}: accepted != completed + failed + expired: {stats:?}"
+        );
+        assert_eq!(stats.completed, ok, "{policy:?}: completed counter");
+        assert_eq!(stats.shed, overloaded, "{policy:?}: shed counter");
+        assert_eq!(
+            stats.accepted + stats.shed,
+            TOTAL,
+            "{policy:?}: an attempt was neither accepted nor shed"
+        );
+        assert_eq!(stats.queue_depth, 0, "{policy:?}: gauge not drained");
+        assert_eq!(stats.failed, 0, "{policy:?}: no faults were armed");
+        assert_eq!(stats.expired, 0, "{policy:?}: no deadlines were set");
+        if policy == OverloadPolicy::Block {
+            assert_eq!(stats.shed, 0, "Block never sheds");
+            assert_eq!(stats.completed, TOTAL, "Block completes everything");
+        }
+    }
 }
 
 #[test]

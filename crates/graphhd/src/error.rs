@@ -76,6 +76,17 @@ pub enum Error {
     ShutDown,
     /// A serving request was dropped because its batch panicked.
     TaskFailed,
+    /// A serving request's deadline passed before it was served —
+    /// either already expired at admission, or aged out while queued
+    /// (re-checked at dispatch so stale work never reaches the pool).
+    DeadlineExceeded,
+    /// A serving request was refused at admission because the queue was
+    /// full under a shed or bounded-wait overload policy.
+    Overloaded,
+    /// The engine's dispatcher crashed more times than its restart
+    /// budget allows; the engine is permanently out of service and
+    /// every submit fails fast.
+    Poisoned,
     /// An internal invariant did not hold. Seeing this variant is a bug
     /// in this crate, not a caller mistake; it exists so invariant
     /// violations surface as request failures instead of process aborts.
@@ -155,6 +166,11 @@ impl core::fmt::Display for Error {
             Error::Data { context, message } => write!(f, "{context} failed: {message}"),
             Error::ShutDown => write!(f, "engine has shut down"),
             Error::TaskFailed => write!(f, "request batch failed"),
+            Error::DeadlineExceeded => write!(f, "request deadline exceeded before service"),
+            Error::Overloaded => write!(f, "request shed: queue full under overload policy"),
+            Error::Poisoned => {
+                write!(f, "engine poisoned: dispatcher exceeded its restart budget")
+            }
             Error::Internal { what } => {
                 write!(f, "internal invariant violated (library bug): {what}")
             }

@@ -34,14 +34,32 @@
 //! absent (`num_classes` starts at offset 54) — still load, and decode
 //! as the GraphHD centrality strategy, the only encoder that existed
 //! when they were written.
+//!
+//! # Crash safety
+//!
+//! [`save`](GraphHdModel::save) never writes the destination in place:
+//! it writes a temporary sibling, fsyncs it, atomically renames it over
+//! the destination, and fsyncs the containing directory, so a crash at
+//! any instant leaves either the complete old file or the complete new
+//! file — never a torn one. [`save_version`](GraphHdModel::save_version)
+//! and [`load_latest`](GraphHdModel::load_latest) build rollback on top:
+//! each save publishes a fresh `model.v{N}.ghd` sibling (pruned to the
+//! last K), and loading scans versions newest-first, falling back past
+//! any snapshot that fails validation. The `snapshot.write` and
+//! `snapshot.rename` fail points (see `docs/RESILIENCE.md`) let the
+//! chaos suite kill a save at each boundary and prove the recovery
+//! claim.
 
 use crate::error::SnapshotError;
 use crate::{CentralityKind, EncoderKind, Error, GraphEncoder, GraphHdConfig, GraphHdModel};
+use faultpoint::fail_point;
 use graphcore::PageRankConfig;
 use hdvec::{Hypervector, TieBreak};
+use std::ffi::OsString;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The 8-byte magic every GraphHD snapshot starts with.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"GRAPHHD\0";
@@ -161,6 +179,80 @@ fn read_len<R: Read>(reader: &mut R, what: &'static str) -> Result<usize, Error>
     usize::try_from(read_u64(reader)?).map_err(|_| Error::Snapshot(SnapshotError::Corrupt { what }))
 }
 
+/// The error an armed `error`-action fail point injects into a save.
+fn injected_io(point: &str) -> Error {
+    Error::Io {
+        kind: std::io::ErrorKind::Other,
+        message: format!("faultpoint: injected error at `{point}`"),
+    }
+}
+
+/// A unique temporary sibling of `path` (same directory, so the final
+/// rename never crosses a filesystem boundary). Uniqueness comes from
+/// the pid plus a process-wide sequence number, so concurrent saves to
+/// the same destination never clobber each other's partial writes.
+fn temp_sibling(path: &Path) -> PathBuf {
+    static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SAVE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut name = path
+        .file_name()
+        .map_or_else(|| OsString::from("snapshot"), OsString::from);
+    name.push(format!(".tmp-{}-{seq}", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Makes the rename that published `path` durable: fsync the containing
+/// directory, so a power cut cannot roll the directory entry back.
+#[cfg(unix)]
+fn sync_parent_dir(path: &Path) -> Result<(), Error> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()?;
+    Ok(())
+}
+
+/// Non-unix stand-in: directories cannot portably be opened for
+/// syncing; the atomic rename still guarantees old-or-new contents.
+#[cfg(not(unix))]
+fn sync_parent_dir(_path: &Path) -> Result<(), Error> {
+    Ok(())
+}
+
+/// File-name shape of versioned snapshots: `model.v{N}.ghd`.
+const VERSION_PREFIX: &str = "model.v";
+/// Extension of versioned snapshots (shared with plain `.ghd` saves).
+const VERSION_SUFFIX: &str = ".ghd";
+
+fn version_path(dir: &Path, version: u64) -> PathBuf {
+    dir.join(format!("{VERSION_PREFIX}{version}{VERSION_SUFFIX}"))
+}
+
+/// Parses `model.v{N}.ghd` back to `N`; anything else is not a
+/// versioned snapshot (temp siblings, foreign files) and is ignored.
+fn version_of(name: &str) -> Option<u64> {
+    let digits = name
+        .strip_prefix(VERSION_PREFIX)?
+        .strip_suffix(VERSION_SUFFIX)?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Every snapshot version present in `dir`, ascending.
+fn list_versions(dir: &Path) -> Result<Vec<u64>, Error> {
+    let mut versions = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        if let Some(v) = entry?.file_name().to_str().and_then(version_of) {
+            versions.push(v);
+        }
+    }
+    versions.sort_unstable();
+    Ok(versions)
+}
+
 impl GraphHdModel {
     /// Serialises the model into `writer` in the versioned binary
     /// format (layout documented at the top of
@@ -194,16 +286,109 @@ impl GraphHdModel {
         Ok(())
     }
 
-    /// Saves the model to a file (see [`save_to`](Self::save_to)).
+    /// Saves the model to a file (see [`save_to`](Self::save_to))
+    /// **atomically**: the bytes go to a temporary sibling that is
+    /// fsynced, renamed over `path`, and sealed with a directory fsync.
+    /// A crash at any point leaves either the old file or the new file
+    /// intact — never a torn mixture — and failed saves clean up their
+    /// temporary.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Io`] if the file cannot be created or written.
+    /// Returns [`Error::Io`] if the file cannot be created, written,
+    /// synced or renamed.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), Error> {
-        let mut writer = BufWriter::new(File::create(path)?);
+        let path = path.as_ref();
+        let tmp = temp_sibling(path);
+        self.write_and_swap(path, &tmp).inspect_err(|_| {
+            // Never leave a partial temp sibling behind; removal of a
+            // file that was never created is not a second failure.
+            let _ = std::fs::remove_file(&tmp);
+        })
+    }
+
+    /// The crash-ordered write sequence behind [`save`](Self::save):
+    /// data must be durable before the rename publishes it, and the
+    /// rename must be durable before the save reports success.
+    fn write_and_swap(&self, path: &Path, tmp: &Path) -> Result<(), Error> {
+        let file = File::create(tmp)?;
+        fail_point!("snapshot.write", injected_io("snapshot.write"));
+        let mut writer = BufWriter::new(&file);
         self.save_to(&mut writer)?;
         writer.flush()?;
-        Ok(())
+        file.sync_all()?;
+        fail_point!("snapshot.rename", injected_io("snapshot.rename"));
+        std::fs::rename(tmp, path)?;
+        sync_parent_dir(path)
+    }
+
+    /// Publishes the model as the next versioned snapshot in `dir`
+    /// (`model.v{N}.ghd`, `N` one past the highest version present) and
+    /// prunes all but the newest `keep` versions. `keep` of zero means
+    /// never prune. Returns the version just written.
+    ///
+    /// Each version is written with the atomic [`save`](Self::save)
+    /// sequence, and pruning is best-effort (a failed unlink never
+    /// un-publishes the save), so a reader using
+    /// [`load_latest`](Self::load_latest) always finds a complete
+    /// model. Together they give rollback semantics: keep K versions,
+    /// fall back to `N-1` when `N` is bad.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the directory cannot be scanned or the
+    /// snapshot cannot be written, and [`Error::Internal`] if the
+    /// version counter would overflow `u64` (practically unreachable).
+    pub fn save_version<P: AsRef<Path>>(&self, dir: P, keep: usize) -> Result<u64, Error> {
+        let dir = dir.as_ref();
+        let versions = list_versions(dir)?;
+        let next = match versions.last() {
+            None => 1,
+            Some(&latest) => latest.checked_add(1).ok_or(Error::Internal {
+                what: "snapshot version counter overflow",
+            })?,
+        };
+        self.save(version_path(dir, next))?;
+        if keep > 0 {
+            // `versions` predates the save, so it holds the candidates
+            // for pruning; the newest keep-1 of them stay alongside the
+            // version just written.
+            for &stale in versions.iter().rev().skip(keep.saturating_sub(1)) {
+                let _ = std::fs::remove_file(version_path(dir, stale));
+            }
+        }
+        Ok(next)
+    }
+
+    /// Loads the newest readable versioned snapshot (`model.v{N}.ghd`)
+    /// from `dir`, returning the model and its version.
+    ///
+    /// Versions are tried newest-first; one that fails to open or
+    /// validate (e.g. a save killed between publishing and completing,
+    /// or later corruption) is skipped in favour of the next-newest —
+    /// the rollback path the chaos suite exercises by killing saves at
+    /// the `snapshot.write`/`snapshot.rename` fail points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] with
+    /// [`NotFound`](std::io::ErrorKind::NotFound) if `dir` holds no
+    /// versioned snapshot at all, and otherwise the error of the oldest
+    /// candidate if every version failed to load.
+    pub fn load_latest<P: AsRef<Path>>(dir: P) -> Result<(Self, u64), Error> {
+        let dir = dir.as_ref();
+        let mut versions = list_versions(dir)?;
+        let mut last_err = Error::Io {
+            kind: std::io::ErrorKind::NotFound,
+            message: format!("no {VERSION_PREFIX}{{N}}{VERSION_SUFFIX} snapshot in directory"),
+        };
+        while let Some(version) = versions.pop() {
+            match Self::load(version_path(dir, version)) {
+                Ok(model) => return Ok((model, version)),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
     }
 
     /// Reads a model from `reader`, validating magic, version and every
@@ -274,6 +459,20 @@ impl GraphHdModel {
             .map_err(|_| Error::Snapshot(SnapshotError::Corrupt { what: "dimension" }))?;
 
         let words_per_vector = dim.div_ceil(64);
+        // The declared payload size must be computable without overflow:
+        // a header whose classes × words × 8 exceeds u64 describes no
+        // file that can exist, so refuse it before trusting any length
+        // arithmetic derived from it.
+        let payload_bytes = (num_classes as u64)
+            .checked_mul(words_per_vector as u64)
+            .and_then(|words| words.checked_mul(8))
+            .ok_or(Error::Snapshot(SnapshotError::Corrupt {
+                what: "payload size",
+            }))?;
+        // Bound every payload read by that declared size: even if the
+        // word loop drifted out of step with the header, it could not
+        // read past the payload and misdecode trailing bytes as data.
+        let mut payload = reader.by_ref().take(payload_bytes);
         // Header lengths are untrusted until the payload bytes actually
         // arrive: capacity hints are clamped so a forged multi-exabyte
         // `dim`/`num_classes` surfaces as `Truncated` on the first
@@ -283,7 +482,7 @@ impl GraphHdModel {
         for _ in 0..num_classes {
             let mut words = Vec::with_capacity(words_per_vector.min(PREALLOC_CAP));
             for _ in 0..words_per_vector {
-                words.push(read_u64(reader)?);
+                words.push(read_u64(&mut payload)?);
             }
             // Bits past `dim` in the last word must be zero — every
             // in-memory hypervector keeps that invariant, and the word
@@ -301,6 +500,9 @@ impl GraphHdModel {
             class_vectors.push(hv);
         }
 
+        // Release the payload bound; the probe below must see the
+        // underlying stream to detect trailing bytes.
+        let _ = payload.into_inner();
         // The payload length is declared by the header; anything after it
         // means the file is not what the header claims.
         let mut probe = [0u8; 1];
@@ -599,6 +801,96 @@ mod tests {
         assert_eq!(restored.encoder().config(), model.encoder().config());
         assert_eq!(restored.encoder().config().encoder, EncoderKind::Centrality);
         assert_eq!(restored.class_vectors(), model.class_vectors());
+    }
+
+    #[test]
+    fn overflowing_payload_size_is_corrupt_not_wrapped() {
+        // A forged dim × forged class count makes classes × words × 8
+        // overflow u64: the load must refuse the header arithmetic
+        // itself, before any read is attempted with a wrapped length.
+        let mut bytes = snapshot_bytes(&trained(64));
+        bytes[12..20].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        bytes[63..71].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        assert_eq!(
+            GraphHdModel::load_from(&mut bytes.as_slice()).unwrap_err(),
+            Error::Snapshot(SnapshotError::Corrupt {
+                what: "payload size"
+            })
+        );
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "graphhd-snap-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn atomic_save_replaces_existing_file_and_leaves_no_temp() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("model.ghd");
+        let old = trained(64);
+        let new = trained(128);
+        old.save(&path).expect("first save");
+        new.save(&path).expect("replacing save");
+        let loaded = GraphHdModel::load(&path).expect("valid snapshot");
+        assert_eq!(loaded.class_vectors(), new.class_vectors());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("list dir")
+            .map(|e| e.expect("entry").file_name())
+            .collect();
+        assert_eq!(leftovers, vec![std::ffi::OsString::from("model.ghd")]);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn versioned_saves_number_sequentially_and_prune_to_keep() {
+        let dir = temp_dir("versions");
+        let model = trained(64);
+        for expect in 1..=5u64 {
+            assert_eq!(model.save_version(&dir, 3).expect("save"), expect);
+        }
+        let mut names: Vec<_> = std::fs::read_dir(&dir)
+            .expect("list dir")
+            .map(|e| e.expect("entry").file_name().into_string().expect("utf8"))
+            .collect();
+        names.sort();
+        assert_eq!(names, ["model.v3.ghd", "model.v4.ghd", "model.v5.ghd"]);
+        let (loaded, version) = GraphHdModel::load_latest(&dir).expect("latest");
+        assert_eq!(version, 5);
+        assert_eq!(loaded.class_vectors(), model.class_vectors());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn load_latest_falls_back_past_a_corrupt_newest_version() {
+        let dir = temp_dir("fallback");
+        let good = trained(64);
+        good.save_version(&dir, 0).expect("v1");
+        good.save_version(&dir, 0).expect("v2");
+        // Corrupt v2 as a torn write would: truncate it mid-payload.
+        let v2 = dir.join("model.v2.ghd");
+        let bytes = std::fs::read(&v2).expect("read v2");
+        std::fs::write(&v2, &bytes[..bytes.len() - 3]).expect("truncate v2");
+        let (loaded, version) = GraphHdModel::load_latest(&dir).expect("fallback");
+        assert_eq!(version, 1);
+        assert_eq!(loaded.class_vectors(), good.class_vectors());
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn load_latest_on_an_empty_directory_reports_not_found() {
+        let dir = temp_dir("empty");
+        match GraphHdModel::load_latest(&dir).unwrap_err() {
+            Error::Io { kind, .. } => assert_eq!(kind, std::io::ErrorKind::NotFound),
+            other => panic!("expected Io/NotFound, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 
     #[test]

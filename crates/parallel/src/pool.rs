@@ -54,7 +54,16 @@ impl Region {
             Ok(())
         } else {
             shared.metrics.tasks.inc();
-            panic::catch_unwind(AssertUnwindSafe(|| (self.task)(range)))
+            panic::catch_unwind(AssertUnwindSafe(|| {
+                // Chaos hook: a worker crash mid-chunk, injected inside
+                // the region's own catch_unwind so it surfaces through
+                // the pool's one failure channel (panic actions unwind
+                // in `inject` itself; error actions are promoted here).
+                if faultpoint::inject("pool.region") {
+                    panic!("faultpoint: injected error at `pool.region`");
+                }
+                (self.task)(range)
+            }))
         };
         let is_last = {
             let mut status = self.status.lock().expect("region lock");

@@ -21,7 +21,8 @@
 //! - [`deprecated-milestone`](lints::deprecated) — `#[deprecated]`
 //!   shims name a removal milestone;
 //! - [`pub-docs`](lints::pubdocs) — public items in `hdvec`,
-//!   `parallel`, `engine`, `graphhd` and `telemetry` are documented.
+//!   `parallel`, `engine`, `graphhd`, `telemetry` and `faultpoint` are
+//!   documented.
 //!
 //! CI runs `cargo xtask audit` as a gate; the analyzer's own test suite
 //! drives every lint over pass/fail fixtures and asserts the live
@@ -36,7 +37,14 @@ pub mod workspace;
 use std::path::Path;
 
 /// Crates whose public items must be documented.
-const DOCUMENTED_CRATES: [&str; 5] = ["hdvec", "parallel", "engine", "graphhd", "telemetry"];
+const DOCUMENTED_CRATES: [&str; 6] = [
+    "hdvec",
+    "parallel",
+    "engine",
+    "graphhd",
+    "telemetry",
+    "faultpoint",
+];
 
 /// Crates exempt from the `no-panic` lint: benchmark binaries are leaf
 /// applications where `unwrap` on setup is idiomatic.
