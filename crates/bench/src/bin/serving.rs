@@ -21,6 +21,15 @@
 //! policy: shed rate, goodput (completed queries/s) and served p99 —
 //! the numbers behind the policy guidance in `docs/RESILIENCE.md`.
 //!
+//! A third table (`serving_socket.csv`) sends the same traffic
+//! **through the wire**: the model behind a `netserve` server on
+//! loopback TCP, one blocking connection per client thread, per
+//! overload policy. Latency is read from both histograms — the
+//! engine's `engine_request_ns` (queue to fulfilment) and the
+//! server's per-model `net_request_ns` (decode to response written) —
+//! so the socket tax is the visible gap between the two. Results feed
+//! `BENCH_pr10.json`.
+//!
 //! Run: `cargo run -p bench --release --bin serving [--quick]`
 
 use datasets::{surrogate, StratifiedKFold};
@@ -192,6 +201,109 @@ fn overload_row(
     ]
 }
 
+/// One through-the-socket cell: the model behind a loopback `netserve`
+/// server under `policy`, `connections` client threads each sending
+/// `rounds` classify frames on a persistent connection. Returns the
+/// CSV row.
+fn socket_row(
+    model: &GraphHdModel,
+    queries: &[Graph],
+    policy: OverloadPolicy,
+    connections: usize,
+    rounds: usize,
+) -> Vec<String> {
+    let engine = Engine::builder()
+        .queue_capacity(connections / 2)
+        .max_batch(4)
+        .overload_policy(policy)
+        .from_model(model.clone())
+        .expect("valid knobs");
+    let registry = std::sync::Arc::new(netserve::ModelRegistry::new());
+    registry
+        .insert("m", engine.clone())
+        .expect("fresh registry");
+    let server = netserve::ServerBuilder::new(std::sync::Arc::clone(&registry))
+        .max_connections(connections + 1)
+        .serve()
+        .expect("loopback bind");
+    let addr = server.local_addr();
+
+    let drive = |rounds: usize| -> (u64, u64) {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for connection in 0..connections {
+                handles.push(scope.spawn(move || {
+                    let mut client = netserve::Client::connect(addr).expect("loopback connect");
+                    let (mut completed, mut shed) = (0u64, 0u64);
+                    for round in 0..rounds {
+                        let graph = &queries[(connection + round) % queries.len()];
+                        match client.classify("m", graph) {
+                            Ok(_) => completed += 1,
+                            Err(netserve::NetError::Remote {
+                                code: netserve::ErrorCode::Overloaded,
+                                ..
+                            }) => shed += 1,
+                            Err(other) => panic!("socket bench: unexpected error {other:?}"),
+                        }
+                    }
+                    (completed, shed)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .fold((0u64, 0u64), |(a, b), (c, d)| (a + c, b + d))
+        })
+    };
+
+    // Warm-up: connection setup, pool threads, branch predictors.
+    drive(rounds / 4 + 1);
+    let engine_before = engine.stats().request_ns;
+    let net_before = registry.net_latency("m").expect("hosted model");
+    let started = Instant::now();
+    let (completed, shed) = drive(rounds);
+    let seconds = started.elapsed().as_secs_f64();
+    let engine_ns = engine.stats().request_ns.since(&engine_before);
+    let net_ns = registry
+        .net_latency("m")
+        .expect("hosted model")
+        .since(&net_before);
+    server.shutdown();
+    engine.shutdown();
+
+    let offered = (connections * rounds) as u64;
+    let qps = completed as f64 / seconds;
+    let pct = |snap: &telemetry::HistogramSnapshot, q: f64| -> String {
+        if snap.is_empty() {
+            "-".into()
+        } else {
+            format!("{:.1}", snap.percentile(q) as f64 / 1e3)
+        }
+    };
+    eprintln!(
+        "socket {policy:?}: {connections} conns, offered {offered}, completed {completed}, \
+         shed {shed}, {qps:.0} queries/s, net p50/p99 {}/{} us, engine p50/p99 {}/{} us",
+        pct(&net_ns, 0.50),
+        pct(&net_ns, 0.99),
+        pct(&engine_ns, 0.50),
+        pct(&engine_ns, 0.99),
+    );
+    vec![
+        format!("{policy:?}"),
+        connections.to_string(),
+        offered.to_string(),
+        completed.to_string(),
+        shed.to_string(),
+        format!("{qps:.0}"),
+        pct(&net_ns, 0.50),
+        pct(&net_ns, 0.90),
+        pct(&net_ns, 0.99),
+        pct(&engine_ns, 0.50),
+        pct(&engine_ns, 0.90),
+        pct(&engine_ns, 0.99),
+    ]
+}
+
 fn main() {
     let options = bench::Options::parse(std::env::args());
     let quick = matches!(options.effort, bench::Effort::Quick);
@@ -340,5 +452,37 @@ fn main() {
             "p99_us",
         ],
         &overload_rows,
+    );
+
+    // Through the wire: the same model behind a loopback `netserve`
+    // server, one persistent connection per client thread, per policy.
+    let socket_connections = 8usize;
+    let socket_rounds = if quick { 300 } else { 4_000 };
+    let socket_rows: Vec<Vec<String>> = [
+        OverloadPolicy::Block,
+        OverloadPolicy::Shed,
+        OverloadPolicy::Timeout(Duration::from_micros(500)),
+    ]
+    .into_iter()
+    .map(|policy| socket_row(&model, &queries, policy, socket_connections, socket_rounds))
+    .collect();
+    bench::emit_results(
+        &options,
+        "serving_socket",
+        &[
+            "policy",
+            "connections",
+            "offered",
+            "completed",
+            "shed",
+            "qps",
+            "net_p50_us",
+            "net_p90_us",
+            "net_p99_us",
+            "engine_p50_us",
+            "engine_p90_us",
+            "engine_p99_us",
+        ],
+        &socket_rows,
     );
 }

@@ -818,6 +818,45 @@ impl Engine {
         Ok(results)
     }
 
+    /// [`classify_batch`](Self::classify_batch) with one deadline
+    /// covering the whole batch: every request is enqueued with the
+    /// same absolute expiry, so a batch that cannot finish inside
+    /// `timeout` answers [`Error::DeadlineExceeded`] for the stragglers
+    /// instead of holding the caller indefinitely. The network serving
+    /// tier uses this for batched submits whose frame carries a
+    /// deadline.
+    ///
+    /// # Errors
+    ///
+    /// As [`classify`](Self::classify); the first failed request wins.
+    pub fn classify_batch_within<G: Borrow<Graph>>(
+        &self,
+        graphs: &[G],
+        timeout: Duration,
+    ) -> Result<Vec<u32>, Error> {
+        let deadline = Instant::now() + timeout;
+        let mut slots = Vec::with_capacity(graphs.len());
+        for graph in graphs {
+            slots.push(self.shared.submit(
+                graph.borrow().clone(),
+                Work::Classify,
+                Some(deadline),
+            )?);
+        }
+        let mut results = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match slot.wait()? {
+                Response::Class(class) => results.push(class),
+                Response::Scores(_) => {
+                    return Err(Error::Internal {
+                        what: "classify request answered with a score vector",
+                    })
+                }
+            }
+        }
+        Ok(results)
+    }
+
     /// Snapshots the served model to `path` — the running engine is the
     /// natural place to produce the next deployable artifact.
     ///

@@ -1,0 +1,116 @@
+//! The `netserve` error surface.
+
+use crate::wire::{ErrorCode, WireError};
+
+/// Everything that can go wrong in the serving tier, client or server
+/// side. Like `graphhd::Error`, the enum is `#[non_exhaustive]` so new
+/// failure modes can be added without a breaking release.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A socket-level failure (connect, bind, read, write).
+    Io {
+        /// The [`std::io::ErrorKind`] of the underlying failure.
+        kind: std::io::ErrorKind,
+        /// The underlying error, rendered.
+        message: String,
+    },
+    /// A frame failed to encode or decode.
+    Wire(WireError),
+    /// The server answered with a typed error frame.
+    Remote {
+        /// The typed error code from the frame.
+        code: ErrorCode,
+        /// The server's human-readable detail.
+        message: String,
+    },
+    /// The peer closed the connection where a frame was expected.
+    Disconnected,
+    /// The server answered with a response type the request does not
+    /// produce — a protocol bug, not an operational failure.
+    UnexpectedResponse,
+    /// The registry does not host a model with the requested name.
+    UnknownModel {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// The model name is empty, too long, or uses characters outside
+    /// `[A-Za-z0-9_.-]` (the safe charset for wire frames and
+    /// Prometheus label values).
+    InvalidModelName {
+        /// The rejected name.
+        name: String,
+    },
+    /// A model with this name is already hosted.
+    DuplicateModel {
+        /// The conflicting name.
+        name: String,
+    },
+    /// The hosted model has no versioned snapshot directory, so it
+    /// cannot be reloaded.
+    NotReloadable {
+        /// The model that was asked to reload.
+        name: String,
+    },
+    /// An engine or snapshot operation failed underneath the registry.
+    Engine(graphhd::Error),
+}
+
+impl core::fmt::Display for NetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NetError::Io { kind, message } => write!(f, "socket i/o failed ({kind:?}): {message}"),
+            NetError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            NetError::Remote { code, message } => {
+                write!(f, "server error ({code}): {message}")
+            }
+            NetError::Disconnected => write!(f, "connection closed by peer"),
+            NetError::UnexpectedResponse => {
+                write!(f, "server answered with an unexpected response type")
+            }
+            NetError::UnknownModel { name } => write!(f, "no model named `{name}` is hosted"),
+            NetError::InvalidModelName { name } => write!(
+                f,
+                "invalid model name `{name}` (want 1..=255 bytes of [A-Za-z0-9_.-])"
+            ),
+            NetError::DuplicateModel { name } => {
+                write!(f, "a model named `{name}` is already hosted")
+            }
+            NetError::NotReloadable { name } => {
+                write!(f, "model `{name}` has no versioned snapshot directory")
+            }
+            NetError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Wire(e) => Some(e),
+            NetError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io {
+            kind: e.kind(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl From<graphhd::Error> for NetError {
+    fn from(e: graphhd::Error) -> Self {
+        NetError::Engine(e)
+    }
+}

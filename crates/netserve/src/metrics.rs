@@ -1,0 +1,80 @@
+//! Server-side serving metrics (connection and frame counters).
+//!
+//! These live in a server-owned [`Registry`], separate from the
+//! per-engine registries: connection accounting belongs to the
+//! listener, not to any one model. The stats scrape concatenates this
+//! registry's exposition (unlabeled) with the fleet's merged
+//! per-model exposition. The catalog rows live in `docs/TELEMETRY.md`.
+
+use telemetry::{Counter, Gauge, Registry};
+
+/// Counters and gauges owned by one [`Server`](crate::Server).
+#[derive(Debug)]
+pub(crate) struct ServerMetrics {
+    /// The registry the scrape handler renders.
+    pub(crate) registry: Registry,
+    /// Connections accepted into a slot (includes ones later failing).
+    pub(crate) connections_accepted: Counter,
+    /// Connections refused at the limit or dropped by `net.accept`.
+    pub(crate) connections_refused: Counter,
+    /// Connections currently holding a slot.
+    pub(crate) connections_active: Gauge,
+    /// Request frames successfully decoded.
+    pub(crate) frames_in: Counter,
+    /// Response frames successfully written.
+    pub(crate) frames_out: Counter,
+    /// Request frames that failed to decode (malformed, oversized,
+    /// bad magic/version/type) or died mid-read.
+    pub(crate) decode_errors: Counter,
+}
+
+impl ServerMetrics {
+    pub(crate) fn new() -> Self {
+        let registry = Registry::new();
+        let connections_accepted = Counter::new();
+        let connections_refused = Counter::new();
+        let connections_active = Gauge::new();
+        let frames_in = Counter::new();
+        let frames_out = Counter::new();
+        let decode_errors = Counter::new();
+        registry.register_counter(
+            "net_connections_accepted",
+            "Connections accepted into a connection slot",
+            &connections_accepted,
+        );
+        registry.register_counter(
+            "net_connections_refused",
+            "Connections refused at the connection limit or dropped by fault injection",
+            &connections_refused,
+        );
+        registry.register_gauge(
+            "net_connections_active",
+            "Connections currently holding a slot",
+            &connections_active,
+        );
+        registry.register_counter(
+            "net_frames_in",
+            "Request frames successfully decoded",
+            &frames_in,
+        );
+        registry.register_counter(
+            "net_frames_out",
+            "Response frames successfully written",
+            &frames_out,
+        );
+        registry.register_counter(
+            "net_decode_errors",
+            "Request frames that failed to decode or died mid-read",
+            &decode_errors,
+        );
+        Self {
+            registry,
+            connections_accepted,
+            connections_refused,
+            connections_active,
+            frames_in,
+            frames_out,
+            decode_errors,
+        }
+    }
+}

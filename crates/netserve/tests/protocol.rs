@@ -1,0 +1,244 @@
+//! Protocol robustness: a live server fed malformed, truncated,
+//! oversized and random frames must answer a typed error frame or
+//! close the connection cleanly — it must never panic, never write a
+//! malformed frame of its own, and never leak a connection slot.
+//! Mirrors the exhaustive-truncation style of `tests/snapshot_crash.rs`
+//! at the wire layer.
+
+use graphcore::{generate, Graph};
+use netserve::wire::{self, ErrorCode, Request, Response};
+use netserve::{Client, ModelRegistry, NetError, ServerBuilder};
+use proptest::prelude::*;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fit_engine(seed: u64) -> engine::Engine {
+    let mut rng = prng::Xoshiro256PlusPlus::seed_from_u64(seed);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..8 {
+        let base = generate::erdos_renyi(10, 0.3, &mut rng).expect("valid p");
+        labels.push(u32::from(i % 2 == 0));
+        graphs.push(if i % 2 == 0 {
+            base
+        } else {
+            generate::with_planted_triangles(&base, 3, &mut rng).expect("n >= 3")
+        });
+    }
+    engine::Engine::builder()
+        .dim(256)
+        .seed(seed)
+        .threads(1)
+        .fit(&graphs, &labels, 2)
+        .expect("fit")
+}
+
+fn serve_one() -> (netserve::Server, Graph) {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("m", fit_engine(7)).expect("insert");
+    let server = ServerBuilder::new(registry).serve().expect("serve");
+    (server, generate::complete(6))
+}
+
+/// Polls until every connection slot is free (the server saw all our
+/// closes) — the "never leaks a slot" assertion.
+fn assert_slots_drain(server: &netserve::Server) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().connections_active > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "connection slots leaked: {:?}",
+            server.stats()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Sends raw bytes, half-closes, and drains whatever the server
+/// answers. Returns the decoded response frames (may be empty for a
+/// silent close); panics if the server ever writes a malformed frame.
+fn send_raw(addr: std::net::SocketAddr, bytes: &[u8]) -> Vec<Response> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // The server may close mid-write on garbage input; a broken pipe
+    // here is a valid outcome, not a test failure.
+    let _ = stream.write_all(bytes);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut responses = Vec::new();
+    loop {
+        match wire::read_response(&mut stream) {
+            Ok(Some(response)) => responses.push(response),
+            Ok(None) => return responses,
+            Err(e) => panic!("server wrote a malformed frame: {e}"),
+        }
+    }
+}
+
+fn classify_frame(graph: &Graph) -> Vec<u8> {
+    wire::encode_request(&Request::Classify {
+        model: "m".to_string(),
+        deadline: None,
+        graph: graph.clone(),
+    })
+}
+
+fn assert_error_or_silent(responses: &[Response], context: &str) {
+    match responses {
+        [] => {}
+        [Response::Error { code, .. }] => {
+            assert_eq!(*code, ErrorCode::BadFrame, "{context}: wrong code");
+        }
+        other => panic!("{context}: expected error frame or close, got {other:?}"),
+    }
+}
+
+/// Every possible truncation of a valid request frame gets a typed
+/// `BadFrame` answer or a clean close, and the server keeps serving.
+#[test]
+fn exhaustive_truncation_answers_typed_error_or_close() {
+    let (server, graph) = serve_one();
+    let frame = classify_frame(&graph);
+    for cut in 0..frame.len() {
+        let responses = send_raw(server.local_addr(), &frame[..cut]);
+        if cut == 0 {
+            assert!(
+                responses.is_empty(),
+                "empty connection answered {responses:?}"
+            );
+        } else {
+            assert_error_or_silent(&responses, &format!("cut at {cut}"));
+        }
+    }
+    // The server survived all of it: a full valid exchange still works
+    // and no slot was leaked.
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    assert!(client.classify("m", &graph).expect("classify") < 2);
+    drop(client);
+    assert_slots_drain(&server);
+    let stats = server.stats();
+    assert_eq!(stats.connections_accepted, frame.len() as u64 + 1);
+    assert!(
+        stats.decode_errors >= 1,
+        "truncations not counted: {stats:?}"
+    );
+    server.shutdown();
+}
+
+/// Headers lying about enormous payloads, names or batch counts are
+/// refused before any allocation, with a typed error.
+#[test]
+fn oversized_declarations_are_refused() {
+    let (server, graph) = serve_one();
+    let addr = server.local_addr();
+
+    let mut oversized_payload = classify_frame(&graph);
+    oversized_payload[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_error_or_silent(&send_raw(addr, &oversized_payload), "oversized payload");
+
+    let mut oversized_name = classify_frame(&graph);
+    oversized_name[6..8].copy_from_slice(&u16::MAX.to_le_bytes());
+    assert_error_or_silent(&send_raw(addr, &oversized_name), "oversized name");
+
+    let oversized_batch = wire::encode_request(&Request::ClassifyBatch {
+        model: "m".to_string(),
+        deadline: None,
+        graphs: vec![graph.clone()],
+    });
+    // Patch the in-payload batch count to one over the cap: payload
+    // starts after the 20-byte header and the 1-byte name.
+    let mut patched = oversized_batch;
+    patched[21..25].copy_from_slice(&(wire::MAX_BATCH_GRAPHS as u32 + 1).to_le_bytes());
+    assert_error_or_silent(&send_raw(addr, &patched), "oversized batch");
+
+    let mut bad_version = classify_frame(&graph);
+    bad_version[4] = 9;
+    assert_error_or_silent(&send_raw(addr, &bad_version), "future version");
+
+    let mut bad_type = classify_frame(&graph);
+    bad_type[5] = 0x44;
+    assert_error_or_silent(&send_raw(addr, &bad_type), "unknown type");
+
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(client.classify("m", &graph).expect("still serving") < 2);
+    drop(client);
+    assert_slots_drain(&server);
+    server.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary byte soup: the server answers only well-formed frames
+    /// (or closes silently) and never panics or wedges.
+    #[test]
+    fn junk_bytes_never_break_the_server(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let (server, graph) = junk_server();
+        let responses = send_raw(server.local_addr(), &bytes);
+        // Whatever came back was well-formed (send_raw panics on a
+        // malformed frame); random bytes essentially never spell the
+        // magic, so expect the error-or-close shape.
+        if !bytes.starts_with(b"GHWP") {
+            assert_error_or_silent(&responses, "junk");
+        }
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        prop_assert!(client.classify("m", &graph).expect("still serving") < 2);
+    }
+}
+
+/// One shared server for the proptest cases (spinning up an engine per
+/// case would dominate the runtime).
+fn junk_server() -> (&'static netserve::Server, Graph) {
+    use std::sync::OnceLock;
+    static SERVER: OnceLock<netserve::Server> = OnceLock::new();
+    let server = SERVER.get_or_init(|| {
+        let (server, _) = serve_one();
+        server
+    });
+    (server, generate::complete(6))
+}
+
+/// Semantic errors (unknown model) answer a typed frame and keep the
+/// connection open for the next request.
+#[test]
+fn unknown_model_keeps_connection_open() {
+    let (server, graph) = serve_one();
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    match client.classify("nope", &graph) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::UnknownModel),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+    assert!(client.classify("m", &graph).expect("same connection") < 2);
+    server.shutdown();
+}
+
+/// Connections beyond the slot limit get one typed `ConnectionLimit`
+/// frame; slots freed by closing connections become available again.
+#[test]
+fn connection_limit_refuses_with_typed_frame() {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("m", fit_engine(8)).expect("insert");
+    let server = ServerBuilder::new(registry)
+        .max_connections(1)
+        .serve()
+        .expect("serve");
+    let graph = generate::complete(6);
+
+    let mut first = Client::connect(server.local_addr()).expect("connect");
+    assert!(first.classify("m", &graph).expect("first holds the slot") < 2);
+
+    let mut second = Client::connect(server.local_addr()).expect("tcp connect still works");
+    match second.classify("m", &graph) {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::ConnectionLimit),
+        other => panic!("expected ConnectionLimit, got {other:?}"),
+    }
+
+    drop(first);
+    drop(second);
+    assert_slots_drain(&server);
+    let mut third = Client::connect(server.local_addr()).expect("connect");
+    assert!(third.classify("m", &graph).expect("slot was released") < 2);
+    assert_eq!(server.stats().connections_refused, 1);
+    server.shutdown();
+}

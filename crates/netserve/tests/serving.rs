@@ -1,0 +1,344 @@
+//! End-to-end serving: two named models over real loopback TCP,
+//! zero-downtime hot-swap under live traffic, deadlines and overload
+//! policies through the frame header, batched submits, the snapshot
+//! watcher, and the merged fleet scrape.
+
+use engine::{Engine, OverloadPolicy};
+use graphcore::{generate, Graph};
+use netserve::wire::ErrorCode;
+use netserve::{Client, ModelRegistry, NetError, ServerBuilder};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("netserve-{tag}-{}-{unique}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir is writable");
+    dir
+}
+
+fn workload(seed: u64) -> (Vec<Graph>, Vec<u32>) {
+    let mut rng = prng::Xoshiro256PlusPlus::seed_from_u64(seed);
+    let mut graphs = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..10 {
+        let base = generate::erdos_renyi(12, 0.25, &mut rng).expect("valid p");
+        labels.push(u32::from(i % 2 == 0));
+        graphs.push(if i % 2 == 0 {
+            base
+        } else {
+            generate::with_planted_triangles(&base, 3, &mut rng).expect("n >= 3")
+        });
+    }
+    (graphs, labels)
+}
+
+fn fit_model(seed: u64) -> graphhd::GraphHdModel {
+    let (graphs, labels) = workload(seed);
+    let config = graphhd::GraphHdConfig::builder()
+        .dim(256)
+        .seed(seed)
+        .build()
+        .expect("valid dimension");
+    graphhd::GraphHdModel::fit(config, &graphs, &labels, 2).expect("fit")
+}
+
+fn fit_engine(seed: u64) -> Engine {
+    Engine::builder()
+        .threads(1)
+        .from_model(fit_model(seed))
+        .expect("engine")
+}
+
+/// The flagship flow of this PR: two models served concurrently over
+/// TCP, client traffic hammering both, a hot-swap to a new snapshot
+/// version landing mid-traffic — with **zero failed requests** and
+/// the new version observably serving afterwards.
+#[test]
+fn hot_swap_under_live_traffic_loses_nothing() {
+    let dir = temp_dir("swap");
+    let v1 = fit_model(1).save_version(&dir, 4).expect("save v1");
+    assert_eq!(v1, 1);
+
+    let registry = Arc::new(ModelRegistry::new());
+    let loaded = registry
+        .insert_versioned("primary", &dir, Engine::builder().threads(1))
+        .expect("insert versioned");
+    assert_eq!(loaded, 1);
+    registry.insert("stable", fit_engine(3)).expect("insert");
+
+    let server = ServerBuilder::new(Arc::clone(&registry))
+        .serve()
+        .expect("serve");
+    let addr = server.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicU64::new(0));
+    let swap_seen = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..4)
+        .map(|worker| {
+            let stop = Arc::clone(&stop);
+            let completed = Arc::clone(&completed);
+            let swap_seen = Arc::clone(&swap_seen);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let model = if worker % 2 == 0 { "primary" } else { "stable" };
+                let graph = generate::complete(6 + worker % 3);
+                while !stop.load(Ordering::Relaxed) {
+                    // The invariant under swap: every single request
+                    // gets a real answer. Any error fails the test.
+                    let class = client
+                        .classify(model, &graph)
+                        .expect("no request may fail across a hot-swap");
+                    assert!(class < 2);
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    if model == "primary" {
+                        let info = client.model_info(model).expect("info");
+                        if info.version == 2 {
+                            swap_seen.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Let traffic establish, then land the swap mid-flight.
+    let warmup = Instant::now();
+    while completed.load(Ordering::Relaxed) < 50 {
+        assert!(
+            warmup.elapsed() < Duration::from_secs(30),
+            "traffic never started"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let v2 = fit_model(2).save_version(&dir, 4).expect("save v2");
+    assert_eq!(v2, 2);
+    let swapped = registry.reload("primary").expect("reload");
+    assert_eq!(swapped, Some(2));
+    assert_eq!(registry.reload("primary").expect("idempotent"), None);
+
+    // Keep traffic flowing long enough for clients to observe v2.
+    let observe = Instant::now();
+    while !swap_seen.load(Ordering::Relaxed) {
+        assert!(
+            observe.elapsed() < Duration::from_secs(30),
+            "clients never observed the new version"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for client in clients {
+        client.join().expect("client thread must not panic");
+    }
+
+    let mut client = Client::connect(addr).expect("connect");
+    assert_eq!(client.model_info("primary").expect("info").version, 2);
+    assert!(completed.load(Ordering::Relaxed) > 50);
+
+    // The server-side view agrees: every decoded frame was answered.
+    let stats = server.stats();
+    assert_eq!(stats.decode_errors, 0, "{stats:?}");
+    assert!(stats.frames_in >= stats.frames_out, "{stats:?}");
+    server.shutdown();
+}
+
+/// Deadlines ride the frame header onto the engine's `_within`
+/// machinery: an already-expired budget answers `DeadlineExceeded`
+/// (accepted-and-answered, per the engine contract), and a generous
+/// one succeeds.
+#[test]
+fn deadlines_cross_the_wire() {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("m", fit_engine(5)).expect("insert");
+    let server = ServerBuilder::new(registry).serve().expect("serve");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let graph = generate::complete(8);
+
+    assert!(
+        client
+            .classify_within("m", &graph, Duration::from_secs(30))
+            .expect("generous budget")
+            < 2
+    );
+
+    // Duration::ZERO encodes as the smallest wire budget (1 µs): by
+    // dispatch time it has expired. The engine may still win the race
+    // on a fast host, so accept either a real answer or the typed
+    // deadline error — never a transport failure.
+    match client.classify_within("m", &graph, Duration::ZERO) {
+        Ok(class) => assert!(class < 2),
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::DeadlineExceeded),
+        Err(other) => panic!("expected answer or deadline error, got {other:?}"),
+    }
+
+    // The connection is still usable after a deadline miss.
+    assert!(client.classify("m", &graph).expect("still open") < 2);
+    server.shutdown();
+}
+
+/// A `Shed` engine under a brief burst answers every frame with either
+/// a class or a typed `Overloaded` error — the overload policy
+/// crosses the wire as a structured response, not a dropped
+/// connection.
+#[test]
+fn shed_policy_surfaces_as_typed_overload() {
+    let engine = Engine::builder()
+        .threads(1)
+        .queue_capacity(1)
+        .max_batch(1)
+        .overload_policy(OverloadPolicy::Shed)
+        .from_model(fit_model(6))
+        .expect("engine");
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("m", engine).expect("insert");
+    let server = ServerBuilder::new(registry).serve().expect("serve");
+    let addr = server.local_addr();
+
+    let outcomes: Vec<_> = (0..4)
+        .map(|worker| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let graph = generate::complete(10 + worker);
+                let mut answered = 0u64;
+                let mut shed = 0u64;
+                for _ in 0..50 {
+                    match client.classify("m", &graph) {
+                        Ok(class) => {
+                            assert!(class < 2);
+                            answered += 1;
+                        }
+                        Err(NetError::Remote { code, .. }) => {
+                            assert_eq!(code, ErrorCode::Overloaded);
+                            shed += 1;
+                        }
+                        Err(other) => panic!("transport failure under shed: {other:?}"),
+                    }
+                }
+                (answered, shed)
+            })
+        })
+        .collect();
+    let mut answered = 0;
+    let mut shed = 0;
+    for outcome in outcomes {
+        let (a, s) = outcome.join().expect("no panic");
+        answered += a;
+        shed += s;
+    }
+    assert_eq!(answered + shed, 200, "every frame got a typed answer");
+    assert!(answered > 0, "a capacity-1 queue still serves");
+    server.shutdown();
+}
+
+/// Batched submits answer in order and match the in-process engine.
+#[test]
+fn batched_submit_matches_in_process() {
+    let engine = fit_engine(9);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("m", engine.clone()).expect("insert");
+    let server = ServerBuilder::new(registry).serve().expect("serve");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let batch: Vec<Graph> = (3..11).map(generate::complete).collect();
+    let over_wire = client
+        .classify_batch("m", &batch, Some(Duration::from_secs(30)))
+        .expect("batch");
+    let local = engine.classify_batch(&batch).expect("local batch");
+    assert_eq!(over_wire, local);
+    server.shutdown();
+}
+
+/// The watcher thread picks up new `save_version` files and hot-swaps
+/// them without any operator call.
+#[test]
+fn watcher_reloads_new_versions() {
+    let dir = temp_dir("watch");
+    fit_model(1).save_version(&dir, 4).expect("save v1");
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .insert_versioned("m", &dir, Engine::builder().threads(1))
+        .expect("insert");
+    let mut watcher = registry.spawn_watcher(Duration::from_millis(10));
+
+    fit_model(2).save_version(&dir, 4).expect("save v2");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while registry.version("m") != Some(2) {
+        assert!(Instant::now() < deadline, "watcher never picked up v2");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    watcher.stop();
+}
+
+/// The fleet scrape is one coherent exposition: server `net_*` series
+/// unlabeled, every engine's series labeled `model="name"`, validated
+/// by the telemetry parser.
+#[test]
+fn merged_scrape_is_valid_and_labeled() {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("alpha", fit_engine(11)).expect("insert");
+    registry.insert("beta", fit_engine(12)).expect("insert");
+    let server = ServerBuilder::new(registry).serve().expect("serve");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let graph = generate::complete(7);
+    assert!(client.classify("alpha", &graph).expect("alpha") < 2);
+    assert!(client.classify("beta", &graph).expect("beta") < 2);
+
+    let scrape = client.stats().expect("stats frame");
+    telemetry::validate_exposition(&scrape).expect("merged scrape must parse");
+    for needle in [
+        "net_connections_accepted",
+        "net_frames_in",
+        "engine_requests_accepted{model=\"alpha\"}",
+        "engine_requests_accepted{model=\"beta\"}",
+        "net_request_ns_count{model=\"alpha\"}",
+    ] {
+        assert!(
+            scrape.contains(needle),
+            "scrape missing `{needle}`:\n{scrape}"
+        );
+    }
+    // The in-process view renders the same text.
+    let direct = server.render_prometheus();
+    telemetry::validate_exposition(&direct).expect("direct scrape must parse");
+    server.shutdown();
+}
+
+/// Shutdown drains: in-flight work finishes, the listener stops, and
+/// the call returns with every slot free.
+#[test]
+fn shutdown_drains_and_stops_accepting() {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert("m", fit_engine(13)).expect("insert");
+    let server = ServerBuilder::new(registry).serve().expect("serve");
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(
+        client
+            .classify("m", &generate::complete(6))
+            .expect("served")
+            < 2
+    );
+
+    server.shutdown();
+    assert_eq!(server.stats().connections_active, 0, "drain left a slot");
+
+    // The held connection is closed out from under the idle client...
+    let result = client.classify("m", &generate::complete(6));
+    assert!(result.is_err(), "draining must close idle connections");
+    // ...and new connections are refused at the TCP level.
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut late) => {
+            assert!(
+                late.classify("m", &generate::complete(6)).is_err(),
+                "a post-shutdown connection must not be served"
+            );
+        }
+    }
+}

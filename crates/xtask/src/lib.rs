@@ -37,13 +37,14 @@ pub mod workspace;
 use std::path::Path;
 
 /// Crates whose public items must be documented.
-const DOCUMENTED_CRATES: [&str; 6] = [
+const DOCUMENTED_CRATES: [&str; 7] = [
     "hdvec",
     "parallel",
     "engine",
     "graphhd",
     "telemetry",
     "faultpoint",
+    "netserve",
 ];
 
 /// Crates exempt from the `no-panic` lint: benchmark binaries are leaf

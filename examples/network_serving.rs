@@ -1,0 +1,182 @@
+//! The network serving tier, end to end: train two models → publish
+//! versioned snapshots → serve both over loopback TCP from one
+//! process → drive client traffic from multiple connections →
+//! hot-swap one model to a freshly trained snapshot version **while
+//! traffic is in flight** → verify zero failed requests and scrape
+//! the merged fleet telemetry over the wire.
+//!
+//! This is the "millions of users" story on top of `examples/serving.rs`:
+//! many models, many clients, one process, no restart to deploy a new
+//! model version.
+//!
+//! Run with: `cargo run --release --example network_serving`
+
+use datasets::{surrogate, StratifiedKFold};
+use engine::Engine;
+use graphcore::Graph;
+use graphhd::{GraphHdConfig, GraphHdModel};
+use netserve::{Client, ModelRegistry, ServerBuilder};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn train(dataset_name: &str, seed: u64) -> Result<GraphHdModel, Box<dyn std::error::Error>> {
+    let dataset = surrogate::by_name(dataset_name, 42).expect("known dataset");
+    let folds = StratifiedKFold::new(5, 7)?.split(dataset.labels())?;
+    let fold = &folds[0];
+    let graphs: Vec<&Graph> = fold.train.iter().map(|&i| dataset.graph(i)).collect();
+    let labels: Vec<u32> = fold.train.iter().map(|&i| dataset.label(i)).collect();
+    let config = GraphHdConfig::builder().seed(seed).build()?;
+    let started = Instant::now();
+    let model = GraphHdModel::fit(config, &graphs, &labels, dataset.num_classes())?;
+    println!(
+        "trained {dataset_name} (seed {seed}): {} classes, {} graphs, {:.1} ms",
+        model.num_classes(),
+        graphs.len(),
+        started.elapsed().as_secs_f64() * 1e3,
+    );
+    Ok(model)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ── Trainer: two models, one published as a versioned snapshot ──
+    let snapshot_dir =
+        std::env::temp_dir().join(format!("graphhd-network-serving-{}", std::process::id()));
+    std::fs::create_dir_all(&snapshot_dir)?;
+    let v1 = train("MUTAG", 42)?.save_version(&snapshot_dir, 4)?;
+    println!(
+        "published mutag snapshot v{v1} to {}",
+        snapshot_dir.display()
+    );
+
+    // ── One serving process, two named models ──────────────────────
+    let registry = Arc::new(ModelRegistry::new());
+    let served_version = registry.insert_versioned(
+        "mutag",
+        &snapshot_dir,
+        Engine::builder(), // fleet defaults: shared pool, Block policy
+    )?;
+    registry.insert(
+        "enzymes",
+        Engine::builder().from_model(train("ENZYMES", 42)?)?,
+    )?;
+    println!(
+        "serving models {:?} (mutag at v{served_version})",
+        registry.names()
+    );
+
+    let server = ServerBuilder::new(Arc::clone(&registry))
+        .from_env()
+        .serve()?;
+    let addr = server.local_addr();
+    println!("listening on {addr}");
+
+    // ── Client traffic: four connections hammering both models ─────
+    let stop = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicU64::new(0));
+    let swap_observed = Arc::new(AtomicBool::new(false));
+    let traffic_started = Instant::now();
+    let workers: Vec<_> = (0..4)
+        .map(|worker| {
+            let stop = Arc::clone(&stop);
+            let completed = Arc::clone(&completed);
+            let swap_observed = Arc::clone(&swap_observed);
+            std::thread::spawn(move || -> Result<u64, String> {
+                let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                let dataset_name = if worker % 2 == 0 { "MUTAG" } else { "ENZYMES" };
+                let model = if worker % 2 == 0 { "mutag" } else { "enzymes" };
+                let dataset = surrogate::by_name(dataset_name, 42).expect("known dataset");
+                let mut failures = 0u64;
+                let mut index = worker;
+                while !stop.load(Ordering::Relaxed) {
+                    let graph = dataset.graph(index % dataset.len());
+                    index += 1;
+                    // The hot-swap contract: every request is answered.
+                    match client.classify(model, graph) {
+                        Ok(_) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("worker {worker}: FAILED request: {e}");
+                            failures += 1;
+                        }
+                    }
+                    if model == "mutag" {
+                        let info = client.model_info(model).map_err(|e| e.to_string())?;
+                        if info.version == 2 {
+                            swap_observed.store(true, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Ok(failures)
+            })
+        })
+        .collect();
+
+    // ── Hot-swap mid-traffic ───────────────────────────────────────
+    while completed.load(Ordering::Relaxed) < 200 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let in_flight_before = completed.load(Ordering::Relaxed);
+    let v2 = train("MUTAG", 1337)?.save_version(&snapshot_dir, 4)?;
+    let swapped = registry.reload("mutag")?;
+    println!(
+        "hot-swapped mutag to v{v2} after {in_flight_before} requests (reload -> {swapped:?})"
+    );
+    assert_eq!(swapped, Some(2), "the new version must be picked up");
+
+    // Keep traffic flowing until a client *observes* the new version.
+    while !swap_observed.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    stop.store(true, Ordering::Relaxed);
+
+    let mut total_failures = 0u64;
+    for worker in workers {
+        total_failures += worker.join().expect("worker must not panic")?;
+    }
+    let total = completed.load(Ordering::Relaxed);
+    let elapsed = traffic_started.elapsed();
+    println!(
+        "traffic: {total} requests over {} connections in {:.2} s ({:.0} qps), {total_failures} failed",
+        4,
+        elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64(),
+    );
+    assert_eq!(
+        total_failures, 0,
+        "zero-downtime means zero failed requests across the swap"
+    );
+
+    // ── Fleet telemetry, scraped over the wire ─────────────────────
+    let mut client = Client::connect(addr)?;
+    let info = client.model_info("mutag")?;
+    println!(
+        "mutag now serving v{} (d={}, {} classes)",
+        info.version, info.dim, info.num_classes
+    );
+    assert_eq!(info.version, 2);
+    let scrape = client.stats()?;
+    telemetry::validate_exposition(&scrape).expect("merged scrape must parse");
+    for line in scrape.lines().filter(|line| {
+        line.starts_with("net_connections")
+            || line.starts_with("net_frames")
+            || line.starts_with("net_request_ns_count")
+            || line.starts_with("engine_requests_completed")
+    }) {
+        println!("  {line}");
+    }
+
+    // ── Graceful drain ─────────────────────────────────────────────
+    drop(client);
+    server.shutdown();
+    let stats = server.stats();
+    println!(
+        "drained: {} connections served, {} frames in, {} frames out, {} decode errors",
+        stats.connections_accepted, stats.frames_in, stats.frames_out, stats.decode_errors
+    );
+    assert_eq!(stats.connections_active, 0, "drain left an open slot");
+    std::fs::remove_dir_all(&snapshot_dir).ok();
+    println!("ok");
+    Ok(())
+}

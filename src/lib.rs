@@ -26,7 +26,11 @@
 //! - [`telemetry`] — zero-dependency observability: lock-free counters
 //!   and gauges, log-linear histograms, span timers and a
 //!   Prometheus/JSON registry, threaded through the engine, the pool
-//!   and the model crate.
+//!   and the model crate;
+//! - [`netserve`] — the network serving tier: a length-prefixed binary
+//!   wire protocol over std TCP, a thread-per-connection server, a
+//!   multi-model fleet registry with zero-downtime hot-swap, and a
+//!   small blocking client.
 //!
 //! See `README.md` for a tour of the workspace, build/test/bench
 //! instructions and the crate dependency map.
@@ -50,6 +54,7 @@ pub use graphcore;
 pub use graphhd;
 pub use hdvec;
 pub use kernelsvm;
+pub use netserve;
 pub use parallel;
 pub use prng;
 pub use telemetry;
